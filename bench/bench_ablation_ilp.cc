@@ -1,0 +1,76 @@
+/// Ablation A2 (DESIGN.md): exact 0-1 ILP minimum cover vs greedy cover
+/// in FindMinCover (Algorithm 4). The paper argues the minimum predicate
+/// set matters for generality and readability (§5.2); this ablation
+/// quantifies what the exact solver buys: runs the whole corpus in both
+/// modes and reports solved counts, average atomic-predicate counts, and
+/// synthesis times.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/synthesizer.h"
+#include "json/json_parser.h"
+#include "workload/corpus.h"
+#include "xml/xml_parser.h"
+
+namespace mitra {
+namespace {
+
+struct ModeStats {
+  int solved = 0;
+  std::vector<double> atoms;
+  std::vector<double> literals;
+  std::vector<double> times;
+};
+
+ModeStats RunCorpus(bool exact) {
+  ModeStats stats;
+  for (const workload::CorpusTask& task : workload::FullCorpus()) {
+    if (!task.expect_solvable) continue;
+    auto tree = task.format == workload::DocFormat::kJson
+                    ? json::ParseJson(task.document)
+                    : xml::ParseXml(task.document);
+    auto table = hdt::Table::FromRows(task.output);
+    if (!tree.ok() || !table.ok()) continue;
+    core::SynthesisOptions opts;
+    opts.predicate.exact_cover = exact;
+    bench::Timer timer;
+    auto result = core::LearnTransformation(*tree, *table, opts);
+    double secs = timer.Seconds();
+    if (!result.ok()) continue;
+    ++stats.solved;
+    stats.times.push_back(secs);
+    stats.atoms.push_back(
+        static_cast<double>(result->program.NumUsedAtoms()));
+    stats.literals.push_back(
+        static_cast<double>(result->program.formula.NumLiterals()));
+  }
+  return stats;
+}
+
+}  // namespace
+
+int Run() {
+  std::printf(
+      "== Ablation A2: exact ILP min-cover vs greedy cover "
+      "(92 solvable corpus tasks) ==\n");
+  std::printf("%-8s %7s %10s %12s %12s %12s\n", "mode", "solved",
+              "avg atoms", "avg literals", "med time(s)", "avg time(s)");
+  for (bool exact : {true, false}) {
+    ModeStats s = RunCorpus(exact);
+    std::printf("%-8s %7d %10.2f %12.2f %12.3f %12.3f\n",
+                exact ? "exact" : "greedy", s.solved, bench::AvgOf(s.atoms),
+                bench::AvgOf(s.literals), bench::MedianOf(s.times),
+                bench::AvgOf(s.times));
+  }
+  std::printf(
+      "\n(Expected shape: both modes solve the same tasks; greedy is "
+      "slightly faster but yields equal-or-larger predicate sets — the "
+      "exact ILP is what guarantees the paper's minimality Theorem 2.)\n");
+  return 0;
+}
+
+}  // namespace mitra
+
+int main() { return mitra::Run(); }

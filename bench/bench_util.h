@@ -1,0 +1,61 @@
+#ifndef MITRA_BENCH_BENCH_UTIL_H_
+#define MITRA_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+/// \file bench_util.h
+/// Small shared helpers for the table-reproduction benchmark binaries.
+
+namespace mitra::bench {
+
+inline double MedianOf(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  size_t n = v.size();
+  return n % 2 ? v[n / 2] : (v[n / 2 - 1] + v[n / 2]) / 2.0;
+}
+
+inline double AvgOf(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return std::accumulate(v.begin(), v.end(), 0.0) /
+         static_cast<double>(v.size());
+}
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Parses `--flag value` style arguments with defaults.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; i += 2) args_.emplace_back(argv[i], argv[i + 1]);
+  }
+  long Int(const std::string& flag, long fallback) const {
+    for (const auto& [k, v] : args_) {
+      if (k == "--" + flag) return std::stol(v);
+    }
+    return fallback;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> args_;
+};
+
+}  // namespace mitra::bench
+
+#endif  // MITRA_BENCH_BENCH_UTIL_H_

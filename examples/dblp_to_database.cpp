@@ -1,0 +1,64 @@
+/// Full-database migration (paper §6/§7.2): learn one program per table
+/// of a publications schema — including generated primary and foreign
+/// keys — and migrate a larger document into a complete database.
+///
+///   $ ./build/examples/dblp_to_database [scale]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "db/migrator.h"
+#include "workload/datasets.h"
+#include "xml/xml_parser.h"
+
+int main(int argc, char** argv) {
+  using namespace mitra;
+  int scale = argc > 1 ? std::atoi(argv[1]) : 60;
+
+  const workload::DatasetSpec& spec = workload::Dblp();
+  auto example = xml::ParseXml(spec.example_document);
+  if (!example.ok()) return 1;
+
+  std::map<std::string, hdt::Table> examples;
+  for (const auto& [name, rows] : spec.example_tables) {
+    examples[name] = *hdt::Table::FromRows(rows);
+  }
+
+  db::Migrator migrator(spec.schema);
+  Status learned = migrator.Learn(*example, examples);
+  if (!learned.ok()) {
+    std::fprintf(stderr, "learning: %s\n", learned.ToString().c_str());
+    return 1;
+  }
+  std::printf("Learned %zu table programs:\n", migrator.info().size());
+  for (const auto& info : migrator.info()) {
+    std::printf("  %-16s %.3f s\n", info.table.c_str(),
+                info.synthesis_seconds);
+  }
+
+  auto full = xml::ParseXml(spec.generate(scale, 3));
+  auto database = migrator.Execute(*full);
+  if (!database.ok()) {
+    std::fprintf(stderr, "migration: %s\n",
+                 database.status().ToString().c_str());
+    return 1;
+  }
+
+  Status keys = db::CheckDatabaseConstraints(spec.schema, *database);
+  std::printf("\nMigrated database (scale %d): %zu rows total, key "
+              "constraints %s\n",
+              scale, database->TotalRows(),
+              keys.ok() ? "intact" : keys.ToString().c_str());
+  for (const auto& [name, table] : database->tables) {
+    std::printf("  %-16s %6zu rows\n", name.c_str(), table.NumRows());
+  }
+
+  const hdt::Table& authorship = database->tables.at("article_author");
+  std::printf("\nFirst authorship rows (note generated keys):\n");
+  for (size_t i = 0; i < authorship.NumRows() && i < 3; ++i) {
+    std::printf("  aid=%s name=\"%s\" article=%s\n",
+                authorship.row(i)[0].c_str(), authorship.row(i)[1].c_str(),
+                authorship.row(i)[2].c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+/// HTML plug-in demo: learn a scraper from one example over tag-soup
+/// HTML (unclosed <li>/<td>, boolean attributes) and apply it to another
+/// page with the same layout.
+///
+///   $ ./build/examples/html_scrape
+
+#include <cstdio>
+
+#include "core/executor.h"
+#include "core/synthesizer.h"
+#include "html/html_parser.h"
+
+int main() {
+  using namespace mitra;
+
+  // Two sold-out rows with names/prices that form no simple interval, so
+  // the only one-predicate classifier is the availability column itself.
+  const char* training_page = R"(
+<html><body>
+  <h1>Product catalog</h1>
+  <table class=products>
+    <tr><td>Bolt M4<td>0.12<td>in stock
+    <tr><td>Nut M4<td>0.08<td>sold out
+    <tr><td>Washer<td>0.05<td>in stock
+    <tr><td>Tape<td>0.30<td>sold out
+    <tr><td>Gasket<td>0.50<td>in stock
+  </table>
+</body></html>)";
+  auto page = html::ParseHtml(training_page);
+  if (!page.ok()) {
+    std::fprintf(stderr, "parse: %s\n", page.status().ToString().c_str());
+    return 1;
+  }
+
+  // Desired relation: (product, price) for in-stock products only.
+  auto table = hdt::Table::FromRows(
+      {{"Bolt M4", "0.12"}, {"Washer", "0.05"}, {"Gasket", "0.50"}});
+
+  auto result = core::LearnTransformation(*page, *table);
+  if (!result.ok()) {
+    std::fprintf(stderr, "synthesis: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Learned scraper:\n  %s\n\n",
+              dsl::ToString(result->program).c_str());
+
+  const char* next_page = R"(
+<html><body>
+  <table class=products>
+    <tr><td>Anchor<td>0.40<td>sold out
+    <tr><td>Screw T8<td>0.22<td>in stock
+  </table>
+</body></html>)";
+  auto page2 = html::ParseHtml(next_page);
+  auto rows = core::ExecuteOptimized(*page2, result->program);
+  std::printf("On the next page:\n%s", rows->ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,91 @@
+#include "common/csv.h"
+
+namespace mitra {
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&]() {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&]() {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (field.empty() && !field_started) {
+          in_quotes = true;
+          field_started = true;
+        } else {
+          return Status::ParseError(
+              "CSV: quote inside unquoted field at offset " +
+              std::to_string(i));
+        }
+        break;
+      case ',':
+        end_field();
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        end_row();
+        break;
+      default:
+        field.push_back(c);
+        field_started = true;
+    }
+  }
+  if (in_quotes) return Status::ParseError("CSV: unterminated quoted field");
+  if (field_started || !field.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+std::string WriteCsv(const std::vector<std::vector<std::string>>& rows) {
+  std::string out;
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      const std::string& f = row[i];
+      bool needs_quotes = f.find_first_of(",\"\n\r") != std::string::npos;
+      if (needs_quotes) {
+        out.push_back('"');
+        for (char c : f) {
+          if (c == '"') out += "\"\"";
+          else out.push_back(c);
+        }
+        out.push_back('"');
+      } else {
+        out += f;
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace mitra

@@ -1,0 +1,25 @@
+#ifndef MITRA_COMMON_CSV_H_
+#define MITRA_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file csv.h
+/// Minimal RFC-4180 CSV support for the command-line tool: quoted fields
+/// (with embedded commas, quotes, and newlines), CRLF tolerance.
+
+namespace mitra {
+
+/// Parses CSV text into rows of fields. Empty input yields no rows; a
+/// trailing newline does not create an empty row.
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text);
+
+/// Renders rows as CSV, quoting fields when needed.
+std::string WriteCsv(const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace mitra
+
+#endif  // MITRA_COMMON_CSV_H_

@@ -1,0 +1,145 @@
+#ifndef MITRA_COMMON_STATUS_H_
+#define MITRA_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+/// \file status.h
+/// Error-handling substrate used throughout the library. Following the
+/// Arrow/RocksDB idiom, library code never throws: fallible operations
+/// return a Status or a Result<T>.
+
+namespace mitra {
+
+/// Machine-readable category of an error.
+enum class StatusCode {
+  kOk = 0,
+  /// Malformed input document (XML/JSON syntax error, bad UTF-8, ...).
+  kParseError,
+  /// Arguments violate an API contract (bad column index, empty example
+  /// set, schema mismatch, ...).
+  kInvalidArgument,
+  /// The synthesizer exhausted its search space without finding a program
+  /// consistent with the examples (paper: "no DSL program exists").
+  kSynthesisFailure,
+  /// A configured resource budget (states, candidates, intermediate-table
+  /// rows, wall-clock) was exceeded; mirrors MITRA's OOM/timeout failures.
+  kResourceExhausted,
+  /// Internal invariant violation; indicates a bug in this library.
+  kInternal,
+};
+
+/// Returns a human-readable name for a StatusCode (e.g. "ParseError").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Cheap to copy in the success case (no
+/// allocation); carries a message in the error case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. `code` must not
+  /// be kOk (use the default constructor for success).
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk);
+  }
+
+  static Status OK() { return Status(); }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status SynthesisFailure(std::string msg) {
+    return Status(StatusCode::kSynthesisFailure, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value-or-error container: holds either a T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access the contained value; requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` on error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define MITRA_RETURN_IF_ERROR(expr)             \
+  do {                                          \
+    ::mitra::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+/// Evaluates a Result-returning expression; on error returns its Status,
+/// otherwise binds the value to `lhs`.
+#define MITRA_ASSIGN_OR_RETURN(lhs, expr)       \
+  auto MITRA_CONCAT_(_res_, __LINE__) = (expr); \
+  if (!MITRA_CONCAT_(_res_, __LINE__).ok())     \
+    return MITRA_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(MITRA_CONCAT_(_res_, __LINE__)).value()
+
+#define MITRA_CONCAT_INNER_(a, b) a##b
+#define MITRA_CONCAT_(a, b) MITRA_CONCAT_INNER_(a, b)
+
+}  // namespace mitra
+
+#endif  // MITRA_COMMON_STATUS_H_

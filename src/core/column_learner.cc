@@ -1,0 +1,44 @@
+#include "core/column_learner.h"
+
+namespace mitra::core {
+
+Result<std::vector<dsl::ColumnExtractor>> LearnColumnExtractors(
+    const Examples& examples, int col, ColSymbolPool* pool,
+    const ColumnLearnOptions& opts) {
+  if (examples.empty()) {
+    return Status::InvalidArgument("no examples provided");
+  }
+  for (const Example& e : examples) {
+    if (col < 0 || static_cast<size_t>(col) >= e.table->NumCols()) {
+      return Status::InvalidArgument("column index out of range");
+    }
+  }
+
+  // Algorithm 2: DFA per example, then intersect.
+  Dfa combined;
+  bool first = true;
+  for (const Example& e : examples) {
+    MITRA_ASSIGN_OR_RETURN(
+        Dfa dfa,
+        ConstructColumnDfa(*e.tree, e.table->Column(static_cast<size_t>(col)),
+                           pool, opts.dfa));
+    if (first) {
+      combined = std::move(dfa);
+      first = false;
+    } else {
+      MITRA_ASSIGN_OR_RETURN(combined,
+                             IntersectDfa(combined, dfa, opts.dfa));
+    }
+  }
+
+  std::vector<dsl::ColumnExtractor> programs =
+      EnumerateAcceptedPrograms(combined, *pool, opts.enumerate);
+  if (programs.empty()) {
+    return Status::SynthesisFailure(
+        "no column extractor covers column " + std::to_string(col) +
+        " on all examples (empty DFA language)");
+  }
+  return programs;
+}
+
+}  // namespace mitra::core

@@ -1,0 +1,33 @@
+#ifndef MITRA_CORE_COLUMN_LEARNER_H_
+#define MITRA_CORE_COLUMN_LEARNER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/dfa.h"
+#include "core/example.h"
+#include "dsl/ast.h"
+
+/// \file column_learner.h
+/// Phase 1 of the synthesis algorithm: LearnColExtractors (Algorithm 2).
+/// Builds one Fig.-9 DFA per example, intersects them, and enumerates the
+/// intersection's language shortest-first. Every returned extractor π
+/// satisfies ⟦π⟧{root} ⊇ column(R, i) on every example (Theorem 1).
+
+namespace mitra::core {
+
+struct ColumnLearnOptions {
+  DfaOptions dfa;
+  EnumOptions enumerate;
+};
+
+/// Learns the candidate extractor set Π_col for 0-based column `col`.
+/// Returns kSynthesisFailure when the language is empty (no extractor in
+/// the DSL covers the column on all examples).
+Result<std::vector<dsl::ColumnExtractor>> LearnColumnExtractors(
+    const Examples& examples, int col, ColSymbolPool* pool,
+    const ColumnLearnOptions& opts = {});
+
+}  // namespace mitra::core
+
+#endif  // MITRA_CORE_COLUMN_LEARNER_H_

@@ -1,0 +1,97 @@
+#ifndef MITRA_CORE_DFA_H_
+#define MITRA_CORE_DFA_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "dsl/ast.h"
+#include "hdt/hdt.h"
+
+/// \file dfa.h
+/// Deterministic finite automata over column-extractor operators — the
+/// learning machinery of §5.1 (Fig. 9, Algorithm 2).
+///
+/// For one (tree, column) example, the DFA's states are the node *sets*
+/// reachable from {root} by applying DSL operators; its alphabet is the
+/// operator set instantiated with the tags/positions occurring in the
+/// tree; and a state is accepting iff the data values of its nodes cover
+/// the target column. A word accepted by the DFA *is* a column extractor
+/// consistent with the example (Theorem 1); multiple examples intersect.
+
+namespace mitra::core {
+
+/// Interns column-extractor steps (the DFA alphabet Σ) so automata built
+/// from different example trees share symbol identities and can be
+/// intersected by symbol id.
+class ColSymbolPool {
+ public:
+  /// Returns the id for `step`, interning it if new.
+  int Intern(const dsl::ColStep& step);
+  const dsl::ColStep& Step(int id) const { return steps_[id]; }
+  size_t size() const { return steps_.size(); }
+
+ private:
+  struct Key {
+    dsl::ColOp op;
+    std::string tag;
+    int32_t pos;
+    bool operator<(const Key& o) const;
+  };
+  std::vector<dsl::ColStep> steps_;
+  std::map<Key, int> ids_;
+};
+
+/// A DFA over interned column symbols. State 0 is initial. Transitions
+/// are partial: a missing entry is an (implicit, non-accepting) sink.
+struct Dfa {
+  std::vector<std::unordered_map<int, int>> delta;
+  std::vector<bool> accepting;
+
+  size_t NumStates() const { return delta.size(); }
+};
+
+struct DfaOptions {
+  /// Cap on constructed/product states (kResourceExhausted beyond).
+  size_t max_states = 50'000;
+  /// Only instantiate pchildren symbols with pos < this cap (positions in
+  /// real schemas are small; this keeps the alphabet proportional to the
+  /// schema, not the data).
+  int32_t max_pchildren_pos = 16;
+};
+
+/// Builds the Fig. 9 DFA for one example: `target_values` is column(R, i).
+/// A state (node set) accepts iff every distinct target value appears as
+/// the data of some node in the set (rule 5's s ⊇ column(R,i), read on
+/// data values).
+Result<Dfa> ConstructColumnDfa(const hdt::Hdt& tree,
+                               const std::vector<std::string>& target_values,
+                               ColSymbolPool* pool,
+                               const DfaOptions& opts = {});
+
+/// Standard product intersection: accepts exactly the words accepted by
+/// both automata.
+Result<Dfa> IntersectDfa(const Dfa& a, const Dfa& b,
+                         const DfaOptions& opts = {});
+
+struct EnumOptions {
+  /// Maximum word length (column-extractor constructs).
+  size_t max_length = 6;
+  /// Maximum number of programs to return.
+  size_t max_programs = 32;
+  /// Safety cap on BFS expansions.
+  uint64_t max_expansions = 500'000;
+};
+
+/// Enumerates accepted words shortest-first (then in deterministic symbol
+/// order: children < pchildren < descendants, then tag, then pos),
+/// rendered as column extractors. This realizes "Language(A)" of Alg. 2
+/// with the Occam bias the cost function θ expects.
+std::vector<dsl::ColumnExtractor> EnumerateAcceptedPrograms(
+    const Dfa& dfa, const ColSymbolPool& pool, const EnumOptions& opts = {});
+
+}  // namespace mitra::core
+
+#endif  // MITRA_CORE_DFA_H_

@@ -1,0 +1,24 @@
+#ifndef MITRA_CORE_EXAMPLE_H_
+#define MITRA_CORE_EXAMPLE_H_
+
+#include <vector>
+
+#include "hdt/hdt.h"
+#include "hdt/table.h"
+
+/// \file example.h
+/// An input-output example T → R (§5): an input hierarchical data tree
+/// and the relational table the synthesized program must produce from it.
+
+namespace mitra::core {
+
+struct Example {
+  const hdt::Hdt* tree = nullptr;
+  const hdt::Table* table = nullptr;
+};
+
+using Examples = std::vector<Example>;
+
+}  // namespace mitra::core
+
+#endif  // MITRA_CORE_EXAMPLE_H_

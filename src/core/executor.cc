@@ -1,0 +1,335 @@
+#include "core/executor.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <set>
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace mitra::core {
+
+namespace {
+
+using dsl::Atom;
+using dsl::CmpOp;
+using dsl::Literal;
+
+/// Max column referenced by an atom — the loop level where it resolves.
+
+bool IsUnary(const Atom& a) {
+  return a.rhs_is_const || a.lhs_col == a.rhs_col;
+}
+
+/// Join key for equality semantics (Fig. 7): identical keys ⇔ the Eq atom
+/// holds between the two nodes. Leaves key on canonicalized data (numeric
+/// values normalized so "3" and "3.0" collide exactly when CompareData
+/// calls them equal); internal nodes key on identity. The leading tag
+/// byte keeps leaf/internal keys from ever matching each other, mirroring
+/// the semantics' "mixed comparison is false".
+std::string JoinKey(const hdt::Hdt& tree, hdt::NodeId n) {
+  if (!tree.IsLeaf(n)) return "I:" + std::to_string(n);
+  std::string_view data = tree.Data(n);
+  if (auto num = ParseNumber(data)) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "N:%.17g", *num);
+    return buf;
+  }
+  return "S:" + std::string(data);
+}
+
+}  // namespace
+
+const std::vector<hdt::NodeId>* ColumnCache::Lookup(
+    const dsl::ColumnExtractor& pi) const {
+  auto it = cache_.find(dsl::ToString(pi));
+  if (it == cache_.end()) return nullptr;
+  ++hits_;
+  return &it->second;
+}
+
+const std::vector<hdt::NodeId>* ColumnCache::Insert(
+    const dsl::ColumnExtractor& pi, std::vector<hdt::NodeId> nodes) {
+  auto [it, inserted] =
+      cache_.insert_or_assign(dsl::ToString(pi), std::move(nodes));
+  return &it->second;
+}
+
+OptimizedExecutor::OptimizedExecutor(const dsl::Program& program)
+    : program_(program) {
+  for (const auto& clause : program_.formula.clauses) {
+    PlanClause(clause);
+  }
+}
+
+void OptimizedExecutor::PlanClause(const std::vector<Literal>& clause) {
+  const size_t k = program_.columns.size();
+  ClausePlan plan;
+  plan.literals = clause;
+
+  auto is_join = [&](const Literal& lit) {
+    const Atom& a = program_.atoms[lit.atom];
+    return !lit.negated && a.op == CmpOp::kEq && !a.rhs_is_const &&
+           a.lhs_col != a.rhs_col;
+  };
+
+  // Column order: walk the positive-equality join graph so every level
+  // after the first connected one can be driven by a hash probe.
+  std::vector<int> order;
+  std::vector<bool> bound(k, false);
+  auto bind_next = [&]() {
+    // Prefer the lowest-index unbound column joined to a bound one.
+    if (!order.empty()) {
+      for (size_t c = 0; c < k; ++c) {
+        if (bound[c]) continue;
+        for (const Literal& lit : clause) {
+          if (!is_join(lit)) continue;
+          const Atom& a = program_.atoms[lit.atom];
+          int other = a.lhs_col == static_cast<int>(c)   ? a.rhs_col
+                      : a.rhs_col == static_cast<int>(c) ? a.lhs_col
+                                                         : -1;
+          if (other >= 0 && bound[static_cast<size_t>(other)]) {
+            return static_cast<int>(c);
+          }
+        }
+      }
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (!bound[c]) return static_cast<int>(c);
+    }
+    return -1;
+  };
+  for (size_t l = 0; l < k; ++l) {
+    int c = bind_next();
+    order.push_back(c);
+    bound[static_cast<size_t>(c)] = true;
+  }
+
+  // Assign literals to the first level at which all their columns are
+  // bound; pick one join literal per level as the hash-join driver.
+  std::vector<int> level_of_col(k, 0);
+  for (size_t l = 0; l < k; ++l) {
+    level_of_col[static_cast<size_t>(order[l])] = static_cast<int>(l);
+  }
+  plan.levels.resize(k);
+  for (size_t l = 0; l < k; ++l) plan.levels[l].column = order[l];
+
+  for (size_t li = 0; li < clause.size(); ++li) {
+    const Atom& a = program_.atoms[clause[li].atom];
+    int level;
+    if (IsUnary(a)) {
+      level = level_of_col[static_cast<size_t>(a.lhs_col)];
+      plan.levels[static_cast<size_t>(level)].unary_literals.push_back(
+          static_cast<int>(li));
+      continue;
+    }
+    level = std::max(level_of_col[static_cast<size_t>(a.lhs_col)],
+                     level_of_col[static_cast<size_t>(a.rhs_col)]);
+    LevelPlan& lp = plan.levels[static_cast<size_t>(level)];
+    if (is_join(clause[li]) && !lp.has_driver) {
+      // The side bound *earlier* supplies the probe key.
+      bool lhs_earlier = level_of_col[static_cast<size_t>(a.lhs_col)] <
+                         level_of_col[static_cast<size_t>(a.rhs_col)];
+      lp.has_driver = true;
+      lp.driver.literal_index = static_cast<int>(li);
+      lp.driver.probe_col = lhs_earlier ? a.lhs_col : a.rhs_col;
+      lp.driver.probe_is_lhs = lhs_earlier;
+    } else {
+      lp.check_literals.push_back(static_cast<int>(li));
+    }
+  }
+  clauses_.push_back(std::move(plan));
+}
+
+Result<std::vector<dsl::NodeTuple>> OptimizedExecutor::ExecuteNodes(
+    const hdt::Hdt& tree, const ExecuteOptions& opts) const {
+  const size_t k = program_.columns.size();
+  // Memoized column evaluation: identical extractors share one result —
+  // within this program, and across programs when a ColumnCache is
+  // supplied (the paper's §9 cross-table memoization).
+  std::vector<const std::vector<hdt::NodeId>*> columns(k);
+  std::vector<std::vector<hdt::NodeId>> storage;
+  storage.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    columns[i] = nullptr;
+    if (opts.column_cache != nullptr) {
+      columns[i] = opts.column_cache->Lookup(program_.columns[i]);
+      if (columns[i] == nullptr) {
+        columns[i] = opts.column_cache->Insert(
+            program_.columns[i], dsl::EvalColumn(tree, program_.columns[i]));
+      }
+      continue;
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (program_.columns[j] == program_.columns[i]) {
+        columns[i] = columns[j];
+        break;
+      }
+    }
+    if (columns[i] == nullptr) {
+      storage.push_back(dsl::EvalColumn(tree, program_.columns[i]));
+      columns[i] = &storage.back();
+    }
+  }
+  // NOTE: storage reserve(k) above guarantees pointer stability.
+
+  std::vector<dsl::NodeTuple> out;
+  std::set<dsl::NodeTuple> seen;  // dedup across DNF clauses
+  const bool multi_clause = clauses_.size() > 1;
+
+  // A program with constant-true formula (no clauses with literals but one
+  // empty clause) or constant-false (no clauses).
+  if (program_.formula.clauses.empty()) return out;
+
+  for (const ClausePlan& plan : clauses_) {
+    // Per-clause filtered candidate lists (unary literals applied once),
+    // indexed by *column*.
+    std::vector<std::vector<hdt::NodeId>> filtered(k);
+    bool clause_empty = false;
+    for (size_t l = 0; l < k && !clause_empty; ++l) {
+      const LevelPlan& lp = plan.levels[l];
+      size_t col = static_cast<size_t>(lp.column);
+      for (hdt::NodeId n : *columns[col]) {
+        bool pass = true;
+        dsl::NodeTuple probe(k, hdt::kInvalidNode);
+        probe[col] = n;
+        for (int li : lp.unary_literals) {
+          const Literal& lit = plan.literals[static_cast<size_t>(li)];
+          bool v = dsl::EvalAtom(tree, program_.atoms[lit.atom], probe);
+          if (lit.negated) v = !v;
+          if (!v) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) filtered[col].push_back(n);
+      }
+      if (filtered[col].empty()) clause_empty = true;
+    }
+    if (clause_empty) continue;
+
+    // Hash-join indexes: per level with a driver, key → candidate nodes.
+    std::vector<std::unordered_map<std::string, std::vector<hdt::NodeId>>>
+        index(k);
+    for (size_t l = 0; l < k; ++l) {
+      const LevelPlan& lp = plan.levels[l];
+      if (!lp.has_driver) continue;
+      const Literal& lit =
+          plan.literals[static_cast<size_t>(lp.driver.literal_index)];
+      const Atom& a = program_.atoms[lit.atom];
+      // The side of the atom bound at *this* level.
+      const dsl::NodeExtractor& my_path =
+          lp.driver.probe_is_lhs ? a.rhs_path : a.lhs_path;
+      for (hdt::NodeId n : filtered[static_cast<size_t>(lp.column)]) {
+        hdt::NodeId m = dsl::EvalNodeExtractor(tree, my_path, n);
+        if (m == hdt::kInvalidNode) continue;  // atom would be false
+        index[l][JoinKey(tree, m)].push_back(n);
+      }
+    }
+
+    // Nested-loop enumeration with early checks.
+    dsl::NodeTuple tuple(k, hdt::kInvalidNode);
+    uint64_t emitted = 0;
+    Status overflow = Status::OK();
+
+    std::function<void(size_t)> rec = [&](size_t level) {
+      if (!overflow.ok()) return;
+      if (level == k) {
+        if (multi_clause) {
+          if (!seen.insert(tuple).second) return;
+        }
+        out.push_back(tuple);
+        if (++emitted > opts.max_output_rows) {
+          overflow = Status::ResourceExhausted(
+              "output exceeds max_output_rows");
+        }
+        return;
+      }
+      const LevelPlan& lp = plan.levels[level];
+      const std::vector<hdt::NodeId>* cands =
+          &filtered[static_cast<size_t>(lp.column)];
+      if (lp.has_driver) {
+        const Literal& lit =
+            plan.literals[static_cast<size_t>(lp.driver.literal_index)];
+        const Atom& a = program_.atoms[lit.atom];
+        const dsl::NodeExtractor& probe_path =
+            lp.driver.probe_is_lhs ? a.lhs_path : a.rhs_path;
+        hdt::NodeId bound = tuple[static_cast<size_t>(lp.driver.probe_col)];
+        hdt::NodeId m = dsl::EvalNodeExtractor(tree, probe_path, bound);
+        if (m == hdt::kInvalidNode) return;  // equality cannot hold
+        auto it = index[level].find(JoinKey(tree, m));
+        if (it == index[level].end()) return;
+        cands = &it->second;
+      }
+      for (hdt::NodeId n : *cands) {
+        tuple[static_cast<size_t>(lp.column)] = n;
+        bool pass = true;
+        for (int li : lp.check_literals) {
+          const Literal& lit = plan.literals[static_cast<size_t>(li)];
+          bool v = dsl::EvalAtom(tree, program_.atoms[lit.atom], tuple);
+          if (lit.negated) v = !v;
+          if (!v) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) rec(level + 1);
+        if (!overflow.ok()) return;
+      }
+      tuple[static_cast<size_t>(lp.column)] = hdt::kInvalidNode;
+    };
+    rec(0);
+    if (!overflow.ok()) return overflow;
+  }
+  return out;
+}
+
+Result<hdt::Table> OptimizedExecutor::Execute(
+    const hdt::Hdt& tree, const ExecuteOptions& opts) const {
+  MITRA_ASSIGN_OR_RETURN(std::vector<dsl::NodeTuple> tuples,
+                         ExecuteNodes(tree, opts));
+  hdt::Table out(program_.columns.size());
+  for (const dsl::NodeTuple& t : tuples) {
+    MITRA_RETURN_IF_ERROR(out.AppendRow(dsl::ProjectData(tree, t)));
+  }
+  return out;
+}
+
+std::string OptimizedExecutor::DescribePlan() const {
+  std::string out;
+  for (size_t c = 0; c < clauses_.size(); ++c) {
+    out += "clause " + std::to_string(c) + ":\n";
+    const ClausePlan& plan = clauses_[c];
+    for (size_t i = 0; i < plan.levels.size(); ++i) {
+      const LevelPlan& lp = plan.levels[i];
+      out += "  level " + std::to_string(i) + ": column " +
+             std::to_string(lp.column) + ", scan " +
+             dsl::ToString(
+                 program_.columns[static_cast<size_t>(lp.column)]);
+      if (!lp.unary_literals.empty()) {
+        out += ", " + std::to_string(lp.unary_literals.size()) +
+               " unary filter(s)";
+      }
+      if (lp.has_driver) {
+        out += ", hash-join probe from column " +
+               std::to_string(lp.driver.probe_col);
+      }
+      if (!lp.check_literals.empty()) {
+        out += ", " + std::to_string(lp.check_literals.size()) + " check(s)";
+      }
+      out += "\n";
+    }
+  }
+  if (clauses_.empty()) out = "constant-false formula: empty result\n";
+  return out;
+}
+
+Result<hdt::Table> ExecuteOptimized(const hdt::Hdt& tree,
+                                    const dsl::Program& program,
+                                    const ExecuteOptions& opts) {
+  OptimizedExecutor exec(program);
+  return exec.Execute(tree, opts);
+}
+
+}  // namespace mitra::core

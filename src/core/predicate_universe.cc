@@ -1,0 +1,384 @@
+#include "core/predicate_universe.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <optional>
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace mitra::core {
+
+namespace {
+
+using dsl::Atom;
+using dsl::CmpOp;
+
+/// Pre-extracted facts about one target node (result of applying a node
+/// extractor to one column value): everything atom evaluation needs.
+struct TargetFacts {
+  hdt::NodeId node = hdt::kInvalidNode;
+  bool is_leaf = false;
+  bool has_data = false;
+  std::string_view data;
+  std::optional<double> number;
+};
+
+/// Per (column, node extractor): facts for each column value of each
+/// example, aligned with the column's EvalColumn order.
+struct ExtractorFacts {
+  const dsl::NodeExtractor* extractor = nullptr;
+  std::vector<std::vector<TargetFacts>> facts;  // [example][value index]
+};
+
+int CompareFacts(const TargetFacts& a, const TargetFacts& b) {
+  if (a.number && b.number) {
+    if (*a.number < *b.number) return -1;
+    if (*a.number > *b.number) return 1;
+    return 0;
+  }
+  int c = a.data.compare(b.data);
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+bool ApplyCmp(CmpOp op, int cmp) {
+  switch (op) {
+    case CmpOp::kEq:
+      return cmp == 0;
+    case CmpOp::kNe:
+      return cmp != 0;
+    case CmpOp::kLt:
+      return cmp < 0;
+    case CmpOp::kLe:
+      return cmp <= 0;
+    case CmpOp::kGt:
+      return cmp > 0;
+    case CmpOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+/// Fig. 7 semantics of a node-node comparison on pre-extracted facts.
+bool EvalNodeNode(CmpOp op, const TargetFacts& a, const TargetFacts& b) {
+  if (a.is_leaf && b.is_leaf) return ApplyCmp(op, CompareFacts(a, b));
+  if (!a.is_leaf && !b.is_leaf && op == CmpOp::kEq) return a.node == b.node;
+  return false;
+}
+
+/// Fig. 7 semantics of a node-constant comparison.
+bool EvalNodeConst(CmpOp op, const TargetFacts& a, std::string_view c,
+                   const std::optional<double>& c_num) {
+  if (!a.has_data) return false;
+  int cmp;
+  if (a.number && c_num) {
+    cmp = *a.number < *c_num ? -1 : (*a.number > *c_num ? 1 : 0);
+  } else {
+    int r = a.data.compare(c);
+    cmp = r < 0 ? -1 : (r > 0 ? 1 : 0);
+  }
+  return ApplyCmp(op, cmp);
+}
+
+/// Collects atoms with truth-vector deduplication and constant dropping.
+class AtomCollector {
+ public:
+  AtomCollector(size_t num_rows, size_t max_atoms)
+      : num_rows_(num_rows), max_atoms_(max_atoms) {}
+
+  bool Full() const { return universe_.atoms.size() >= max_atoms_; }
+
+  /// Adds the atom unless its truth vector is constant or already seen.
+  void Add(Atom atom, DynBitset truth) {
+    size_t cnt = truth.Count();
+    if (cnt == 0 || cnt == num_rows_) return;  // cannot distinguish anything
+    uint64_t h = truth.Hash();
+    auto [it, inserted] = index_.try_emplace(h);
+    if (!inserted) {
+      for (int idx : it->second) {
+        if (universe_.truth[idx] == truth) return;  // true duplicate
+      }
+    }
+    it->second.push_back(static_cast<int>(universe_.atoms.size()));
+    universe_.atoms.push_back(std::move(atom));
+    universe_.truth.push_back(std::move(truth));
+  }
+
+  PredicateUniverse Take() {
+    universe_.num_rows = num_rows_;
+    return std::move(universe_);
+  }
+
+ private:
+  size_t num_rows_;
+  size_t max_atoms_;
+  PredicateUniverse universe_;
+  std::unordered_map<uint64_t, std::vector<int>> index_;
+};
+
+}  // namespace
+
+Result<PredicateUniverse> ConstructPredicateUniverse(
+    const Examples& examples, const std::vector<dsl::ColumnExtractor>& psi,
+    const std::vector<std::vector<dsl::NodeTuple>>& rows_per_example,
+    const PredicateUniverseOptions& opts) {
+  const size_t k = psi.size();
+  const size_t num_examples = examples.size();
+  if (rows_per_example.size() != num_examples) {
+    return Status::InvalidArgument(
+        "rows_per_example size must match examples");
+  }
+
+  // Column domains and per-row column-value indices.
+  // col_values[i][e] = EvalColumn(tree_e, psi[i]).
+  std::vector<std::vector<std::vector<hdt::NodeId>>> col_values(k);
+  // value_index[i][e]: NodeId → index into col_values[i][e].
+  std::vector<std::vector<std::unordered_map<hdt::NodeId, int>>> value_index(
+      k);
+  for (size_t i = 0; i < k; ++i) {
+    col_values[i].resize(num_examples);
+    value_index[i].resize(num_examples);
+    for (size_t e = 0; e < num_examples; ++e) {
+      col_values[i][e] = dsl::EvalColumn(*examples[e].tree, psi[i]);
+      for (size_t v = 0; v < col_values[i][e].size(); ++v) {
+        value_index[i][e].emplace(col_values[i][e][v], static_cast<int>(v));
+      }
+    }
+  }
+
+  size_t num_rows = 0;
+  for (const auto& rows : rows_per_example) num_rows += rows.size();
+
+  // row_value_idx[i][r] = column-i value index of global row r.
+  std::vector<std::vector<int>> row_value_idx(k,
+                                              std::vector<int>(num_rows, 0));
+  {
+    size_t r = 0;
+    for (size_t e = 0; e < num_examples; ++e) {
+      for (const dsl::NodeTuple& t : rows_per_example[e]) {
+        for (size_t i = 0; i < k; ++i) {
+          row_value_idx[i][r] = value_index[i][e].at(t[i]);
+        }
+        ++r;
+      }
+    }
+  }
+  // row_example[r] = example index of global row r.
+  std::vector<int> row_example(num_rows);
+  {
+    size_t r = 0;
+    for (size_t e = 0; e < num_examples; ++e) {
+      for (size_t j = 0; j < rows_per_example[e].size(); ++j) {
+        row_example[r++] = static_cast<int>(e);
+      }
+    }
+  }
+
+  // χi: valid node extractors per column, with pre-extracted facts.
+  std::vector<std::vector<ExtractorFacts>> chi(k);
+  std::vector<std::vector<EnumeratedExtractor>> enumerated(k);
+  for (size_t i = 0; i < k; ++i) {
+    NodeExtractorEnumOptions ne = opts.node_enum;
+    ne.max_extractors = opts.max_extractors_per_column;
+    MITRA_ASSIGN_OR_RETURN(enumerated[i],
+                           EnumerateNodeExtractors(examples, psi[i], ne));
+    for (const EnumeratedExtractor& ee : enumerated[i]) {
+      ExtractorFacts ef;
+      ef.extractor = &ee.extractor;
+      ef.facts.resize(num_examples);
+      for (size_t e = 0; e < num_examples; ++e) {
+        const hdt::Hdt& tree = *examples[e].tree;
+        ef.facts[e].reserve(ee.targets[e].size());
+        for (hdt::NodeId m : ee.targets[e]) {
+          TargetFacts tf;
+          tf.node = m;
+          tf.is_leaf = tree.IsLeaf(m);
+          tf.has_data = tree.HasData(m);
+          tf.data = tree.Data(m);
+          tf.number = tf.has_data ? ParseNumber(tf.data) : std::nullopt;
+          ef.facts[e].push_back(tf);
+        }
+      }
+      chi[i].push_back(std::move(ef));
+    }
+  }
+
+  // Constant pool (rule 4): data values of the input trees.
+  std::vector<std::string> constants;
+  {
+    std::unordered_map<std::string, bool> seen;
+    for (const Example& e : examples) {
+      for (std::string& v : e.tree->AllDataValues()) {
+        if (constants.size() >= opts.max_constants) break;
+        if (seen.emplace(v, true).second) constants.push_back(std::move(v));
+      }
+    }
+  }
+  std::vector<std::optional<double>> constant_nums;
+  constant_nums.reserve(constants.size());
+  for (const std::string& c : constants) constant_nums.push_back(ParseNumber(c));
+
+  std::vector<CmpOp> ops{CmpOp::kEq};
+  if (opts.use_inequalities) {
+    ops.push_back(CmpOp::kLt);
+    ops.push_back(CmpOp::kLe);
+  }
+
+  AtomCollector collector(num_rows, opts.max_atoms);
+
+  // Pre-broadcast deduplication: an atom's row truth is fully determined
+  // by its per-value (rule 4) or per-value-pair (rule 5) truth pattern,
+  // which is tiny compared to the cross product. Deduplicating on that
+  // pattern first avoids materializing row-length bitsets for the many
+  // syntactically-different but semantically-equal atoms.
+  std::unordered_map<uint64_t, std::vector<std::string>> pattern_seen;
+  auto pattern_is_new = [&](std::string pattern) {
+    uint64_t h = Fnv1a64(pattern.data(), pattern.size());
+    auto& bucket = pattern_seen[h];
+    for (const std::string& p : bucket) {
+      if (p == pattern) return false;
+    }
+    bucket.push_back(std::move(pattern));
+    return true;
+  };
+
+  // Broadcast helper: truth over column-i values → truth over rows.
+  auto broadcast_unary = [&](size_t i,
+                             const std::vector<std::vector<bool>>& per_value)
+      -> DynBitset {
+    DynBitset bits(num_rows);
+    for (size_t r = 0; r < num_rows; ++r) {
+      if (per_value[static_cast<size_t>(row_example[r])]
+                   [static_cast<size_t>(row_value_idx[i][r])]) {
+        bits.Set(r);
+      }
+    }
+    return bits;
+  };
+
+  // Rule (4): ((λn.ϕ) t[i]) ⋈ c.
+  for (size_t i = 0; i < k && !collector.Full(); ++i) {
+    for (const ExtractorFacts& ef : chi[i]) {
+      for (size_t ci = 0; ci < constants.size(); ++ci) {
+        for (CmpOp op : ops) {
+          if (collector.Full()) break;
+          std::vector<std::vector<bool>> per_value(num_examples);
+          bool any_true = false, any_false = false;
+          for (size_t e = 0; e < num_examples; ++e) {
+            per_value[e].reserve(ef.facts[e].size());
+            for (const TargetFacts& tf : ef.facts[e]) {
+              bool v =
+                  EvalNodeConst(op, tf, constants[ci], constant_nums[ci]);
+              per_value[e].push_back(v);
+              (v ? any_true : any_false) = true;
+            }
+          }
+          if (!any_true || !any_false) continue;  // constant per value ⇒
+                                                  // constant per row
+          std::string pattern = "u" + std::to_string(i) + ":";
+          for (const auto& pv : per_value) {
+            for (bool b : pv) pattern.push_back(b ? '1' : '0');
+            pattern.push_back('|');
+          }
+          if (!pattern_is_new(std::move(pattern))) continue;
+          Atom a;
+          a.lhs_path = *ef.extractor;
+          a.lhs_col = static_cast<int>(i);
+          a.op = op;
+          a.rhs_is_const = true;
+          a.rhs_const = constants[ci];
+          collector.Add(std::move(a), broadcast_unary(i, per_value));
+        }
+      }
+    }
+  }
+
+  // Rule (5): ((λn.ϕ1) t[i]) ⋈ ((λn.ϕ2) t[j]). Extractor pairs are
+  // enumerated by total depth, then by *balance* (|d1-d2|): when two
+  // atoms have identical truth on the example (e.g. a parent-identity
+  // join vs. a coincidental value join through a deeper path), the
+  // deduplication keeps the first, and the balanced structural pair is
+  // the one that generalizes.
+  for (size_t i = 0; i < k && !collector.Full(); ++i) {
+    for (size_t j = 0; j < k && !collector.Full(); ++j) {
+      std::vector<std::pair<size_t, size_t>> pairs;
+      pairs.reserve(chi[i].size() * chi[j].size());
+      for (size_t a = 0; a < chi[i].size(); ++a) {
+        for (size_t b = 0; b < chi[j].size(); ++b) {
+          pairs.emplace_back(a, b);
+        }
+      }
+      auto depth_of = [&](size_t col, size_t idx) {
+        return chi[col][idx].extractor->NumConstructs();
+      };
+      std::stable_sort(
+          pairs.begin(), pairs.end(),
+          [&](const auto& x, const auto& y) {
+            int dx1 = depth_of(i, x.first), dx2 = depth_of(j, x.second);
+            int dy1 = depth_of(i, y.first), dy2 = depth_of(j, y.second);
+            if (dx1 + dx2 != dy1 + dy2) return dx1 + dx2 < dy1 + dy2;
+            return std::abs(dx1 - dx2) < std::abs(dy1 - dy2);
+          });
+      for (const auto& [pi1, pi2] : pairs) {
+        {
+          if (collector.Full()) break;
+          for (CmpOp op : ops) {
+            // Equality is symmetric: keep the canonical orientation only.
+            if (op == CmpOp::kEq &&
+                (j < i || (j == i && pi2 <= pi1))) {
+              continue;
+            }
+            if (op != CmpOp::kEq && i == j && pi1 == pi2) continue;
+            const ExtractorFacts& f1 = chi[i][pi1];
+            const ExtractorFacts& f2 = chi[j][pi2];
+            // Evaluate per (value_i, value_j) pair, then broadcast.
+            std::vector<std::vector<std::vector<bool>>> per_pair(
+                num_examples);
+            bool any_true = false, any_false = false;
+            for (size_t e = 0; e < num_examples; ++e) {
+              size_t ni = f1.facts[e].size(), nj = f2.facts[e].size();
+              per_pair[e].assign(ni, std::vector<bool>(nj, false));
+              for (size_t a = 0; a < ni; ++a) {
+                for (size_t b = 0; b < nj; ++b) {
+                  bool v = EvalNodeNode(op, f1.facts[e][a], f2.facts[e][b]);
+                  per_pair[e][a][b] = v;
+                  (v ? any_true : any_false) = true;
+                }
+              }
+            }
+            if (!any_true || !any_false) continue;
+            std::string pattern =
+                "b" + std::to_string(i) + "," + std::to_string(j) + ":";
+            for (const auto& pe : per_pair) {
+              for (const auto& pr : pe) {
+                for (bool b : pr) pattern.push_back(b ? '1' : '0');
+              }
+              pattern.push_back('|');
+            }
+            if (!pattern_is_new(std::move(pattern))) continue;
+            DynBitset bits(num_rows);
+            for (size_t r = 0; r < num_rows; ++r) {
+              if (per_pair[static_cast<size_t>(row_example[r])]
+                          [static_cast<size_t>(row_value_idx[i][r])]
+                          [static_cast<size_t>(row_value_idx[j][r])]) {
+                bits.Set(r);
+              }
+            }
+            Atom a;
+            a.lhs_path = *f1.extractor;
+            a.lhs_col = static_cast<int>(i);
+            a.op = op;
+            a.rhs_is_const = false;
+            a.rhs_path = *f2.extractor;
+            a.rhs_col = static_cast<int>(j);
+            collector.Add(std::move(a), std::move(bits));
+          }
+        }
+      }
+    }
+  }
+
+  return collector.Take();
+}
+
+}  // namespace mitra::core

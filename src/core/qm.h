@@ -1,0 +1,64 @@
+#ifndef MITRA_CORE_QM_H_
+#define MITRA_CORE_QM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file qm.h
+/// Two-level logic minimization (Quine-McCluskey / Petrick, the paper's
+/// [37, 42]) for *partial* truth tables: the learner specifies the
+/// required output only on the rows corresponding to E⁺ (→ 1) and E⁻
+/// (→ 0); every other assignment is a don't-care (Alg. 3 lines 12-14).
+///
+/// Because the specified row sets are small while the variable count can
+/// make the full 2^n table huge, prime implicants are computed directly:
+/// an implicant anchored at an on-row m with kept-variable set S is valid
+/// iff S hits the difference set D(m,o) for every off-row o, so the prime
+/// implicants anchored at m are exactly the *minimal hitting sets* of
+/// {D(m,o)}. A minimum subset of primes covering all on-rows is then
+/// selected with the exact set-cover solver, guaranteeing the minimum
+/// number of product terms (primes are pre-sorted by literal count, so
+/// ties favour fewer literals).
+
+namespace mitra::core {
+
+/// One literal of a minimized DNF clause: variable index, possibly negated.
+struct VarLiteral {
+  int var = 0;
+  bool negated = false;
+
+  bool operator==(const VarLiteral&) const = default;
+};
+
+/// A DNF formula over variables: OR of AND-clauses.
+using VarDnf = std::vector<std::vector<VarLiteral>>;
+
+struct QmOptions {
+  /// Cap on minimal-hitting-set enumeration per on-row.
+  size_t max_primes_per_row = 10'000;
+  /// Cap on total distinct prime implicants.
+  size_t max_primes = 100'000;
+};
+
+/// Minimizes the partial truth table given by `on_rows` (assignments that
+/// must evaluate to 1) and `off_rows` (must evaluate to 0); all other
+/// assignments are don't-cares. Assignments are bitmasks over
+/// `num_vars` ≤ 30 variables (bit v = value of variable v).
+///
+/// Returns the DNF with the minimum number of clauses (and, among those,
+/// heuristically minimal literals). Fails with kSynthesisFailure if some
+/// assignment appears in both on_rows and off_rows (no classifier exists)
+/// and kResourceExhausted if the enumeration caps are hit.
+Result<VarDnf> MinimizeDnf(int num_vars,
+                           const std::vector<uint32_t>& on_rows,
+                           const std::vector<uint32_t>& off_rows,
+                           const QmOptions& opts = {});
+
+/// Evaluates a VarDnf on an assignment bitmask (for tests).
+bool EvalVarDnf(const VarDnf& dnf, uint32_t assignment);
+
+}  // namespace mitra::core
+
+#endif  // MITRA_CORE_QM_H_

@@ -1,0 +1,197 @@
+#include "core/set_cover.h"
+
+#include <algorithm>
+
+namespace mitra::core {
+
+namespace {
+
+/// Greedy cover: repeatedly pick the set covering the most uncovered
+/// elements (ties → lower index). Guaranteed to terminate with a cover
+/// when one exists.
+std::vector<int> GreedyCover(const std::vector<DynBitset>& sets,
+                             size_t num_elements) {
+  DynBitset covered(num_elements);
+  std::vector<int> chosen;
+  size_t remaining = num_elements;
+  while (remaining > 0) {
+    int best = -1;
+    size_t best_gain = 0;
+    for (size_t k = 0; k < sets.size(); ++k) {
+      size_t gain = sets[k].CountAndNot(covered);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = static_cast<int>(k);
+      }
+    }
+    if (best < 0) return {};  // uncoverable (caller pre-checks)
+    chosen.push_back(best);
+    covered |= sets[best];
+    remaining -= best_gain;
+  }
+  return chosen;
+}
+
+/// Branch & bound over the reduced family. Per-node work is kept small:
+/// the pivot is the first uncovered element in a static
+/// fewest-candidates-first order, branching uses precomputed
+/// element→candidate-set lists, and the lower bound uses the static
+/// maximum set size (an upper bound on any future gain).
+struct BnB {
+  const std::vector<DynBitset>& sets;
+  size_t num_elements;
+  uint64_t budget;
+  uint64_t nodes = 0;
+  bool exhausted = false;
+
+  std::vector<std::vector<int>> candidates_of;  // element → set ids
+  std::vector<size_t> element_order;            // fewest candidates first
+  size_t max_set_size = 1;
+
+  std::vector<int> best;     // best cover found
+  std::vector<int> current;  // current partial selection
+
+  void Init() {
+    candidates_of.assign(num_elements, {});
+    for (size_t k = 0; k < sets.size(); ++k) {
+      for (size_t e = 0; e < num_elements; ++e) {
+        if (sets[k].Test(e)) {
+          candidates_of[e].push_back(static_cast<int>(k));
+        }
+      }
+      max_set_size = std::max(max_set_size, sets[k].Count());
+    }
+    element_order.resize(num_elements);
+    for (size_t e = 0; e < num_elements; ++e) element_order[e] = e;
+    std::stable_sort(element_order.begin(), element_order.end(),
+                     [&](size_t a, size_t b) {
+                       return candidates_of[a].size() <
+                              candidates_of[b].size();
+                     });
+  }
+
+  void Search(const DynBitset& covered, size_t remaining) {
+    if (++nodes > budget) {
+      exhausted = true;
+      return;
+    }
+    if (remaining == 0) {
+      if (best.empty() || current.size() < best.size()) best = current;
+      return;
+    }
+    // Lower bound with the static max set size.
+    size_t lb = (remaining + max_set_size - 1) / max_set_size;
+    if (!best.empty() && current.size() + lb >= best.size()) return;
+
+    // Pivot: first uncovered element in static most-constrained order.
+    int pivot = -1;
+    for (size_t e : element_order) {
+      if (!covered.Test(e)) {
+        pivot = static_cast<int>(e);
+        break;
+      }
+    }
+    if (pivot < 0) return;  // unreachable: remaining > 0
+
+    for (int k : candidates_of[static_cast<size_t>(pivot)]) {
+      if (exhausted) return;
+      size_t gain = sets[static_cast<size_t>(k)].CountAndNot(covered);
+      if (gain == 0) continue;
+      DynBitset next = covered;
+      next |= sets[static_cast<size_t>(k)];
+      current.push_back(k);
+      Search(next, remaining - gain);
+      current.pop_back();
+    }
+  }
+};
+
+}  // namespace
+
+Result<SetCoverResult> MinSetCover(const std::vector<DynBitset>& sets,
+                                   size_t num_elements,
+                                   const SetCoverOptions& opts) {
+  SetCoverResult result;
+  if (num_elements == 0) {
+    result.optimal = true;
+    return result;
+  }
+  // Feasibility: every element must be covered by some set.
+  DynBitset all(num_elements);
+  for (const DynBitset& s : sets) all |= s;
+  for (size_t e = 0; e < num_elements; ++e) {
+    if (!all.Test(e)) {
+      return Status::SynthesisFailure(
+          "set cover infeasible: element " + std::to_string(e) +
+          " is covered by no set");
+    }
+  }
+
+  std::vector<int> greedy = GreedyCover(sets, num_elements);
+  if (!opts.exact) {
+    result.chosen = std::move(greedy);
+    result.optimal = false;
+    std::sort(result.chosen.begin(), result.chosen.end());
+    return result;
+  }
+
+  // Domination reduction: a set contained in another can be swapped for
+  // its superset in any cover, so dropping it preserves the minimum
+  // cardinality. (Skipped for very large families, where the quadratic
+  // pass would cost more than it saves.)
+  std::vector<int> keep;
+  keep.reserve(sets.size());
+  constexpr size_t kDominationLimit = 4096;
+  if (sets.size() <= kDominationLimit) {
+    std::vector<size_t> counts(sets.size());
+    for (size_t i = 0; i < sets.size(); ++i) counts[i] = sets[i].Count();
+    for (size_t i = 0; i < sets.size(); ++i) {
+      bool dominated = false;
+      for (size_t j = 0; j < sets.size() && !dominated; ++j) {
+        if (i == j || counts[j] < counts[i]) continue;
+        if (counts[j] == counts[i] && j > i) continue;  // ties: keep lower
+        if (sets[i].IsSubsetOf(sets[j])) dominated = true;
+      }
+      if (!dominated) keep.push_back(static_cast<int>(i));
+    }
+  } else {
+    for (size_t i = 0; i < sets.size(); ++i) {
+      keep.push_back(static_cast<int>(i));
+    }
+  }
+  std::vector<DynBitset> reduced;
+  reduced.reserve(keep.size());
+  for (int i : keep) reduced.push_back(sets[static_cast<size_t>(i)]);
+
+  // Map the greedy incumbent into reduced indices (replace each dominated
+  // pick with a dominating kept set).
+  std::vector<int> incumbent;
+  for (int g : greedy) {
+    int replacement = -1;
+    for (size_t i = 0; i < keep.size(); ++i) {
+      if (sets[static_cast<size_t>(g)].IsSubsetOf(reduced[i])) {
+        replacement = static_cast<int>(i);
+        break;
+      }
+    }
+    incumbent.push_back(replacement);
+  }
+  std::sort(incumbent.begin(), incumbent.end());
+  incumbent.erase(std::unique(incumbent.begin(), incumbent.end()),
+                  incumbent.end());
+
+  BnB solver{reduced, num_elements, opts.max_nodes, 0,  false,
+             {},      {},           1,              incumbent, {}};
+  solver.Init();
+  DynBitset covered(num_elements);
+  solver.Search(covered, num_elements);
+  result.optimal = !solver.exhausted;
+  result.chosen.reserve(solver.best.size());
+  for (int i : solver.best) {
+    result.chosen.push_back(keep[static_cast<size_t>(i)]);
+  }
+  std::sort(result.chosen.begin(), result.chosen.end());
+  return result;
+}
+
+}  // namespace mitra::core

@@ -1,0 +1,51 @@
+#ifndef MITRA_CORE_SET_COVER_H_
+#define MITRA_CORE_SET_COVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/bitset.h"
+
+/// \file set_cover.h
+/// Minimum set cover, the combinatorial core of the paper's FindMinCover
+/// (Algorithm 4). The paper phrases it as 0-1 ILP:
+///
+///   minimize Σ x_k   s.t.  ∀(e⁺,e⁻) ∈ E⁺×E⁻ : Σ a_ijk · x_k ≥ 1
+///
+/// i.e. pick the fewest predicates such that every positive/negative
+/// example pair is distinguished by at least one picked predicate. With
+/// a_ijk ∈ {0,1}, this 0-1 ILP *is* minimum set cover (elements = example
+/// pairs, sets = predicates). We solve it exactly with branch & bound; a
+/// greedy mode exists for the ablation benchmark (A2 in DESIGN.md).
+
+namespace mitra::core {
+
+struct SetCoverOptions {
+  /// Solve exactly (branch & bound) or greedily.
+  bool exact = true;
+  /// Branch & bound node budget; on exhaustion the best solution found so
+  /// far (always a valid cover) is returned and `optimal` is set false.
+  uint64_t max_nodes = 200'000;
+};
+
+struct SetCoverResult {
+  /// Indices of chosen sets (into the input vector).
+  std::vector<int> chosen;
+  /// Whether the solution is proven minimum.
+  bool optimal = false;
+};
+
+/// Computes a minimum-cardinality subfamily of `sets` whose union covers
+/// all `num_elements` elements. Each sets[k] must have size
+/// `num_elements`. Returns kSynthesisFailure if no cover exists (some
+/// element belongs to no set). Ties are broken toward lower indices, so
+/// callers can pre-sort sets by preference (e.g. cheaper predicates
+/// first) to make the result deterministic and Occam-friendly.
+Result<SetCoverResult> MinSetCover(const std::vector<DynBitset>& sets,
+                                   size_t num_elements,
+                                   const SetCoverOptions& opts = {});
+
+}  // namespace mitra::core
+
+#endif  // MITRA_CORE_SET_COVER_H_

@@ -1,0 +1,326 @@
+#include "core/synthesizer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <queue>
+#include <set>
+
+#include "dsl/eval.h"
+
+namespace mitra::core {
+
+namespace {
+
+/// Verifies ⟦P⟧T = R on every example (row-set equality; output tables
+/// are compared as sets of rows since the cross-product semantics can
+/// produce benign duplicates when distinct node tuples project to the
+/// same data row). On success, `excess` receives the total number of
+/// duplicate rows produced across examples — a semantic-tightness signal
+/// used as a ranking tie-breaker: a program that keeps extra witnesses on
+/// the training example (typically via a coincidental data-level
+/// equality) will mis-pair rows at scale.
+/// Number of edges between two nodes of the same tree.
+size_t TreeDistance(const hdt::Hdt& tree, hdt::NodeId a, hdt::NodeId b) {
+  int da = tree.Depth(a), db = tree.Depth(b);
+  size_t dist = 0;
+  while (da > db) {
+    a = tree.Parent(a);
+    --da;
+    ++dist;
+  }
+  while (db > da) {
+    b = tree.Parent(b);
+    --db;
+    ++dist;
+  }
+  while (a != b) {
+    a = tree.Parent(a);
+    b = tree.Parent(b);
+    dist += 2;
+  }
+  return dist;
+}
+
+bool VerifyProgram(const Examples& examples, const dsl::Program& p,
+                   const dsl::EvalOptions& eval, size_t* excess,
+                   size_t* spread) {
+  *excess = 0;
+  *spread = 0;
+  for (const Example& e : examples) {
+    auto tuples = dsl::EvalProgramNodeTuples(*e.tree, p, eval);
+    if (!tuples.ok()) return false;
+    hdt::Table got(p.columns.size());
+    for (const dsl::NodeTuple& t : *tuples) {
+      if (!got.AppendRow(dsl::ProjectData(*e.tree, t)).ok()) return false;
+      // Structural cohesion: rows are relations between tree nodes (§1),
+      // and among otherwise-equal programs the one whose witness nodes
+      // sit close together in the tree is the intended relation — not a
+      // coincidental value match pulled from a distant subtree.
+      for (size_t i = 1; i < t.size(); ++i) {
+        *spread += TreeDistance(*e.tree, t[0], t[i]);
+      }
+    }
+    size_t raw_rows = got.NumRows();
+    got.Dedup();
+    got.SortRows();
+    *excess += raw_rows - got.NumRows();
+    hdt::Table want = *e.table;
+    want.Dedup();
+    want.SortRows();
+    if (got.rows() != want.rows()) return false;
+  }
+  return true;
+}
+
+/// Ranking key: θ's atom count first, then semantic tightness and
+/// structural cohesion, then θ's syntactic components.
+struct RankedCost {
+  int atoms;
+  size_t excess;
+  size_t spread;
+  int col_constructs;
+  int detail;
+
+  auto operator<=>(const RankedCost&) const = default;
+  static RankedCost Max() {
+    return RankedCost{std::numeric_limits<int>::max(), SIZE_MAX, SIZE_MAX,
+                      std::numeric_limits<int>::max(),
+                      std::numeric_limits<int>::max()};
+  }
+};
+
+}  // namespace
+
+Result<SynthesisResult> LearnTransformation(const Examples& examples,
+                                            const SynthesisOptions& opts) {
+  auto start = std::chrono::steady_clock::now();
+  auto elapsed = [&]() {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  if (examples.empty()) {
+    return Status::InvalidArgument("no examples provided");
+  }
+  const size_t k = examples[0].table->NumCols();
+  if (k == 0) {
+    return Status::InvalidArgument("output table has no columns");
+  }
+  for (const Example& e : examples) {
+    if (e.table->NumCols() != k) {
+      return Status::InvalidArgument(
+          "all output examples must have the same number of columns");
+    }
+  }
+
+  SynthesisResult best;
+  RankedCost best_cost = RankedCost::Max();
+  bool found = false;
+  SynthesisStats stats;
+
+  // Phase 1: column extractors (Alg. 1 lines 4-5).
+  ColSymbolPool pool;
+  std::vector<std::vector<dsl::ColumnExtractor>> candidates(k);
+  for (size_t j = 0; j < k; ++j) {
+    MITRA_ASSIGN_OR_RETURN(
+        candidates[j],
+        LearnColumnExtractors(examples, static_cast<int>(j), &pool,
+                              opts.column));
+    stats.candidates_per_column.push_back(candidates[j].size());
+  }
+
+  // Phase 2: iterate ψ ∈ Π1 × … × Πk cheapest-first (Alg. 1 lines 8-12).
+  // Best-first frontier over index vectors ordered by total construct
+  // count; candidates[j] are already shortest-first.
+  struct Combo {
+    int total_cost;
+    std::vector<size_t> idx;
+    bool operator>(const Combo& o) const { return total_cost > o.total_cost; }
+  };
+  auto combo_cost = [&](const std::vector<size_t>& idx) {
+    int c = 0;
+    for (size_t j = 0; j < k; ++j) {
+      c += candidates[j][idx[j]].NumConstructs();
+    }
+    return c;
+  };
+  std::priority_queue<Combo, std::vector<Combo>, std::greater<>> frontier;
+  std::set<std::vector<size_t>> enqueued;
+  std::vector<size_t> zero(k, 0);
+  frontier.push(Combo{combo_cost(zero), zero});
+  enqueued.insert(zero);
+
+  Status last_failure = Status::SynthesisFailure("no table extractor tried");
+  while (!frontier.empty() &&
+         stats.table_extractors_tried < opts.max_table_extractors) {
+    if (elapsed() > opts.time_limit_seconds) {
+      if (found) break;
+      return Status::ResourceExhausted(
+          "synthesis time limit exceeded (" +
+          std::to_string(opts.time_limit_seconds) + " s)");
+    }
+    Combo combo = frontier.top();
+    frontier.pop();
+
+    // Enqueue successors (increment one column's candidate index).
+    for (size_t j = 0; j < k; ++j) {
+      if (combo.idx[j] + 1 < candidates[j].size()) {
+        std::vector<size_t> next = combo.idx;
+        ++next[j];
+        if (enqueued.insert(next).second) {
+          frontier.push(Combo{combo_cost(next), std::move(next)});
+        }
+      }
+    }
+
+    // Prune: even a predicate-free program over this ψ cannot beat the
+    // incumbent when its extractor cost alone is not smaller.
+    if (found && best_cost.atoms == 0 && best_cost.excess == 0 &&
+        combo.total_cost >= best_cost.col_constructs) {
+      continue;
+    }
+
+    std::vector<dsl::ColumnExtractor> psi;
+    psi.reserve(k);
+    for (size_t j = 0; j < k; ++j) psi.push_back(candidates[j][combo.idx[j]]);
+    ++stats.table_extractors_tried;
+
+    auto learned = LearnPredicate(examples, psi, opts.predicate);
+    if (!learned.ok()) {
+      last_failure = learned.status();
+      continue;
+    }
+    stats.max_universe_size =
+        std::max(stats.max_universe_size, learned->universe_size);
+
+    dsl::Program p;
+    p.columns = std::move(psi);
+    p.atoms = learned->atoms;
+    p.formula = learned->formula;
+    size_t excess = 0, spread = 0;
+    if (!VerifyProgram(examples, p, opts.predicate.eval, &excess, &spread)) {
+      last_failure = Status::SynthesisFailure(
+          "candidate program failed end-to-end verification");
+      continue;
+    }
+    ++stats.table_extractors_consistent;
+    dsl::Cost cost = dsl::ProgramCost(p);
+    RankedCost ranked{cost.atoms, excess, spread, cost.col_constructs,
+                      cost.detail};
+    if (ranked < best_cost) {
+      best_cost = ranked;
+      best.program = std::move(p);
+      found = true;
+    }
+    if (stats.table_extractors_consistent >= opts.max_consistent_programs) {
+      break;
+    }
+  }
+
+  stats.seconds = elapsed();
+  if (!found) {
+    return Status::SynthesisFailure(
+        "no DSL program consistent with the examples was found (last "
+        "failure: " +
+        last_failure.message() + ")");
+  }
+  best.stats = std::move(stats);
+  best.stats.seconds = elapsed();
+  return best;
+}
+
+Result<SynthesisResult> LearnTransformation(const hdt::Hdt& tree,
+                                            const hdt::Table& table,
+                                            const SynthesisOptions& opts) {
+  Examples examples{Example{&tree, &table}};
+  return LearnTransformation(examples, opts);
+}
+
+namespace {
+
+/// Does program `p` reproduce example `e` (as a row set)?
+bool SatisfiesExample(const dsl::Program& p, const Example& e,
+                      const dsl::EvalOptions& eval) {
+  auto got = dsl::EvalProgram(*e.tree, p, eval);
+  if (!got.ok()) return false;
+  hdt::Table a = std::move(got).value();
+  a.Dedup();
+  a.SortRows();
+  hdt::Table b = *e.table;
+  b.Dedup();
+  b.SortRows();
+  return a.rows() == b.rows();
+}
+
+/// Enumerates all size-`k` index subsets of [0, m), lexicographically.
+void ForEachSubset(size_t m, size_t k,
+                   const std::function<bool(const std::vector<size_t>&)>& fn) {
+  std::vector<size_t> idx(k);
+  for (size_t i = 0; i < k; ++i) idx[i] = i;
+  while (true) {
+    if (!fn(idx)) return;
+    // Advance.
+    size_t i = k;
+    while (i > 0) {
+      --i;
+      if (idx[i] + (k - i) < m) {
+        ++idx[i];
+        for (size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return;
+    }
+  }
+}
+
+}  // namespace
+
+Result<BestEffortResult> LearnBestEffortTransformation(
+    const Examples& examples, const SynthesisOptions& opts) {
+  if (examples.empty()) {
+    return Status::InvalidArgument("no examples provided");
+  }
+  const size_t m = examples.size();
+  constexpr size_t kMaxAttempts = 64;
+  size_t attempts = 0;
+  Status last = Status::SynthesisFailure("no subset attempted");
+
+  for (size_t size = m; size >= 1; --size) {
+    std::optional<BestEffortResult> found;
+    ForEachSubset(m, size, [&](const std::vector<size_t>& idx) {
+      if (++attempts > kMaxAttempts) return false;
+      Examples subset;
+      subset.reserve(idx.size());
+      for (size_t i : idx) subset.push_back(examples[i]);
+      auto result = LearnTransformation(subset, opts);
+      if (!result.ok()) {
+        last = result.status();
+        return true;  // next subset
+      }
+      BestEffortResult best;
+      best.program = std::move(result->program);
+      best.stats = std::move(result->stats);
+      // The program may satisfy left-out examples too.
+      for (size_t i = 0; i < m; ++i) {
+        if (SatisfiesExample(best.program, examples[i],
+                             opts.predicate.eval)) {
+          best.satisfied.push_back(i);
+        }
+      }
+      found = std::move(best);
+      return false;  // stop at the first (largest) satisfiable subset
+    });
+    if (found) return std::move(*found);
+    if (attempts > kMaxAttempts) break;
+  }
+  return Status(last.code(),
+                "no DSL program satisfies any explored example subset "
+                "(last: " +
+                    last.message() + ")");
+}
+
+}  // namespace mitra::core

@@ -1,0 +1,81 @@
+#ifndef MITRA_CORE_SYNTHESIZER_H_
+#define MITRA_CORE_SYNTHESIZER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/column_learner.h"
+#include "core/example.h"
+#include "core/predicate_learner.h"
+#include "dsl/ast.h"
+
+/// \file synthesizer.h
+/// The top-level synthesis algorithm LearnTransformation (Algorithm 1):
+///
+///   1. learn a candidate extractor set Πj per output column (§5.1);
+///   2. iterate table extractors ψ ∈ Π1 × … × Πk in increasing cost;
+///   3. for each ψ, learn a filtering predicate φ (§5.2);
+///   4. among all consistent programs, return the one minimizing the
+///      Occam cost θ (fewest atoms, then fewest extractor constructs).
+///
+/// Every returned program is verified against all examples before being
+/// accepted (Theorem 3's soundness, checked end-to-end).
+
+namespace mitra::core {
+
+struct SynthesisOptions {
+  ColumnLearnOptions column;
+  PredicateLearnOptions predicate;
+  /// Cap on the number of table extractors ψ explored (cheapest-first).
+  size_t max_table_extractors = 64;
+  /// Stop after this many consistent programs have been found and ranked
+  /// (ψ are explored cheapest-first, so later candidates rarely win on
+  /// the θ ranking; the paper's running example found 4).
+  size_t max_consistent_programs = 6;
+  /// Wall-clock budget; the paper used 120 s for the database experiment.
+  double time_limit_seconds = 120.0;
+};
+
+/// Per-synthesis statistics, reported by the evaluation harness.
+struct SynthesisStats {
+  std::vector<size_t> candidates_per_column;
+  size_t table_extractors_tried = 0;
+  size_t table_extractors_consistent = 0;
+  size_t max_universe_size = 0;
+  double seconds = 0.0;
+};
+
+struct SynthesisResult {
+  dsl::Program program;
+  SynthesisStats stats;
+};
+
+/// Synthesizes the simplest DSL program consistent with all examples.
+/// Fails with kSynthesisFailure if no explored program is consistent and
+/// kResourceExhausted on budget overrun with no solution found.
+Result<SynthesisResult> LearnTransformation(const Examples& examples,
+                                            const SynthesisOptions& opts = {});
+
+/// Convenience wrapper: single example.
+Result<SynthesisResult> LearnTransformation(const hdt::Hdt& tree,
+                                            const hdt::Table& table,
+                                            const SynthesisOptions& opts = {});
+
+/// Best-effort synthesis (the paper's §9 future work): when no DSL
+/// program satisfies *all* examples, return a program satisfying as many
+/// as possible, together with the indices it satisfies. Subsets are
+/// explored largest-first; a program found for a subset is additionally
+/// checked against the left-out examples (it may satisfy them anyway).
+struct BestEffortResult {
+  dsl::Program program;
+  /// Indices into the input example vector that the program reproduces.
+  std::vector<size_t> satisfied;
+  SynthesisStats stats;
+};
+
+Result<BestEffortResult> LearnBestEffortTransformation(
+    const Examples& examples, const SynthesisOptions& opts = {});
+
+}  // namespace mitra::core
+
+#endif  // MITRA_CORE_SYNTHESIZER_H_

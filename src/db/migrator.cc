@@ -1,0 +1,256 @@
+#include "db/migrator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <set>
+
+#include "core/node_extractor_enum.h"
+#include "dsl/eval.h"
+
+namespace mitra::db {
+
+std::string KeyOf(int doc_index, const dsl::NodeTuple& nodes) {
+  std::string key = std::to_string(doc_index);
+  for (hdt::NodeId n : nodes) {
+    key += '-';
+    key += std::to_string(n);
+  }
+  return key;
+}
+
+Status Migrator::Learn(
+    const hdt::Hdt& example_tree,
+    const std::map<std::string, hdt::Table>& table_examples,
+    const MigratorOptions& opts) {
+  MITRA_RETURN_IF_ERROR(schema_.Validate());
+  programs_.clear();
+  fk_plans_.clear();
+  example_tuples_.clear();
+  info_.clear();
+
+  for (const TableDef& t : schema_.tables) {
+    auto it = table_examples.find(t.name);
+    if (it == table_examples.end()) {
+      return Status::InvalidArgument("no example for table " + t.name);
+    }
+    if (it->second.NumCols() != t.NumDataColumns()) {
+      return Status::InvalidArgument(
+          "example for table " + t.name + " has " +
+          std::to_string(it->second.NumCols()) + " columns, schema has " +
+          std::to_string(t.NumDataColumns()) + " data columns");
+    }
+    auto start = std::chrono::steady_clock::now();
+    auto result =
+        core::LearnTransformation(example_tree, it->second, opts.synthesis);
+    if (!result.ok()) {
+      return Status(result.status().code(),
+                    "synthesis failed for table " + t.name + ": " +
+                        result.status().message());
+    }
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    programs_[t.name] = result->program;
+    info_.push_back(TableSynthesisInfo{t.name, secs, result->program});
+
+    MITRA_ASSIGN_OR_RETURN(
+        example_tuples_[t.name],
+        dsl::EvalProgramNodeTuples(example_tree, result->program));
+    if (example_tuples_[t.name].empty()) {
+      return Status::SynthesisFailure("program for table " + t.name +
+                                      " yields no example rows");
+    }
+  }
+  return LearnForeignKeys(example_tree, opts);
+}
+
+Status Migrator::LearnForeignKeys(const hdt::Hdt& tree,
+                                  const MigratorOptions& opts) {
+  for (const TableDef& t : schema_.tables) {
+    const auto& rows = example_tuples_.at(t.name);
+    const size_t num_rows = rows.size();
+    const size_t k = t.NumDataColumns();
+
+    for (size_t c = 0; c < t.columns.size(); ++c) {
+      if (t.columns[c].kind != ColumnKind::kForeignKey) continue;
+      const std::string& ref_name = t.columns[c].references;
+      const auto& ref_rows = example_tuples_.at(ref_name);
+      const size_t m = ref_rows[0].size();
+
+      // Candidates per referenced-tuple component j: a (source column,
+      // extractor) whose image on every T row equals component j of some
+      // T' row; `compat[r]` records which T' rows match.
+      struct FkCandidate {
+        int source_col;
+        dsl::NodeExtractor extractor;
+        std::vector<std::vector<int>> compat;  // per row: T' row indices
+      };
+      std::vector<std::vector<FkCandidate>> candidates(m);
+
+      core::NodeExtractorEnumOptions ne;
+      ne.max_depth = opts.fk_max_depth;
+      for (size_t tj = 0; tj < k; ++tj) {
+        std::vector<hdt::NodeId> sources;
+        sources.reserve(num_rows);
+        for (const dsl::NodeTuple& row : rows) {
+          sources.push_back(row[tj]);
+        }
+        auto enumerated = core::EnumerateNodeExtractorsFromSources(
+            {&tree}, {sources}, ne);
+        if (!enumerated.ok()) return enumerated.status();
+        for (const core::EnumeratedExtractor& ee : *enumerated) {
+          for (size_t j = 0; j < m; ++j) {
+            std::vector<std::vector<int>> compat(num_rows);
+            bool ok = true;
+            for (size_t r = 0; r < num_rows && ok; ++r) {
+              hdt::NodeId target = ee.targets[0][r];
+              for (size_t s = 0; s < ref_rows.size(); ++s) {
+                if (ref_rows[s][j] == target) {
+                  compat[r].push_back(static_cast<int>(s));
+                }
+              }
+              ok = !compat[r].empty();
+            }
+            if (ok) {
+              candidates[j].push_back(FkCandidate{
+                  static_cast<int>(tj), ee.extractor, std::move(compat)});
+            }
+          }
+        }
+      }
+
+      // DFS over components: the selected extractors must agree on one
+      // referenced row per T row.
+      ForeignKeyPlan plan;
+      std::vector<std::set<int>> live(num_rows);
+      for (size_t r = 0; r < num_rows; ++r) {
+        for (size_t s = 0; s < ref_rows.size(); ++s) {
+          live[r].insert(static_cast<int>(s));
+        }
+      }
+      bool found = false;
+      std::function<void(size_t, std::vector<std::set<int>>)> dfs =
+          [&](size_t j, std::vector<std::set<int>> state) {
+            if (found) return;
+            if (j == m) {
+              found = true;
+              return;
+            }
+            for (const FkCandidate& cand : candidates[j]) {
+              std::vector<std::set<int>> next(num_rows);
+              bool ok = true;
+              for (size_t r = 0; r < num_rows && ok; ++r) {
+                for (int s : cand.compat[r]) {
+                  if (state[r].count(s)) next[r].insert(s);
+                }
+                ok = !next[r].empty();
+              }
+              if (!ok) continue;
+              plan.source_cols.push_back(cand.source_col);
+              plan.extractors.push_back(cand.extractor);
+              dfs(j + 1, std::move(next));
+              if (found) return;
+              plan.source_cols.pop_back();
+              plan.extractors.pop_back();
+            }
+          };
+      dfs(0, std::move(live));
+      if (!found) {
+        return Status::SynthesisFailure(
+            "could not learn foreign-key extractors for " + t.name + "." +
+            t.columns[c].name + " → " + ref_name);
+      }
+      fk_plans_[t.name][c] = std::move(plan);
+    }
+  }
+  return Status::OK();
+}
+
+Result<Database> Migrator::Execute(const hdt::Hdt& doc, int doc_index,
+                                   const MigratorOptions& opts) const {
+  Database db;
+  // Cross-table memoization (§9): the per-table programs run over the
+  // same document and share column extractions through one cache.
+  core::ColumnCache column_cache;
+  core::ExecuteOptions exec_opts = opts.execute;
+  if (exec_opts.column_cache == nullptr) {
+    exec_opts.column_cache = &column_cache;
+  }
+  for (const TableDef& t : schema_.tables) {
+    auto pit = programs_.find(t.name);
+    if (pit == programs_.end()) {
+      return Status::InvalidArgument("Learn() was not run (table " + t.name +
+                                     ")");
+    }
+    core::OptimizedExecutor exec(pit->second);
+    MITRA_ASSIGN_OR_RETURN(std::vector<dsl::NodeTuple> tuples,
+                           exec.ExecuteNodes(doc, exec_opts));
+
+    std::vector<std::string> names;
+    names.reserve(t.columns.size());
+    for (const ColumnDef& c : t.columns) names.push_back(c.name);
+    hdt::Table out(names);
+
+    auto fk_it = fk_plans_.find(t.name);
+    for (const dsl::NodeTuple& tuple : tuples) {
+      hdt::Row row;
+      row.reserve(t.columns.size());
+      size_t data_idx = 0;
+      for (size_t c = 0; c < t.columns.size(); ++c) {
+        switch (t.columns[c].kind) {
+          case ColumnKind::kData:
+            row.emplace_back(doc.Data(tuple[data_idx++]));
+            break;
+          case ColumnKind::kPrimaryKey:
+            row.push_back(KeyOf(doc_index, tuple));
+            break;
+          case ColumnKind::kForeignKey: {
+            const ForeignKeyPlan& plan = fk_it->second.at(c);
+            dsl::NodeTuple ref_tuple;
+            ref_tuple.reserve(plan.extractors.size());
+            for (size_t j = 0; j < plan.extractors.size(); ++j) {
+              hdt::NodeId n = dsl::EvalNodeExtractor(
+                  doc, plan.extractors[j],
+                  tuple[static_cast<size_t>(plan.source_cols[j])]);
+              if (n == hdt::kInvalidNode) {
+                return Status::InvalidArgument(
+                    "foreign-key extractor for " + t.name + "." +
+                    t.columns[c].name +
+                    " failed (⊥) on the full document");
+              }
+              ref_tuple.push_back(n);
+            }
+            row.push_back(KeyOf(doc_index, ref_tuple));
+            break;
+          }
+        }
+      }
+      MITRA_RETURN_IF_ERROR(out.AppendRow(std::move(row)));
+    }
+    db.tables.emplace(t.name, std::move(out));
+  }
+  return db;
+}
+
+Result<Database> Migrator::ExecuteAll(const std::vector<const hdt::Hdt*>& docs,
+                                      const MigratorOptions& opts) const {
+  Database merged;
+  for (size_t d = 0; d < docs.size(); ++d) {
+    MITRA_ASSIGN_OR_RETURN(Database part,
+                           Execute(*docs[d], static_cast<int>(d), opts));
+    for (auto& [name, table] : part.tables) {
+      auto it = merged.tables.find(name);
+      if (it == merged.tables.end()) {
+        merged.tables.emplace(name, std::move(table));
+      } else {
+        for (const hdt::Row& r : table.rows()) {
+          MITRA_RETURN_IF_ERROR(it->second.AppendRow(r));
+        }
+      }
+    }
+  }
+  return merged;
+}
+
+}  // namespace mitra::db

@@ -1,0 +1,202 @@
+#include "dsl/eval.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace mitra::dsl {
+
+std::vector<hdt::NodeId> EvalColumnFrom(
+    const hdt::Hdt& tree, const ColumnExtractor& pi,
+    const std::vector<hdt::NodeId>& start) {
+  std::vector<hdt::NodeId> cur = start;
+  for (const ColStep& st : pi.steps) {
+    std::vector<hdt::NodeId> next;
+    auto tag = tree.LookupTag(st.tag);
+    if (!tag) return {};  // tag absent from this tree: empty set
+    switch (st.op) {
+      case ColOp::kChildren:
+        for (hdt::NodeId n : cur) tree.ChildrenWithTag(n, *tag, &next);
+        break;
+      case ColOp::kPChildren:
+        for (hdt::NodeId n : cur) {
+          hdt::NodeId c = tree.ChildWithTagPos(n, *tag, st.pos);
+          if (c != hdt::kInvalidNode) next.push_back(c);
+        }
+        break;
+      case ColOp::kDescendants:
+        for (hdt::NodeId n : cur) tree.DescendantsWithTag(n, *tag, &next);
+        break;
+    }
+    // Set semantics: sort (document order) and dedup. Children of distinct
+    // parents are distinct, but descendants of overlapping subtrees are not.
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    cur = std::move(next);
+    if (cur.empty()) break;
+  }
+  return cur;
+}
+
+std::vector<hdt::NodeId> EvalColumn(const hdt::Hdt& tree,
+                                    const ColumnExtractor& pi) {
+  if (tree.empty()) return {};
+  return EvalColumnFrom(tree, pi, {tree.root()});
+}
+
+hdt::NodeId EvalNodeExtractor(const hdt::Hdt& tree, const NodeExtractor& phi,
+                              hdt::NodeId n) {
+  for (const NodeStep& st : phi.steps) {
+    if (n == hdt::kInvalidNode) return hdt::kInvalidNode;
+    switch (st.op) {
+      case NodeOp::kParent:
+        n = tree.Parent(n);
+        break;
+      case NodeOp::kChild: {
+        auto tag = tree.LookupTag(st.tag);
+        if (!tag) return hdt::kInvalidNode;
+        n = tree.ChildWithTagPos(n, *tag, st.pos);
+        break;
+      }
+    }
+  }
+  return n;
+}
+
+namespace {
+
+bool ApplyCmp(CmpOp op, int cmp) {
+  switch (op) {
+    case CmpOp::kEq:
+      return cmp == 0;
+    case CmpOp::kNe:
+      return cmp != 0;
+    case CmpOp::kLt:
+      return cmp < 0;
+    case CmpOp::kLe:
+      return cmp <= 0;
+    case CmpOp::kGt:
+      return cmp > 0;
+    case CmpOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool EvalAtom(const hdt::Hdt& tree, const Atom& atom, const NodeTuple& t) {
+  if (atom.lhs_col < 0 || static_cast<size_t>(atom.lhs_col) >= t.size()) {
+    return false;
+  }
+  hdt::NodeId n1 = EvalNodeExtractor(tree, atom.lhs_path, t[atom.lhs_col]);
+  if (n1 == hdt::kInvalidNode) return false;
+
+  if (atom.rhs_is_const) {
+    // ⟦((λn.ϕ) t[i]) ⋈ c⟧ = n'.data ⋈ c  (nil data never satisfies).
+    if (!tree.HasData(n1)) return false;
+    return ApplyCmp(atom.op, CompareData(tree.Data(n1), atom.rhs_const));
+  }
+
+  if (atom.rhs_col < 0 || static_cast<size_t>(atom.rhs_col) >= t.size()) {
+    return false;
+  }
+  hdt::NodeId n2 = EvalNodeExtractor(tree, atom.rhs_path, t[atom.rhs_col]);
+  if (n2 == hdt::kInvalidNode) return false;
+
+  bool leaf1 = tree.IsLeaf(n1);
+  bool leaf2 = tree.IsLeaf(n2);
+  if (leaf1 && leaf2) {
+    return ApplyCmp(atom.op, CompareData(tree.Data(n1), tree.Data(n2)));
+  }
+  if (!leaf1 && !leaf2 && atom.op == CmpOp::kEq) {
+    return n1 == n2;  // node identity (Fig. 7)
+  }
+  return false;
+}
+
+bool EvalDnf(const hdt::Hdt& tree, const Dnf& f,
+             const std::vector<Atom>& atoms, const NodeTuple& t) {
+  for (const auto& clause : f.clauses) {
+    bool all = true;
+    for (const Literal& lit : clause) {
+      bool v = EvalAtom(tree, atoms[lit.atom], t);
+      if (lit.negated) v = !v;
+      if (!v) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+Result<std::vector<NodeTuple>> EvalCrossProduct(
+    const hdt::Hdt& tree, const std::vector<ColumnExtractor>& columns,
+    const EvalOptions& opts) {
+  std::vector<std::vector<hdt::NodeId>> cols;
+  cols.reserve(columns.size());
+  uint64_t total = 1;
+  for (const ColumnExtractor& pi : columns) {
+    cols.push_back(EvalColumn(tree, pi));
+    total *= cols.back().size();
+    if (cols.back().empty()) return std::vector<NodeTuple>{};
+    if (total > opts.max_intermediate_tuples) {
+      return Status::ResourceExhausted(
+          "intermediate table would have " + std::to_string(total) +
+          " tuples (limit " + std::to_string(opts.max_intermediate_tuples) +
+          ")");
+    }
+  }
+  std::vector<NodeTuple> out;
+  out.reserve(static_cast<size_t>(total));
+  NodeTuple t(columns.size());
+  // Odometer enumeration: column 0 is the outermost loop, matching the
+  // row order of the paper's intermediate-table figure (Fig. 4b).
+  std::vector<size_t> idx(columns.size(), 0);
+  if (columns.empty()) return out;
+  while (true) {
+    for (size_t i = 0; i < columns.size(); ++i) t[i] = cols[i][idx[i]];
+    out.push_back(t);
+    size_t i = columns.size();
+    while (i > 0) {
+      --i;
+      if (++idx[i] < cols[i].size()) break;
+      idx[i] = 0;
+      if (i == 0) return out;
+    }
+  }
+}
+
+Result<std::vector<NodeTuple>> EvalProgramNodeTuples(const hdt::Hdt& tree,
+                                                     const Program& p,
+                                                     const EvalOptions& opts) {
+  MITRA_ASSIGN_OR_RETURN(std::vector<NodeTuple> cross,
+                         EvalCrossProduct(tree, p.columns, opts));
+  std::vector<NodeTuple> out;
+  for (NodeTuple& t : cross) {
+    if (EvalDnf(tree, p.formula, p.atoms, t)) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+hdt::Row ProjectData(const hdt::Hdt& tree, const NodeTuple& t) {
+  hdt::Row row;
+  row.reserve(t.size());
+  for (hdt::NodeId n : t) row.emplace_back(tree.Data(n));
+  return row;
+}
+
+Result<hdt::Table> EvalProgram(const hdt::Hdt& tree, const Program& p,
+                               const EvalOptions& opts) {
+  MITRA_ASSIGN_OR_RETURN(std::vector<NodeTuple> tuples,
+                         EvalProgramNodeTuples(tree, p, opts));
+  hdt::Table out(p.columns.size());
+  for (const NodeTuple& t : tuples) {
+    MITRA_RETURN_IF_ERROR(out.AppendRow(ProjectData(tree, t)));
+  }
+  return out;
+}
+
+}  // namespace mitra::dsl

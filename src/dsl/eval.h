@@ -1,0 +1,77 @@
+#ifndef MITRA_DSL_EVAL_H_
+#define MITRA_DSL_EVAL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "dsl/ast.h"
+#include "hdt/hdt.h"
+#include "hdt/table.h"
+
+/// \file eval.h
+/// Reference (naive) evaluator implementing the DSL's denotational
+/// semantics exactly as given in Figure 7: materialize the cross product
+/// of the extracted columns, then filter. The optimized executor
+/// (core/executor.h) must agree with this evaluator on every program —
+/// that equivalence is property-tested.
+
+namespace mitra::dsl {
+
+/// A tuple of tree nodes — one row of the intermediate table ψ(τ).
+using NodeTuple = std::vector<hdt::NodeId>;
+
+/// Evaluates a column extractor on {root(τ)}. Returns the extracted node
+/// *set* in document order (ascending NodeId; ids are assigned in
+/// preorder, so id order is document order).
+std::vector<hdt::NodeId> EvalColumn(const hdt::Hdt& tree,
+                                    const ColumnExtractor& pi);
+
+/// Evaluates a column extractor from an arbitrary starting set.
+std::vector<hdt::NodeId> EvalColumnFrom(const hdt::Hdt& tree,
+                                        const ColumnExtractor& pi,
+                                        const std::vector<hdt::NodeId>& start);
+
+/// Evaluates a node extractor on one node; kInvalidNode encodes ⊥.
+hdt::NodeId EvalNodeExtractor(const hdt::Hdt& tree, const NodeExtractor& phi,
+                              hdt::NodeId n);
+
+/// Evaluates an atomic predicate on a tuple (Fig. 7 comparison rules:
+/// leaf-leaf compares data — numerically when both sides parse as numbers;
+/// internal-internal supports only `=`, meaning node identity; mixed or ⊥
+/// yields false).
+bool EvalAtom(const hdt::Hdt& tree, const Atom& atom, const NodeTuple& t);
+
+/// Evaluates a DNF formula over the given atom pool.
+bool EvalDnf(const hdt::Hdt& tree, const Dnf& f,
+             const std::vector<Atom>& atoms, const NodeTuple& t);
+
+/// Resource bounds for naive evaluation.
+struct EvalOptions {
+  /// Maximum number of intermediate (cross-product) tuples to enumerate
+  /// before giving up with kResourceExhausted. Mirrors MITRA's
+  /// out-of-memory failure mode on oversized intermediate tables.
+  uint64_t max_intermediate_tuples = 10'000'000;
+};
+
+/// Evaluates the full program: data projection of the filtered cross
+/// product (the ⟦filter⟧ rule of Fig. 7).
+Result<hdt::Table> EvalProgram(const hdt::Hdt& tree, const Program& p,
+                               const EvalOptions& opts = {});
+
+/// Like EvalProgram but returns the surviving *node tuples* instead of
+/// their data projection (needed for primary/foreign key generation, §6).
+Result<std::vector<NodeTuple>> EvalProgramNodeTuples(
+    const hdt::Hdt& tree, const Program& p, const EvalOptions& opts = {});
+
+/// Materializes the intermediate table ψ(τ) = π1(τ) × … × πk(τ) without
+/// filtering (used by the predicate learner to build E+/E-).
+Result<std::vector<NodeTuple>> EvalCrossProduct(
+    const hdt::Hdt& tree, const std::vector<ColumnExtractor>& columns,
+    const EvalOptions& opts = {});
+
+/// Projects node tuples to their data strings (nil data → empty string).
+hdt::Row ProjectData(const hdt::Hdt& tree, const NodeTuple& t);
+
+}  // namespace mitra::dsl
+
+#endif  // MITRA_DSL_EVAL_H_

@@ -1,0 +1,356 @@
+#include "dsl/parser.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace mitra::dsl {
+
+namespace {
+
+/// Token-light recursive-descent parser over the printer's grammar.
+class Parser {
+ public:
+  explicit Parser(std::string_view in) : in_(in) {}
+
+  Result<Program> ParseProgramText() {
+    SkipWs();
+    MITRA_RETURN_IF_ERROR(ExpectLambdaTau());
+    MITRA_RETURN_IF_ERROR(Expect("."));
+    MITRA_RETURN_IF_ERROR(Expect("filter("));
+    Program p;
+    // Table extractor: (λs.π){root(τ)} [× ...]
+    while (true) {
+      MITRA_RETURN_IF_ERROR(Expect("("));
+      MITRA_RETURN_IF_ERROR(ExpectLambda());
+      MITRA_RETURN_IF_ERROR(Expect("s."));
+      MITRA_ASSIGN_OR_RETURN(ColumnExtractor pi, ParseColumn());
+      MITRA_RETURN_IF_ERROR(Expect(")"));
+      MITRA_RETURN_IF_ERROR(Expect("{root("));
+      MITRA_RETURN_IF_ERROR(ExpectTau());
+      MITRA_RETURN_IF_ERROR(Expect(")}"));
+      p.columns.push_back(std::move(pi));
+      SkipWs();
+      if (!ConsumeTimes()) break;
+    }
+    MITRA_RETURN_IF_ERROR(Expect(","));
+    SkipWs();
+    MITRA_RETURN_IF_ERROR(ExpectLambda());
+    MITRA_RETURN_IF_ERROR(Expect("t."));
+    MITRA_ASSIGN_OR_RETURN(p.formula, ParseDnf(&p.atoms));
+    MITRA_RETURN_IF_ERROR(Expect(")"));
+    SkipWs();
+    if (!AtEnd()) return Err("trailing input after program");
+    return p;
+  }
+
+  Result<ColumnExtractor> ParseColumnOnly() {
+    MITRA_ASSIGN_OR_RETURN(ColumnExtractor pi, ParseColumn());
+    SkipWs();
+    if (!AtEnd()) return Err("trailing input after column extractor");
+    return pi;
+  }
+
+  Result<NodeExtractor> ParseNodeOnly() {
+    MITRA_ASSIGN_OR_RETURN(NodeExtractor phi, ParseNode());
+    SkipWs();
+    if (!AtEnd()) return Err("trailing input after node extractor");
+    return phi;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= in_.size(); }
+  void SkipWs() {
+    while (!AtEnd() &&
+           std::isspace(static_cast<unsigned char>(in_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool ConsumeLit(std::string_view lit) {
+    SkipWs();
+    if (in_.substr(pos_).substr(0, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+  Status Expect(std::string_view lit) {
+    if (!ConsumeLit(lit)) {
+      return Err("expected '" + std::string(lit) + "'");
+    }
+    return Status::OK();
+  }
+  Status ExpectLambda() {
+    if (ConsumeLit("\xce\xbb") || ConsumeLit("\\lambda ") ||
+        ConsumeLit("\\lambda")) {
+      return Status::OK();
+    }
+    return Err("expected λ");
+  }
+  Status ExpectTau() {
+    if (ConsumeLit("\xcf\x84") || ConsumeLit("\\tau")) return Status::OK();
+    return Err("expected τ");
+  }
+  Status ExpectLambdaTau() {
+    MITRA_RETURN_IF_ERROR(ExpectLambda());
+    return ExpectTau();
+  }
+  bool ConsumeTimes() {
+    return ConsumeLit("\xc3\x97") || ConsumeLit("x ") ||
+           (PeekIs("x") && PeekAfterIs("x", '('));
+  }
+  bool PeekIs(std::string_view lit) {
+    SkipWs();
+    return in_.substr(pos_).substr(0, lit.size()) == lit;
+  }
+  bool PeekAfterIs(std::string_view lit, char c) {
+    size_t p = pos_ + lit.size();
+    while (p < in_.size() &&
+           std::isspace(static_cast<unsigned char>(in_[p]))) {
+      ++p;
+    }
+    if (p < in_.size() && in_[p] == c) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+  Status Err(std::string msg) const {
+    return Status::ParseError("DSL at offset " + std::to_string(pos_) +
+                              ": " + std::move(msg));
+  }
+
+  Result<std::string> ParseIdent() {
+    SkipWs();
+    size_t start = pos_;
+    while (!AtEnd()) {
+      char c = in_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '-' || c == ':' || c == '.' || c == '@' || c == '/') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Err("expected an identifier");
+    return std::string(in_.substr(start, pos_ - start));
+  }
+
+  Result<int> ParseInt() {
+    SkipWs();
+    size_t start = pos_;
+    if (!AtEnd() && in_[pos_] == '-') ++pos_;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(in_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) return Err("expected an integer");
+    return std::stoi(std::string(in_.substr(start, pos_ - start)));
+  }
+
+  /// Column extractors print inside-out: pchildren(children(s, a), b, 0).
+  /// Parse recursively and emit steps in application order.
+  Result<ColumnExtractor> ParseColumn() {
+    SkipWs();
+    if (ConsumeLit("children(")) {
+      MITRA_ASSIGN_OR_RETURN(ColumnExtractor inner, ParseColumn());
+      MITRA_RETURN_IF_ERROR(Expect(","));
+      MITRA_ASSIGN_OR_RETURN(std::string tag, ParseIdent());
+      MITRA_RETURN_IF_ERROR(Expect(")"));
+      inner.steps.push_back({ColOp::kChildren, std::move(tag), 0});
+      return inner;
+    }
+    if (ConsumeLit("pchildren(")) {
+      MITRA_ASSIGN_OR_RETURN(ColumnExtractor inner, ParseColumn());
+      MITRA_RETURN_IF_ERROR(Expect(","));
+      MITRA_ASSIGN_OR_RETURN(std::string tag, ParseIdent());
+      MITRA_RETURN_IF_ERROR(Expect(","));
+      MITRA_ASSIGN_OR_RETURN(int pos, ParseInt());
+      MITRA_RETURN_IF_ERROR(Expect(")"));
+      inner.steps.push_back({ColOp::kPChildren, std::move(tag), pos});
+      return inner;
+    }
+    if (ConsumeLit("descendants(")) {
+      MITRA_ASSIGN_OR_RETURN(ColumnExtractor inner, ParseColumn());
+      MITRA_RETURN_IF_ERROR(Expect(","));
+      MITRA_ASSIGN_OR_RETURN(std::string tag, ParseIdent());
+      MITRA_RETURN_IF_ERROR(Expect(")"));
+      inner.steps.push_back({ColOp::kDescendants, std::move(tag), 0});
+      return inner;
+    }
+    if (ConsumeLit("s")) return ColumnExtractor{};
+    return Err("expected a column extractor");
+  }
+
+  Result<NodeExtractor> ParseNode() {
+    SkipWs();
+    if (ConsumeLit("parent(")) {
+      MITRA_ASSIGN_OR_RETURN(NodeExtractor inner, ParseNode());
+      MITRA_RETURN_IF_ERROR(Expect(")"));
+      inner.steps.push_back({NodeOp::kParent, "", 0});
+      return inner;
+    }
+    if (ConsumeLit("child(")) {
+      MITRA_ASSIGN_OR_RETURN(NodeExtractor inner, ParseNode());
+      MITRA_RETURN_IF_ERROR(Expect(","));
+      MITRA_ASSIGN_OR_RETURN(std::string tag, ParseIdent());
+      MITRA_RETURN_IF_ERROR(Expect(","));
+      MITRA_ASSIGN_OR_RETURN(int pos, ParseInt());
+      MITRA_RETURN_IF_ERROR(Expect(")"));
+      inner.steps.push_back({NodeOp::kChild, std::move(tag), pos});
+      return inner;
+    }
+    if (ConsumeLit("n")) return NodeExtractor{};
+    return Err("expected a node extractor");
+  }
+
+  Result<CmpOp> ParseCmpOp() {
+    SkipWs();
+    if (ConsumeLit("!=")) return CmpOp::kNe;
+    if (ConsumeLit("<=")) return CmpOp::kLe;
+    if (ConsumeLit(">=")) return CmpOp::kGe;
+    if (ConsumeLit("=")) return CmpOp::kEq;
+    if (ConsumeLit("<")) return CmpOp::kLt;
+    if (ConsumeLit(">")) return CmpOp::kGt;
+    return Err("expected a comparison operator");
+  }
+
+  /// Atom: ((λn. ϕ) t[i]) ⋈ rhs.
+  Result<Atom> ParseAtom() {
+    Atom a;
+    MITRA_RETURN_IF_ERROR(Expect("(("));
+    MITRA_RETURN_IF_ERROR(ExpectLambda());
+    MITRA_RETURN_IF_ERROR(Expect("n."));
+    MITRA_ASSIGN_OR_RETURN(a.lhs_path, ParseNode());
+    MITRA_RETURN_IF_ERROR(Expect(")"));
+    MITRA_RETURN_IF_ERROR(Expect("t["));
+    MITRA_ASSIGN_OR_RETURN(a.lhs_col, ParseInt());
+    MITRA_RETURN_IF_ERROR(Expect("])"));
+    MITRA_ASSIGN_OR_RETURN(a.op, ParseCmpOp());
+    SkipWs();
+    if (!AtEnd() && in_[pos_] == '"') {
+      ++pos_;
+      size_t start = pos_;
+      while (!AtEnd() && in_[pos_] != '"') ++pos_;
+      if (AtEnd()) return Err("unterminated constant");
+      a.rhs_is_const = true;
+      a.rhs_const = std::string(in_.substr(start, pos_ - start));
+      ++pos_;
+      return a;
+    }
+    MITRA_RETURN_IF_ERROR(Expect("(("));
+    MITRA_RETURN_IF_ERROR(ExpectLambda());
+    MITRA_RETURN_IF_ERROR(Expect("n."));
+    MITRA_ASSIGN_OR_RETURN(a.rhs_path, ParseNode());
+    MITRA_RETURN_IF_ERROR(Expect(")"));
+    MITRA_RETURN_IF_ERROR(Expect("t["));
+    MITRA_ASSIGN_OR_RETURN(a.rhs_col, ParseInt());
+    MITRA_RETURN_IF_ERROR(Expect("])"));
+    a.rhs_is_const = false;
+    return a;
+  }
+
+  bool ConsumeNot() {
+    return ConsumeLit("\xc2\xac") || ConsumeLit("!");
+  }
+  bool ConsumeAnd() {
+    return ConsumeLit("\xe2\x88\xa7") || ConsumeLit("&&");
+  }
+  bool ConsumeOr() {
+    return ConsumeLit("\xe2\x88\xa8") || ConsumeLit("||");
+  }
+
+  /// A literal is [¬] "(" atom ")". Atoms always start with "((λn." after
+  /// the literal's opening paren, which disambiguates them from clause
+  /// grouping parentheses.
+  Result<Literal> ParseLiteral(std::vector<Atom>* atoms) {
+    Literal lit;
+    lit.negated = ConsumeNot();
+    MITRA_RETURN_IF_ERROR(Expect("("));
+    MITRA_ASSIGN_OR_RETURN(Atom a, ParseAtom());
+    MITRA_RETURN_IF_ERROR(Expect(")"));
+    // Intern the atom (printer may repeat atoms across clauses).
+    int idx = -1;
+    for (size_t i = 0; i < atoms->size(); ++i) {
+      if ((*atoms)[i] == a) {
+        idx = static_cast<int>(i);
+        break;
+      }
+    }
+    if (idx < 0) {
+      idx = static_cast<int>(atoms->size());
+      atoms->push_back(std::move(a));
+    }
+    lit.atom = idx;
+    return lit;
+  }
+
+  /// A literal prints as "(((λn.…" (three parens then λ) or with a
+  /// leading ¬; a parenthesized clause adds one more paren or puts the ¬
+  /// after its opening paren. Distinguish by looking at the paren run.
+  bool GroupedClauseAhead() {
+    SkipWs();
+    size_t p = pos_;
+    if (p >= in_.size() || in_[p] != '(') return false;
+    size_t q = p + 1;
+    while (q < in_.size() &&
+           std::isspace(static_cast<unsigned char>(in_[q]))) {
+      ++q;
+    }
+    if (q < in_.size() &&
+        (in_[q] == '!' || in_.substr(q, 2) == "\xc2\xac")) {
+      return true;  // "(¬…" — group containing a negated literal
+    }
+    size_t run = 0;
+    while (p + run < in_.size() && in_[p + run] == '(') ++run;
+    return run >= 4;
+  }
+
+  Result<std::vector<Literal>> ParseClause(std::vector<Atom>* atoms) {
+    std::vector<Literal> clause;
+    bool grouped = false;
+    if (GroupedClauseAhead()) {
+      MITRA_RETURN_IF_ERROR(Expect("("));
+      grouped = true;
+    }
+    while (true) {
+      MITRA_ASSIGN_OR_RETURN(Literal lit, ParseLiteral(atoms));
+      clause.push_back(lit);
+      if (!ConsumeAnd()) break;
+    }
+    if (grouped) MITRA_RETURN_IF_ERROR(Expect(")"));
+    return clause;
+  }
+
+  Result<Dnf> ParseDnf(std::vector<Atom>* atoms) {
+    SkipWs();
+    if (ConsumeLit("true")) return Dnf::True();
+    if (ConsumeLit("false")) return Dnf::False();
+    Dnf f;
+    while (true) {
+      MITRA_ASSIGN_OR_RETURN(std::vector<Literal> clause,
+                             ParseClause(atoms));
+      f.clauses.push_back(std::move(clause));
+      if (!ConsumeOr()) break;
+    }
+    return f;
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(std::string_view text) {
+  return Parser(text).ParseProgramText();
+}
+
+Result<ColumnExtractor> ParseColumnExtractor(std::string_view text) {
+  return Parser(text).ParseColumnOnly();
+}
+
+Result<NodeExtractor> ParseNodeExtractor(std::string_view text) {
+  return Parser(text).ParseNodeOnly();
+}
+
+}  // namespace mitra::dsl

@@ -1,0 +1,33 @@
+#ifndef MITRA_DSL_PARSER_H_
+#define MITRA_DSL_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "dsl/ast.h"
+
+/// \file parser.h
+/// Parser for the paper-style concrete syntax produced by the ToString
+/// printers in ast.h — programs can be saved as text and loaded back:
+///
+///   λτ. filter((λs.children(s, a)){root(τ)} × …, λt. φ)
+///
+/// ASCII spellings are accepted alongside the Greek letters: `\tau`,
+/// `\lambda`, `!` for ¬, `&&` for ∧, `||` for ∨, `x` for ×. The printer
+/// and parser round-trip: Parse(ToString(p)) reproduces p exactly.
+
+namespace mitra::dsl {
+
+/// Parses a full program.
+Result<Program> ParseProgram(std::string_view text);
+
+/// Parses a stand-alone column extractor, e.g.
+/// "pchildren(children(s, Person), name, 0)".
+Result<ColumnExtractor> ParseColumnExtractor(std::string_view text);
+
+/// Parses a stand-alone node extractor, e.g. "child(parent(n), id, 0)".
+Result<NodeExtractor> ParseNodeExtractor(std::string_view text);
+
+}  // namespace mitra::dsl
+
+#endif  // MITRA_DSL_PARSER_H_

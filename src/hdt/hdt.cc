@@ -1,0 +1,163 @@
+#include "hdt/hdt.h"
+
+#include <cassert>
+#include <unordered_set>
+
+namespace mitra::hdt {
+
+TagId SymbolTable::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  TagId id = static_cast<TagId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<TagId> SymbolTable::Lookup(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+NodeId Hdt::NewNode(NodeId parent, std::string_view tag) {
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  Node n;
+  n.tag = tags_.Intern(tag);
+  n.parent = parent;
+  if (parent != kInvalidNode) {
+    // pos = number of existing same-tag siblings (O(1) via counter).
+    uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(parent))
+                    << 32) |
+                   static_cast<uint32_t>(n.tag);
+    n.pos = pos_counters_[key]++;
+    nodes_.push_back(std::move(n));
+    nodes_[parent].children.push_back(id);
+  } else {
+    nodes_.push_back(std::move(n));
+  }
+  return id;
+}
+
+NodeId Hdt::AddRoot(std::string_view tag) {
+  assert(nodes_.empty() && "AddRoot must be called exactly once, first");
+  return NewNode(kInvalidNode, tag);
+}
+
+NodeId Hdt::AddChild(NodeId parent, std::string_view tag) {
+  assert(parent >= 0 && static_cast<size_t>(parent) < nodes_.size());
+  return NewNode(parent, tag);
+}
+
+NodeId Hdt::AddChild(NodeId parent, std::string_view tag,
+                     std::string_view data) {
+  NodeId id = AddChild(parent, tag);
+  nodes_[id].data = std::string(data);
+  nodes_[id].has_data = true;
+  return id;
+}
+
+NodeId Hdt::AddAttribute(NodeId parent, std::string_view name,
+                         std::string_view value) {
+  NodeId id = AddChild(parent, name, value);
+  nodes_[id].is_attribute = true;
+  return id;
+}
+
+void Hdt::SetLeafData(NodeId id, std::string_view data) {
+  assert(nodes_[id].children.empty() && "only leaves may carry data");
+  nodes_[id].data = std::string(data);
+  nodes_[id].has_data = true;
+}
+
+void Hdt::ChildrenWithTag(NodeId id, TagId tag,
+                          std::vector<NodeId>* out) const {
+  for (NodeId c : nodes_[id].children) {
+    if (nodes_[c].tag == tag) out->push_back(c);
+  }
+}
+
+NodeId Hdt::ChildWithTagPos(NodeId id, TagId tag, int32_t pos) const {
+  for (NodeId c : nodes_[id].children) {
+    if (nodes_[c].tag == tag && nodes_[c].pos == pos) return c;
+  }
+  return kInvalidNode;
+}
+
+void Hdt::DescendantsWithTag(NodeId id, TagId tag,
+                             std::vector<NodeId>* out) const {
+  // Iterative preorder DFS over proper descendants.
+  std::vector<NodeId> stack(nodes_[id].children.rbegin(),
+                            nodes_[id].children.rend());
+  while (!stack.empty()) {
+    NodeId cur = stack.back();
+    stack.pop_back();
+    if (nodes_[cur].tag == tag) out->push_back(cur);
+    const auto& ch = nodes_[cur].children;
+    for (auto it = ch.rbegin(); it != ch.rend(); ++it) stack.push_back(*it);
+  }
+}
+
+int Hdt::Depth(NodeId id) const {
+  int d = 0;
+  while (nodes_[id].parent != kInvalidNode) {
+    id = nodes_[id].parent;
+    ++d;
+  }
+  return d;
+}
+
+std::vector<TagId> Hdt::AllTags() const {
+  std::vector<TagId> out;
+  out.reserve(tags_.size());
+  for (TagId t = 0; t < static_cast<TagId>(tags_.size()); ++t) {
+    out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<std::pair<TagId, int32_t>> Hdt::AllTagPosPairs() const {
+  std::vector<std::pair<TagId, int32_t>> out;
+  std::unordered_set<uint64_t> seen;
+  for (const Node& n : nodes_) {
+    if (n.parent == kInvalidNode) continue;
+    uint64_t key = (static_cast<uint64_t>(n.tag) << 32) |
+                   static_cast<uint32_t>(n.pos);
+    if (seen.insert(key).second) out.emplace_back(n.tag, n.pos);
+  }
+  return out;
+}
+
+std::vector<std::string> Hdt::AllDataValues() const {
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  for (const Node& n : nodes_) {
+    if (n.has_data && seen.insert(n.data).second) out.push_back(n.data);
+  }
+  return out;
+}
+
+namespace {
+void DebugRec(const Hdt& t, NodeId id, int indent, std::string* out) {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  out->append(t.NodeTagName(id));
+  out->append("[");
+  out->append(std::to_string(t.node(id).pos));
+  out->append("]");
+  if (t.HasData(id)) {
+    out->append(" = \"");
+    out->append(t.Data(id));
+    out->append("\"");
+  }
+  out->append("\n");
+  for (NodeId c : t.node(id).children) DebugRec(t, c, indent + 1, out);
+}
+}  // namespace
+
+std::string Hdt::ToDebugString() const {
+  std::string out;
+  if (!nodes_.empty()) DebugRec(*this, root(), 0, &out);
+  return out;
+}
+
+}  // namespace mitra::hdt

@@ -1,0 +1,167 @@
+#ifndef MITRA_HDT_HDT_H_
+#define MITRA_HDT_HDT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file hdt.h
+/// Hierarchical Data Tree (HDT) — the paper's uniform representation of
+/// tree-structured documents (Definition 1, §3).
+///
+/// An HDT is a rooted tree whose nodes are triples (tag, pos, data):
+///  - `tag`  — label of the node (element name / attribute name / JSON key),
+///  - `pos`  — the node is the pos'th child with this tag under its parent,
+///  - `data` — payload; only leaf nodes carry data, internal nodes are nil.
+
+namespace mitra::hdt {
+
+/// Index of a node inside an Hdt's arena.
+using NodeId = int32_t;
+/// Interned tag identifier (valid within one Hdt).
+using TagId = int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr TagId kInvalidTag = -1;
+
+/// Interns tag strings to dense integer ids for fast comparisons.
+class SymbolTable {
+ public:
+  /// Returns the id for `name`, creating one if necessary.
+  TagId Intern(std::string_view name);
+  /// Returns the id for `name` if it was interned before, else nullopt.
+  std::optional<TagId> Lookup(std::string_view name) const;
+  /// Returns the string for an interned id.
+  const std::string& Name(TagId id) const { return names_[id]; }
+  /// Number of distinct tags interned so far.
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, TagId> ids_;
+};
+
+/// One HDT node. Stored by value in the tree's arena; refer to nodes by
+/// NodeId, not by pointer (the arena may reallocate while building).
+struct Node {
+  TagId tag = kInvalidTag;
+  /// Index among the preceding siblings that share this tag (0-based).
+  int32_t pos = 0;
+  NodeId parent = kInvalidNode;
+  /// Payload. Meaningful only when `has_data` is true; per Definition 1
+  /// only leaves carry data.
+  std::string data;
+  bool has_data = false;
+  /// Provenance: true when this node encodes an XML/HTML *attribute*
+  /// (§3 encodes attributes as nested leaf children). The DSL and the
+  /// synthesizer never read this — it exists so the XML writer and the
+  /// XSLT backend can distinguish `@name` from element children.
+  bool is_attribute = false;
+  std::vector<NodeId> children;
+};
+
+/// An arena-backed hierarchical data tree.
+///
+/// Build with `AddRoot` / `AddChild`; query with the navigation helpers that
+/// mirror the DSL operators of Figure 6 (children / pchildren / descendants
+/// on the column side, parent / child on the node-extractor side).
+class Hdt {
+ public:
+  Hdt() = default;
+
+  // --- construction ------------------------------------------------------
+
+  /// Creates the root node. Must be called exactly once, first.
+  NodeId AddRoot(std::string_view tag);
+
+  /// Appends a child under `parent`. `pos` is computed automatically as the
+  /// number of existing children of `parent` with the same tag.
+  /// If `data` is supplied the node is created as a data-carrying leaf.
+  NodeId AddChild(NodeId parent, std::string_view tag);
+  NodeId AddChild(NodeId parent, std::string_view tag, std::string_view data);
+
+  /// Appends an attribute-encoded leaf child (see Node::is_attribute).
+  NodeId AddAttribute(NodeId parent, std::string_view name,
+                      std::string_view value);
+
+  /// Attaches data to an existing node, making it a data-carrying leaf.
+  /// The node must have no children (Definition 1: only leaves hold data).
+  void SetLeafData(NodeId id, std::string_view data);
+
+  /// True when the node encodes a source-document attribute.
+  bool IsAttribute(NodeId id) const { return nodes_[id].is_attribute; }
+
+  // --- basic accessors ----------------------------------------------------
+
+  bool empty() const { return nodes_.empty(); }
+  NodeId root() const { return nodes_.empty() ? kInvalidNode : 0; }
+  size_t size() const { return nodes_.size(); }
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  const std::string& TagName(TagId id) const { return tags_.Name(id); }
+  const std::string& NodeTagName(NodeId id) const {
+    return tags_.Name(nodes_[id].tag);
+  }
+  std::optional<TagId> LookupTag(std::string_view name) const {
+    return tags_.Lookup(name);
+  }
+  const SymbolTable& tags() const { return tags_; }
+
+  /// True if the node has no children. Note a leaf may still have no data
+  /// (e.g. an empty XML element).
+  bool IsLeaf(NodeId id) const { return nodes_[id].children.empty(); }
+  /// Data of a node, or empty string for internal / data-less nodes.
+  std::string_view Data(NodeId id) const {
+    const Node& n = nodes_[id];
+    return n.has_data ? std::string_view(n.data) : std::string_view();
+  }
+  bool HasData(NodeId id) const { return nodes_[id].has_data; }
+
+  // --- navigation (mirrors DSL operator semantics, Fig. 7) ----------------
+
+  /// All children of `id` with the given tag, in document order.
+  void ChildrenWithTag(NodeId id, TagId tag, std::vector<NodeId>* out) const;
+  /// The child of `id` with the given tag and position, or kInvalidNode.
+  NodeId ChildWithTagPos(NodeId id, TagId tag, int32_t pos) const;
+  /// All proper descendants of `id` with the given tag, in preorder.
+  void DescendantsWithTag(NodeId id, TagId tag, std::vector<NodeId>* out) const;
+  /// Parent, or kInvalidNode for the root.
+  NodeId Parent(NodeId id) const { return nodes_[id].parent; }
+
+  /// Depth of the node (root = 0).
+  int Depth(NodeId id) const;
+
+  /// The set of distinct (tag) and (tag,pos) pairs present in the tree;
+  /// used as the DFA alphabet (Fig. 9) and for node-extractor enumeration.
+  std::vector<TagId> AllTags() const;
+  std::vector<std::pair<TagId, int32_t>> AllTagPosPairs() const;
+
+  /// All data values stored at leaves (the constant pool for predicate
+  /// universe rule (4), Fig. 10). Deduplicated, in first-seen order.
+  std::vector<std::string> AllDataValues() const;
+
+  /// Number of "elements" as counted in the paper's Table 1 (#Elements):
+  /// nodes in the tree.
+  size_t NumElements() const { return nodes_.size(); }
+
+  /// Renders the tree as an indented debug string (one node per line).
+  std::string ToDebugString() const;
+
+ private:
+  NodeId NewNode(NodeId parent, std::string_view tag);
+
+  std::vector<Node> nodes_;
+  SymbolTable tags_;
+  /// (parent, tag) → number of children with that tag so far; makes pos
+  /// assignment O(1) instead of a sibling scan (which is quadratic for
+  /// high-fanout parents such as the root of a million-element document).
+  std::unordered_map<uint64_t, int32_t> pos_counters_;
+};
+
+}  // namespace mitra::hdt
+
+#endif  // MITRA_HDT_HDT_H_

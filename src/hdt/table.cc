@@ -1,0 +1,123 @@
+#include "hdt/table.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace mitra::hdt {
+
+Result<Table> Table::FromRows(std::vector<Row> rows) {
+  Table t;
+  for (auto& r : rows) {
+    MITRA_RETURN_IF_ERROR(t.AppendRow(std::move(r)));
+  }
+  return t;
+}
+
+Result<Table> Table::FromRows(std::vector<std::string> column_names,
+                              std::vector<Row> rows) {
+  Table t(std::move(column_names));
+  for (auto& r : rows) {
+    MITRA_RETURN_IF_ERROR(t.AppendRow(std::move(r)));
+  }
+  return t;
+}
+
+Status Table::AppendRow(Row row) {
+  if (rows_.empty() && num_cols_ == 0) {
+    num_cols_ = row.size();
+  } else if (row.size() != num_cols_) {
+    return Status::InvalidArgument(
+        "row width " + std::to_string(row.size()) +
+        " does not match table width " + std::to_string(num_cols_));
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+std::vector<std::string> Table::Column(size_t i) const {
+  std::vector<std::string> out;
+  out.reserve(rows_.size());
+  for (const Row& r : rows_) out.push_back(r[i]);
+  return out;
+}
+
+std::vector<std::string> Table::DistinctColumn(size_t i) const {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  for (const Row& r : rows_) {
+    if (seen.insert(r[i]).second) out.push_back(r[i]);
+  }
+  return out;
+}
+
+bool Table::BagEquals(const Table& other) const {
+  if (num_cols_ != other.num_cols_ || rows_.size() != other.rows_.size()) {
+    return false;
+  }
+  std::vector<Row> a = rows_, b = other.rows_;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+bool Table::BagSubsetOf(const Table& other) const {
+  if (num_cols_ != other.num_cols_) return false;
+  std::map<Row, int> counts;
+  for (const Row& r : other.rows_) ++counts[r];
+  for (const Row& r : rows_) {
+    auto it = counts.find(r);
+    if (it == counts.end() || it->second == 0) return false;
+    --it->second;
+  }
+  return true;
+}
+
+bool Table::ContainsRow(const Row& r) const {
+  return std::find(rows_.begin(), rows_.end(), r) != rows_.end();
+}
+
+void Table::Dedup() {
+  std::set<Row> seen;
+  std::vector<Row> out;
+  out.reserve(rows_.size());
+  for (Row& r : rows_) {
+    if (seen.insert(r).second) out.push_back(std::move(r));
+  }
+  rows_ = std::move(out);
+}
+
+void Table::SortRows() { std::sort(rows_.begin(), rows_.end()); }
+
+std::string Table::ToString() const {
+  std::vector<size_t> width(num_cols_, 0);
+  for (size_t i = 0; i < num_cols_; ++i) {
+    if (i < column_names_.size()) width[i] = column_names_[i].size();
+  }
+  for (const Row& r : rows_) {
+    for (size_t i = 0; i < num_cols_; ++i) {
+      width[i] = std::max(width[i], r[i].size());
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    out += "|";
+    for (size_t i = 0; i < num_cols_; ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string();
+      out += " " + c + std::string(width[i] - c.size(), ' ') + " |";
+    }
+    out += "\n";
+  };
+  if (!column_names_.empty()) {
+    emit_row(column_names_);
+    out += "|";
+    for (size_t i = 0; i < num_cols_; ++i) {
+      out += std::string(width[i] + 2, '-') + "|";
+    }
+    out += "\n";
+  }
+  for (const Row& r : rows_) emit_row(r);
+  return out;
+}
+
+}  // namespace mitra::hdt

@@ -1,0 +1,84 @@
+#ifndef MITRA_HDT_TABLE_H_
+#define MITRA_HDT_TABLE_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file table.h
+/// Relational table model. As in the paper (§4), a table is a *bag* of
+/// tuples; `column(R, i)` denotes the i'th column. Cells are strings —
+/// the data payloads of HDT leaves.
+
+namespace mitra::hdt {
+
+/// A row of cell values.
+using Row = std::vector<std::string>;
+
+/// A bag-of-tuples relational table with optional column names.
+class Table {
+ public:
+  Table() = default;
+  /// Creates an empty table with `num_cols` unnamed columns.
+  explicit Table(size_t num_cols) : num_cols_(num_cols) {}
+  /// Creates an empty table with the given column names.
+  explicit Table(std::vector<std::string> column_names)
+      : num_cols_(column_names.size()),
+        column_names_(std::move(column_names)) {}
+
+  /// Builds a table from row literals; all rows must have equal width.
+  static Result<Table> FromRows(std::vector<Row> rows);
+  /// Convenience overload for brace-literals in tests.
+  static Result<Table> FromRows(std::vector<std::string> column_names,
+                                std::vector<Row> rows);
+
+  size_t NumCols() const { return num_cols_; }
+  size_t NumRows() const { return rows_.size(); }
+  bool Empty() const { return rows_.empty(); }
+
+  const std::vector<std::string>& column_names() const {
+    return column_names_;
+  }
+  void set_column_names(std::vector<std::string> names) {
+    column_names_ = std::move(names);
+    num_cols_ = column_names_.size();
+  }
+
+  const std::vector<Row>& rows() const { return rows_; }
+  const Row& row(size_t i) const { return rows_[i]; }
+
+  /// Appends a row; must match NumCols (unless the table is still empty
+  /// and width-less, in which case it fixes the width).
+  Status AppendRow(Row row);
+
+  /// The values of column `i`, in row order (a bag).
+  std::vector<std::string> Column(size_t i) const;
+  /// The distinct values of column `i`, in first-seen order.
+  std::vector<std::string> DistinctColumn(size_t i) const;
+
+  /// Bag equality: same width and same multiset of rows.
+  bool BagEquals(const Table& other) const;
+  /// Bag containment: every row of this occurs (with multiplicity) in other.
+  bool BagSubsetOf(const Table& other) const;
+  /// True if `r` occurs at least once.
+  bool ContainsRow(const Row& r) const;
+
+  /// Removes duplicate rows (keeps the first occurrence of each).
+  void Dedup();
+  /// Sorts rows lexicographically (canonical order for comparisons/tests).
+  void SortRows();
+
+  /// Renders as a compact aligned text table for logs and bench output.
+  std::string ToString() const;
+
+ private:
+  size_t num_cols_ = 0;
+  std::vector<std::string> column_names_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace mitra::hdt
+
+#endif  // MITRA_HDT_TABLE_H_

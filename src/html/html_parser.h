@@ -1,0 +1,39 @@
+#ifndef MITRA_HTML_HTML_PARSER_H_
+#define MITRA_HTML_HTML_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "hdt/hdt.h"
+
+/// \file html_parser.h
+/// HTML front-end plug-in. The paper notes MITRA "can be easily extended
+/// to handle other forms of hierarchical documents (e.g., HTML and HDF)
+/// by implementing suitable plug-ins" (§6) — this is that HTML plug-in:
+/// a tag-soup-tolerant parser producing the same HDT encoding as the XML
+/// plug-in (attributes as leaf children; pure text as the element's own
+/// data; mixed-content text runs as `text` children), so scraped pages
+/// can be used directly as synthesis inputs.
+///
+/// Leniency (in contrast to the strict XML parser):
+///  - tag and attribute names are case-insensitive (normalized to lower
+///    case);
+///  - void elements (`br`, `img`, `input`, …) never take children;
+///  - implicit closing: a new `li` closes an open `li`, `td`/`th` close
+///    each other, `tr` closes `tr`, `p` is closed by block elements, …;
+///  - a stray end tag that matches an outer element closes everything up
+///    to it; one that matches nothing is ignored;
+///  - unclosed elements are closed at end of input;
+///  - unknown entities pass through literally;
+///  - attributes may be unquoted or value-less (`<input disabled>`).
+
+namespace mitra::html {
+
+/// Parses an HTML document (or fragment) into a hierarchical data tree.
+/// Fragments without a single root are wrapped in a synthetic `html`
+/// node. Only unrecoverable situations (e.g. empty input) are errors.
+Result<hdt::Hdt> ParseHtml(std::string_view input);
+
+}  // namespace mitra::html
+
+#endif  // MITRA_HTML_HTML_PARSER_H_

@@ -1,0 +1,352 @@
+#include "json/json_parser.h"
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+
+namespace mitra::json {
+
+namespace {
+
+/// Recursive-descent RFC 8259 parser building the HDT encoding directly.
+class Parser {
+ public:
+  explicit Parser(std::string_view in) : in_(in) {}
+
+  Result<hdt::Hdt> Parse() {
+    hdt::Hdt tree;
+    hdt::NodeId root = tree.AddRoot("root");
+    SkipWs();
+    if (AtEnd()) return Err("empty document");
+    char c = Peek();
+    if (c == '{') {
+      MITRA_RETURN_IF_ERROR(ParseObjectMembers(&tree, root));
+    } else if (c == '[') {
+      MITRA_RETURN_IF_ERROR(ParseArray(&tree, root, "item"));
+    } else {
+      MITRA_ASSIGN_OR_RETURN(std::string lexeme, ParsePrimitive());
+      tree.AddChild(root, "value", lexeme);
+    }
+    SkipWs();
+    if (!AtEnd()) return Err("trailing content after document");
+    return tree;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= in_.size(); }
+  char Peek() const { return in_[pos_]; }
+  void Advance() {
+    if (in_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+  bool Consume(char c) {
+    if (!AtEnd() && Peek() == c) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  void SkipWs() {
+    while (!AtEnd() && (Peek() == ' ' || Peek() == '\t' || Peek() == '\n' ||
+                        Peek() == '\r')) {
+      Advance();
+    }
+  }
+  Status Err(std::string msg) const {
+    return Status::ParseError("JSON " + std::to_string(line_) + ":" +
+                              std::to_string(col_) + ": " + std::move(msg));
+  }
+
+  /// Parses the members of an object (including braces) and attaches each
+  /// key-value pair under `parent`.
+  Status ParseObjectMembers(hdt::Hdt* tree, hdt::NodeId parent) {
+    if (!Consume('{')) return Err("expected '{'");
+    SkipWs();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWs();
+      MITRA_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWs();
+      if (!Consume(':')) return Err("expected ':' after object key");
+      SkipWs();
+      MITRA_RETURN_IF_ERROR(ParseValue(tree, parent, key));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Err("expected ',' or '}' in object");
+    }
+  }
+
+  /// Parses a value appearing under key `key` and encodes it under `parent`.
+  Status ParseValue(hdt::Hdt* tree, hdt::NodeId parent,
+                    const std::string& key) {
+    if (AtEnd()) return Err("unexpected end of input in value");
+    char c = Peek();
+    if (c == '{') {
+      hdt::NodeId n = tree->AddChild(parent, key);
+      return ParseObjectMembers(tree, n);
+    }
+    if (c == '[') {
+      return ParseArray(tree, parent, key);
+    }
+    MITRA_ASSIGN_OR_RETURN(std::string lexeme, ParsePrimitive());
+    tree->AddChild(parent, key, lexeme);
+    return Status::OK();
+  }
+
+  /// Parses an array; element i becomes the i'th sibling tagged `key`
+  /// under `parent` (Example 2's encoding).
+  Status ParseArray(hdt::Hdt* tree, hdt::NodeId parent,
+                    const std::string& key) {
+    if (!Consume('[')) return Err("expected '['");
+    SkipWs();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      SkipWs();
+      if (AtEnd()) return Err("unterminated array");
+      char c = Peek();
+      if (c == '{') {
+        hdt::NodeId n = tree->AddChild(parent, key);
+        MITRA_RETURN_IF_ERROR(ParseObjectMembers(tree, n));
+      } else if (c == '[') {
+        // Nested array: wrap in a node and reuse the key for elements.
+        hdt::NodeId n = tree->AddChild(parent, key);
+        MITRA_RETURN_IF_ERROR(ParseArray(tree, n, key));
+      } else {
+        MITRA_ASSIGN_OR_RETURN(std::string lexeme, ParsePrimitive());
+        tree->AddChild(parent, key, lexeme);
+      }
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Err("expected ',' or ']' in array");
+    }
+  }
+
+  /// Parses a string, number, or literal, returning its data string.
+  Result<std::string> ParsePrimitive() {
+    char c = Peek();
+    if (c == '"') return ParseString();
+    if (c == 't') {
+      if (ConsumeLit("true")) return std::string("true");
+      return Err("bad literal");
+    }
+    if (c == 'f') {
+      if (ConsumeLit("false")) return std::string("false");
+      return Err("bad literal");
+    }
+    if (c == 'n') {
+      if (ConsumeLit("null")) return std::string("null");
+      return Err("bad literal");
+    }
+    return ParseNumberLexeme();
+  }
+
+  bool ConsumeLit(std::string_view lit) {
+    if (in_.substr(pos_).substr(0, lit.size()) == lit) {
+      for (size_t i = 0; i < lit.size(); ++i) Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> ParseNumberLexeme() {
+    size_t start = pos_;
+    Consume('-');
+    if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+      return Err("expected a digit in number");
+    }
+    if (Peek() == '0') {
+      Advance();
+    } else {
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        Advance();
+      }
+    }
+    if (Consume('.')) {
+      if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Err("expected a digit after decimal point");
+      }
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        Advance();
+      }
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      Advance();
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) Advance();
+      if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Err("expected a digit in exponent");
+      }
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        Advance();
+      }
+    }
+    return std::string(in_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) return Err("expected '\"'");
+    std::string out;
+    while (true) {
+      if (AtEnd()) return Err("unterminated string");
+      char c = Peek();
+      if (c == '"') {
+        Advance();
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Err("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        Advance();
+        continue;
+      }
+      Advance();  // backslash
+      if (AtEnd()) return Err("unterminated escape");
+      char e = Peek();
+      Advance();
+      switch (e) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          MITRA_ASSIGN_OR_RETURN(uint32_t cp, ParseHex4());
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: must be followed by \uDC00-\uDFFF.
+            if (!ConsumeLit("\\u")) return Err("lone high surrogate");
+            MITRA_ASSIGN_OR_RETURN(uint32_t lo, ParseHex4());
+            if (lo < 0xDC00 || lo > 0xDFFF) {
+              return Err("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Err("lone low surrogate");
+          }
+          AppendUtf8(cp, &out);
+          break;
+        }
+        default:
+          return Err(std::string("invalid escape '\\") + e + "'");
+      }
+    }
+  }
+
+  Result<uint32_t> ParseHex4() {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (AtEnd()) return Err("unterminated \\u escape");
+      char c = Peek();
+      int d;
+      if (c >= '0' && c <= '9') {
+        d = c - '0';
+      } else if (c >= 'a' && c <= 'f') {
+        d = c - 'a' + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        d = c - 'A' + 10;
+      } else {
+        return Err("bad hex digit in \\u escape");
+      }
+      v = v * 16 + static_cast<uint32_t>(d);
+      Advance();
+    }
+    return v;
+  }
+
+  static void AppendUtf8(uint32_t code, std::string* out) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+Result<hdt::Hdt> ParseJson(std::string_view input) {
+  return Parser(input).Parse();
+}
+
+std::string EscapeJsonString(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace mitra::json

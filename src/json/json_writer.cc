@@ -1,0 +1,118 @@
+#include "json/json_writer.h"
+
+#include <vector>
+
+#include "common/strings.h"
+#include "json/json_parser.h"
+
+namespace mitra::json {
+
+namespace {
+
+bool IsUnquotedPrimitive(std::string_view data) {
+  if (data == "true" || data == "false" || data == "null") return true;
+  // Emit unquoted only when the lexeme is valid JSON number syntax; a
+  // leading '+' or stray spaces would not be, so fall back to ParseNumber
+  // plus a syntactic check on the first character.
+  if (data.empty()) return false;
+  if (data[0] != '-' && !(data[0] >= '0' && data[0] <= '9')) return false;
+  return ParseNumber(data).has_value();
+}
+
+struct Writer {
+  const hdt::Hdt& t;
+  const JsonWriteOptions& opts;
+  std::string out;
+
+  void Indent(int depth) {
+    if (opts.pretty) out.append(static_cast<size_t>(depth) * 2, ' ');
+  }
+  void Newline() {
+    if (opts.pretty) out.push_back('\n');
+  }
+
+  /// Emits the primitive value of a leaf node.
+  void EmitPrimitive(hdt::NodeId id) {
+    std::string_view data = t.Data(id);
+    if (IsUnquotedPrimitive(data)) {
+      out.append(data);
+    } else {
+      out.push_back('"');
+      out.append(EscapeJsonString(data));
+      out.push_back('"');
+    }
+  }
+
+  /// Emits the value denoted by one node: a primitive for data leaves,
+  /// `{}` for empty non-data leaves, an object for internal nodes.
+  void EmitValue(hdt::NodeId id, int depth) {
+    if (t.HasData(id)) {
+      EmitPrimitive(id);
+    } else {
+      EmitObject(id, depth);
+    }
+  }
+
+  /// Emits the children of `id` as a JSON object, grouping same-tag
+  /// children into arrays.
+  void EmitObject(hdt::NodeId id, int depth) {
+    const auto& children = t.node(id).children;
+    if (children.empty()) {
+      out.append("{}");
+      return;
+    }
+    // Group by tag in first-occurrence order.
+    std::vector<hdt::TagId> order;
+    std::vector<std::vector<hdt::NodeId>> groups;
+    for (hdt::NodeId c : children) {
+      hdt::TagId tag = t.node(c).tag;
+      size_t gi = 0;
+      for (; gi < order.size(); ++gi) {
+        if (order[gi] == tag) break;
+      }
+      if (gi == order.size()) {
+        order.push_back(tag);
+        groups.emplace_back();
+      }
+      groups[gi].push_back(c);
+    }
+    out.push_back('{');
+    Newline();
+    for (size_t gi = 0; gi < order.size(); ++gi) {
+      Indent(depth + 1);
+      out.push_back('"');
+      out.append(EscapeJsonString(t.TagName(order[gi])));
+      out.append("\": ");
+      const auto& group = groups[gi];
+      if (group.size() == 1) {
+        EmitValue(group[0], depth + 1);
+      } else {
+        out.push_back('[');
+        Newline();
+        for (size_t i = 0; i < group.size(); ++i) {
+          Indent(depth + 2);
+          EmitValue(group[i], depth + 2);
+          if (i + 1 < group.size()) out.push_back(',');
+          Newline();
+        }
+        Indent(depth + 1);
+        out.push_back(']');
+      }
+      if (gi + 1 < order.size()) out.push_back(',');
+      Newline();
+    }
+    Indent(depth);
+    out.push_back('}');
+  }
+};
+
+}  // namespace
+
+std::string WriteJson(const hdt::Hdt& tree, const JsonWriteOptions& opts) {
+  if (tree.empty()) return "{}";
+  Writer w{tree, opts, {}};
+  w.EmitObject(tree.root(), 0);
+  return w.out;
+}
+
+}  // namespace mitra::json

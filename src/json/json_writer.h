@@ -1,0 +1,28 @@
+#ifndef MITRA_JSON_JSON_WRITER_H_
+#define MITRA_JSON_JSON_WRITER_H_
+
+#include <string>
+
+#include "hdt/hdt.h"
+
+/// \file json_writer.h
+/// Serializes an Hdt back to JSON text, inverting the parser's encoding:
+/// children of a node are grouped by tag (in first-occurrence order); a
+/// group of size one becomes an object member, a larger group becomes an
+/// array. A data-carrying leaf becomes a primitive (unquoted when the data
+/// is a number / `true` / `false` / `null`, a string otherwise).
+/// Round-tripping text → Hdt → text → Hdt yields an identical tree.
+
+namespace mitra::json {
+
+struct JsonWriteOptions {
+  /// Pretty-print with 2-space indentation.
+  bool pretty = true;
+};
+
+/// Serializes the tree (the virtual `root` wrapper is not emitted).
+std::string WriteJson(const hdt::Hdt& tree, const JsonWriteOptions& opts = {});
+
+}  // namespace mitra::json
+
+#endif  // MITRA_JSON_JSON_WRITER_H_

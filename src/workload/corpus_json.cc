@@ -1,0 +1,698 @@
+#include "workload/corpus.h"
+
+/// 47 JSON benchmark tasks (§7.1). Buckets: ≤2 cols: 11, 3 cols: 11,
+/// 4 cols: 11, ≥5 cols: 14 (3 unsolvable).
+
+namespace mitra::workload {
+
+namespace {
+
+CorpusTask Json(std::string id, std::string category, int cols,
+                std::string doc, std::vector<hdt::Row> output) {
+  CorpusTask t;
+  t.id = std::move(id);
+  t.format = DocFormat::kJson;
+  t.category = std::move(category);
+  t.num_cols = cols;
+  t.document = std::move(doc);
+  t.output = std::move(output);
+  return t;
+}
+
+// --- bucket ≤2 (11 tasks) ----------------------------------------------------
+
+void BucketUpTo2(std::vector<CorpusTask>* out) {
+  // j01: names from an array of objects.
+  out->push_back(Json("json-01-user-names", "flat-projection", 1, R"({
+  "users": [
+    {"name": "ann", "age": 31},
+    {"name": "bo", "age": 25},
+    {"name": "cy", "age": 47}
+  ]})",
+                      {{"ann"}, {"bo"}, {"cy"}}));
+
+  // j02: name/age pairs.
+  out->push_back(Json("json-02-user-ages", "parent-join", 2, R"({
+  "users": [
+    {"name": "ann", "age": 31},
+    {"name": "bo", "age": 25},
+    {"name": "cy", "age": 47}
+  ]})",
+                      {{"ann", "31"}, {"bo", "25"}, {"cy", "47"}}));
+
+  // j03: the first tag of each post (array position).
+  {
+    CorpusTask t = Json("json-03-first-tag", "positional", 1, R"({
+  "posts": [
+    {"title": "p1", "tags": ["rust", "db"]},
+    {"title": "p2", "tags": ["cpp", "perf", "simd"]}
+  ]})",
+                        {{"rust"}, {"cpp"}});
+    t.generalization_document = R"({
+  "posts": [{"title": "p9", "tags": ["zig", "wasm"]}]})";
+    t.generalization_output = {{"zig"}};
+    out->push_back(std::move(t));
+  }
+
+  // j04: adults only (age >= 30).
+  out->push_back(Json("json-04-adults", "constant-filter", 1, R"({
+  "users": [
+    {"name": "mia", "age": 31},
+    {"name": "ash", "age": 25},
+    {"name": "zed", "age": 47},
+    {"name": "gus", "age": 29}
+  ]})",
+                      {{"mia"}, {"zed"}}));
+
+  // j05: repo full_name with stargazer count (nested object).
+  out->push_back(Json("json-05-repo-stars", "nesting", 2, R"({
+  "repos": [
+    {"full_name": "a/x", "stats": {"stars": 120}},
+    {"full_name": "b/y", "stats": {"stars": 7}}
+  ]})",
+                      {{"a/x", "120"}, {"b/y", "7"}}));
+
+  // j06: flatten team → member names.
+  out->push_back(Json("json-06-team-members", "nesting", 2, R"({
+  "teams": [
+    {"team": "red", "members": [{"who": "ann"}, {"who": "bo"}]},
+    {"team": "blue", "members": [{"who": "cy"}]}
+  ]})",
+                      {{"red", "ann"}, {"red", "bo"}, {"blue", "cy"}}));
+
+  // j07: every "url" anywhere in a nested config (descendants).
+  out->push_back(Json("json-07-all-urls", "descendants", 1, R"({
+  "service": {
+    "endpoint": {"url": "https://a"},
+    "fallback": {"mirror": {"url": "https://b"}}
+  },
+  "docs": {"url": "https://c"}
+})",
+                      {{"https://a"}, {"https://b"}, {"https://c"}}));
+
+  // j08: order ids with their customer reference resolved.
+  {
+    CorpusTask t = Json("json-08-order-cust", "id-ref-join", 2, R"({
+  "customers": [
+    {"id": "c1", "company": "Acme"},
+    {"id": "c2", "company": "Bit"}
+  ],
+  "orders": [
+    {"oid": "o1", "cust": "c2"},
+    {"oid": "o2", "cust": "c1"},
+    {"oid": "o3", "cust": "c2"}
+  ]})",
+                        {{"o1", "Bit"}, {"o2", "Acme"}, {"o3", "Bit"}});
+    t.generalization_document = R"({
+  "customers": [
+    {"id": "c7", "company": "Zip"}
+  ],
+  "orders": [{"oid": "o9", "cust": "c7"}]})";
+    t.generalization_output = {{"o9", "Zip"}};
+    out->push_back(std::move(t));
+  }
+
+  // j09: city names from array-valued key (Example 2 shape).
+  out->push_back(Json("json-09-scores", "array-positions", 2, R"({
+  "players": [
+    {"tag": "ann", "scores": [18, 45, 32]},
+    {"tag": "bo", "scores": [7, 11, 9]}
+  ]})",
+                      {{"ann", "45"}, {"bo", "11"}}));
+
+  // j10: enabled feature flags.
+  out->push_back(Json("json-10-enabled-flags", "attribute-filter", 1, R"({
+  "flags": [
+    {"flag": "dark_mode", "enabled": true},
+    {"flag": "beta_api", "enabled": false},
+    {"flag": "fast_path", "enabled": true}
+  ]})",
+                      {{"dark_mode"}, {"fast_path"}}));
+
+  // j11: non-archived notebooks (negation on boolean).
+  out->push_back(Json("json-11-active-notebooks", "negation-filter", 2, R"({
+  "notebooks": [
+    {"nb": "ideas", "owner": "ann", "archived": true},
+    {"nb": "ops", "owner": "bo", "archived": false},
+    {"nb": "logs", "owner": "cy", "archived": false}
+  ]})",
+                      {{"ops", "bo"}, {"logs", "cy"}}));
+}
+
+// --- bucket 3 (11 tasks) -----------------------------------------------------
+
+void Bucket3(std::vector<CorpusTask>* out) {
+  // j12: id, name, email projection.
+  out->push_back(Json("json-12-contact-cards", "flat-projection", 3, R"({
+  "contacts": [
+    {"id": 1, "name": "ann", "email": "a@x.io"},
+    {"id": 2, "name": "bo", "email": "b@x.io"}
+  ]})",
+                      {{"1", "ann", "a@x.io"}, {"2", "bo", "b@x.io"}}));
+
+  // j13: album, track title, length (nested arrays).
+  out->push_back(Json("json-13-album-tracks", "nesting", 3, R"({
+  "albums": [
+    {"album": "Kind", "tracks": [
+      {"song": "So What", "len": 545},
+      {"song": "Blue", "len": 337}
+    ]},
+    {"album": "Giant", "tracks": [
+      {"song": "Steps", "len": 286}
+    ]}
+  ]})",
+                      {{"Kind", "So What", "545"}, {"Kind", "Blue", "337"},
+                       {"Giant", "Steps", "286"}}));
+
+  // j14: device, metric, reading for readings over 90.
+  out->push_back(Json("json-14-alerts", "constant-filter", 3, R"({
+  "readings": [
+    {"device": "d1", "metric": "cpu", "val": 97},
+    {"device": "d1", "metric": "mem", "val": 60},
+    {"device": "d2", "metric": "cpu", "val": 42},
+    {"device": "d2", "metric": "mem", "val": 91}
+  ]})",
+                      {{"d1", "cpu", "97"}, {"d2", "mem", "91"}}));
+
+  // j15: ticket, assignee handle (ref), priority.
+  out->push_back(Json("json-15-tickets", "id-ref-join", 3, R"({
+  "people": [
+    {"uid": "u1", "handle": "ann"},
+    {"uid": "u2", "handle": "bo"}
+  ],
+  "tickets": [
+    {"key": "T-1", "assignee": "u2", "prio": "high"},
+    {"key": "T-2", "assignee": "u1", "prio": "low"},
+    {"key": "T-3", "assignee": "u1", "prio": "high"}
+  ]})",
+                      {{"T-1", "bo", "high"}, {"T-2", "ann", "low"},
+                       {"T-3", "ann", "high"}}));
+
+  // j16: region, az, instance count (two-level nesting).
+  out->push_back(Json("json-16-cloud-azs", "nesting", 3, R"({
+  "regions": [
+    {"region": "eu-1", "zones": [
+      {"az": "a", "instances": 14},
+      {"az": "b", "instances": 9}
+    ]},
+    {"region": "us-2", "zones": [
+      {"az": "a", "instances": 30}
+    ]}
+  ]})",
+                      {{"eu-1", "a", "14"}, {"eu-1", "b", "9"},
+                       {"us-2", "a", "30"}}));
+
+  // j17: survey question, respondent, first answer (array position).
+  out->push_back(Json("json-17-first-answers", "positional", 3, R"({
+  "responses": [
+    {"q": "q1", "who": "ann", "answers": ["yes", "maybe"]},
+    {"q": "q2", "who": "bo", "answers": ["no", "yes", "no"]}
+  ]})",
+                      {{"q1", "ann", "yes"}, {"q2", "bo", "no"}}));
+
+  // j18: currency pair and bid/ask.
+  out->push_back(Json("json-18-fx-quotes", "nesting", 3, R"({
+  "quotes": [
+    {"pair": "EURUSD", "book": {"bid": "1.08", "ask": "1.09"}},
+    {"pair": "USDJPY", "book": {"bid": "155.2", "ask": "155.4"}}
+  ]})",
+                      {{"EURUSD", "1.08", "1.09"},
+                       {"USDJPY", "155.2", "155.4"}}));
+
+  // j19: completed todo items: list, item, due.
+  out->push_back(Json("json-19-done-items", "attribute-filter", 3, R"({
+  "lists": [
+    {"list": "home", "items": [
+      {"todo": "paint", "due": "6-1", "state": "done"},
+      {"todo": "mow", "due": "6-2", "state": "open"}
+    ]},
+    {"list": "work", "items": [
+      {"todo": "ship", "due": "6-3", "state": "done"}
+    ]}
+  ]})",
+                      {{"home", "paint", "6-1"}, {"work", "ship", "6-3"}}));
+
+  // j20: station, line, minutes for departures within 10 minutes.
+  out->push_back(Json("json-20-departures", "constant-filter", 3, R"({
+  "boards": [
+    {"station": "Mitte", "departures": [
+      {"line": "U1", "mins": 4},
+      {"line": "U3", "mins": 16}
+    ]},
+    {"station": "Nord", "departures": [
+      {"line": "S7", "mins": 8}
+    ]}
+  ]})",
+                      {{"Mitte", "U1", "4"}, {"Nord", "S7", "8"}}));
+
+  // j21: course, teacher handle (ref), room.
+  out->push_back(Json("json-21-courses", "id-ref-join", 3, R"({
+  "staff": [
+    {"sid": "s1", "teacher": "Rivest"},
+    {"sid": "s2", "teacher": "Knuth"}
+  ],
+  "courses": [
+    {"course": "crypto", "taught_by": "s1", "room": "R2"},
+    {"course": "algs", "taught_by": "s2", "room": "R7"}
+  ]})",
+                      {{"crypto", "Rivest", "R2"},
+                       {"algs", "Knuth", "R7"}}));
+
+  // j22: wallet, tx hash, amount for outgoing transactions.
+  out->push_back(Json("json-22-outgoing-tx", "attribute-filter", 3, R"({
+  "wallets": [
+    {"wallet": "w1", "txs": [
+      {"hash": "0xa", "amount": 5, "dir": "out"},
+      {"hash": "0xb", "amount": 9, "dir": "in"}
+    ]},
+    {"wallet": "w2", "txs": [
+      {"hash": "0xc", "amount": 2, "dir": "out"}
+    ]}
+  ]})",
+                      {{"w1", "0xa", "5"}, {"w2", "0xc", "2"}}));
+}
+
+// --- bucket 4 (11 tasks) -----------------------------------------------------
+
+void Bucket4(std::vector<CorpusTask>* out) {
+  // j23: full address book row.
+  out->push_back(Json("json-23-addresses", "nesting", 4, R"({
+  "people": [
+    {"who": "ann", "addr": {"street": "Oak 1", "city": "Wien", "zip": "1010"}},
+    {"who": "bo", "addr": {"street": "Elm 9", "city": "Graz", "zip": "8010"}}
+  ]})",
+                      {{"ann", "Oak 1", "Wien", "1010"},
+                       {"bo", "Elm 9", "Graz", "8010"}}));
+
+  // j24: org, repo, branch, commits (three-level nesting; two orgs so
+  // the org column needs a structural join too).
+  out->push_back(Json("json-24-branches", "deep-nesting", 4, R"({
+  "orgs": [
+    {"org": "acme", "repos": [
+      {"repo": "db", "branches": [
+        {"branch": "main", "commits": 420},
+        {"branch": "dev", "commits": 77}
+      ]},
+      {"repo": "ui", "branches": [
+        {"branch": "main", "commits": 90}
+      ]}
+    ]},
+    {"org": "zeta", "repos": [
+      {"repo": "ml", "branches": [
+        {"branch": "trunk", "commits": 12}
+      ]}
+    ]}
+  ]})",
+                      {{"acme", "db", "main", "420"},
+                       {"acme", "db", "dev", "77"},
+                       {"acme", "ui", "main", "90"},
+                       {"zeta", "ml", "trunk", "12"}}));
+
+  // j25: flight, from, to, gate for boarding flights.
+  out->push_back(Json("json-25-boarding", "attribute-filter", 4, R"({
+  "flights": [
+    {"flight": "OS101", "from": "VIE", "to": "JFK", "gate": "F1",
+     "status": "boarding"},
+    {"flight": "LH22", "from": "FRA", "to": "SFO", "gate": "G7",
+     "status": "delayed"},
+    {"flight": "UA9", "from": "EWR", "to": "LAX", "gate": "C2",
+     "status": "boarding"}
+  ]})",
+                      {{"OS101", "VIE", "JFK", "F1"},
+                       {"UA9", "EWR", "LAX", "C2"}}));
+
+  // j26: product, warehouse (ref), shelf, units.
+  out->push_back(Json("json-26-stock-locations", "id-ref-join", 4, R"({
+  "warehouses": [
+    {"wid": "w1", "site": "North"},
+    {"wid": "w2", "site": "South"}
+  ],
+  "stock": [
+    {"product": "bolt", "wh": "w1", "shelf": "A3", "units": 500},
+    {"product": "nut", "wh": "w2", "shelf": "B1", "units": 120},
+    {"product": "cam", "wh": "w1", "shelf": "A9", "units": 60}
+  ]})",
+                      {{"bolt", "North", "A3", "500"},
+                       {"nut", "South", "B1", "120"},
+                       {"cam", "North", "A9", "60"}}));
+
+  // j27: show, season, episode, title.
+  out->push_back(Json("json-27-episodes", "deep-nesting", 4, R"({
+  "shows": [
+    {"show": "Nova", "seasons": [
+      {"no": 1, "episodes": [
+        {"ep": 1, "title": "Dawn"},
+        {"ep": 2, "title": "Dusk"}
+      ]}
+    ]},
+    {"show": "Apex", "seasons": [
+      {"no": 2, "episodes": [
+        {"ep": 1, "title": "Rise"}
+      ]}
+    ]}
+  ]})",
+                      {{"Nova", "1", "1", "Dawn"}, {"Nova", "1", "2", "Dusk"},
+                       {"Apex", "2", "1", "Rise"}}));
+
+  // j28: account, symbol, side, qty for filled orders.
+  out->push_back(Json("json-28-fills", "attribute-filter", 4, R"({
+  "accounts": [
+    {"acct": "A1", "orders": [
+      {"sym": "XYZ", "side": "buy", "qty": 100, "state": "filled"},
+      {"sym": "QQQ", "side": "sell", "qty": 50, "state": "open"}
+    ]},
+    {"acct": "B2", "orders": [
+      {"sym": "XYZ", "side": "sell", "qty": 30, "state": "filled"}
+    ]}
+  ]})",
+                      {{"A1", "XYZ", "buy", "100"},
+                       {"B2", "XYZ", "sell", "30"}}));
+
+  // j29: second reviewer (array position) with paper metadata.
+  out->push_back(Json("json-29-second-reviewer", "positional", 4, R"({
+  "papers": [
+    {"paper": "P7", "track": "DB", "year": 2018,
+     "reviewers": ["ada", "bob", "cyd"]},
+    {"paper": "P9", "track": "PL", "year": 2017,
+     "reviewers": ["eve", "fay"]}
+  ]})",
+                      {{"P7", "DB", "2018", "bob"},
+                       {"P9", "PL", "2017", "fay"}}));
+
+  // j30: sensor, unit, min, max from a nested range object.
+  out->push_back(Json("json-30-sensor-ranges", "nesting", 4, R"({
+  "sensors": [
+    {"sensor": "t-in", "unit": "C", "range": {"min": -10, "max": 40}},
+    {"sensor": "rpm", "unit": "1/s", "range": {"min": 0, "max": 9000}}
+  ]})",
+                      {{"t-in", "C", "-10", "40"},
+                       {"rpm", "1/s", "0", "9000"}}));
+
+  // j31: league, home, away, score (array of match objects).
+  out->push_back(Json("json-31-match-results", "nesting", 4, R"({
+  "leagues": [
+    {"league": "north", "matches": [
+      {"home": "Lions", "away": "Bears", "score": "2:1"},
+      {"home": "Hawks", "away": "Owls", "score": "0:0"}
+    ]},
+    {"league": "south", "matches": [
+      {"home": "Foxes", "away": "Wolves", "score": "3:2"}
+    ]}
+  ]})",
+                      {{"north", "Lions", "Bears", "2:1"},
+                       {"north", "Hawks", "Owls", "0:0"},
+                       {"south", "Foxes", "Wolves", "3:2"}}));
+
+  // j32: employee, manager (ref into same array), team, level.
+  out->push_back(Json("json-32-reporting", "id-ref-join", 4, R"({
+  "emps": [
+    {"eid": "e1", "who": "ada", "team": "core", "level": 7, "boss": "e1"},
+    {"eid": "e2", "who": "bob", "team": "core", "level": 5, "boss": "e1"},
+    {"eid": "e3", "who": "cyd", "team": "infra", "level": 4, "boss": "e2"}
+  ]})",
+                      {{"ada", "ada", "core", "7"},
+                       {"bob", "ada", "core", "5"},
+                       {"cyd", "bob", "infra", "4"}}));
+
+  // j33: pod, container, image, restarts for restarting containers.
+  out->push_back(Json("json-33-crashloops", "constant-filter", 4, R"({
+  "pods": [
+    {"pod": "api-1", "containers": [
+      {"ctr": "app", "image": "api:v2", "restarts": 11},
+      {"ctr": "sidecar", "image": "envoy:1", "restarts": 0}
+    ]},
+    {"pod": "db-1", "containers": [
+      {"ctr": "pg", "image": "pg:16", "restarts": 3}
+    ]}
+  ]})",
+                      {{"api-1", "app", "api:v2", "11"},
+                       {"db-1", "pg", "pg:16", "3"}}));
+}
+
+// --- bucket ≥5 (14 tasks, 3 unsolvable) --------------------------------------
+
+void Bucket5Plus(std::vector<CorpusTask>* out) {
+  // j34: full listing record, 5 cols.
+  out->push_back(Json("json-34-listings", "flat-projection", 5, R"({
+  "listings": [
+    {"street": "Oak 1", "city": "Wien", "beds": 3, "baths": 2,
+     "price": 420000},
+    {"street": "Elm 9", "city": "Graz", "beds": 2, "baths": 1,
+     "price": 260000}
+  ]})",
+                      {{"Oak 1", "Wien", "3", "2", "420000"},
+                       {"Elm 9", "Graz", "2", "1", "260000"}}));
+
+  // j35: org, repo, branch, author, commits (deep nesting, 5 cols).
+  out->push_back(Json("json-35-branch-owners", "deep-nesting", 5, R"({
+  "orgs": [
+    {"org": "acme", "repos": [
+      {"repo": "db", "branches": [
+        {"branch": "main", "author": "ann", "commits": 420},
+        {"branch": "dev", "author": "bo", "commits": 77}
+      ]}
+    ]},
+    {"org": "zeta", "repos": [
+      {"repo": "ml", "branches": [
+        {"branch": "main", "author": "cy", "commits": 12}
+      ]}
+    ]}
+  ]})",
+                      {{"acme", "db", "main", "ann", "420"},
+                       {"acme", "db", "dev", "bo", "77"},
+                       {"zeta", "ml", "main", "cy", "12"}}));
+
+  // j36: trip, rider (ref), driver (ref), fare, rating.
+  out->push_back(Json("json-36-trips", "id-ref-join", 5, R"({
+  "riders": [
+    {"rid": "r1", "rider": "ann"},
+    {"rid": "r2", "rider": "bo"}
+  ],
+  "drivers": [
+    {"did": "d1", "driver": "cy"},
+    {"did": "d2", "driver": "di"}
+  ],
+  "trips": [
+    {"trip": "t1", "r": "r2", "d": "d1", "fare": 12, "stars": 5},
+    {"trip": "t2", "r": "r1", "d": "d2", "fare": 30, "stars": 4}
+  ]})",
+                      {{"t1", "bo", "cy", "12", "5"},
+                       {"t2", "ann", "di", "30", "4"}}));
+
+  // j37: store, item, price, currency, tax for taxable items.
+  out->push_back(Json("json-37-taxable", "attribute-filter", 5, R"({
+  "stores": [
+    {"store": "S1", "items": [
+      {"item": "milk", "price": 2, "ccy": "EUR", "taxable": "yes"},
+      {"item": "book", "price": 12, "ccy": "EUR", "taxable": "no"}
+    ]},
+    {"store": "S2", "items": [
+      {"item": "wine", "price": 9, "ccy": "USD", "taxable": "yes"}
+    ]}
+  ]})",
+                      {{"S1", "milk", "2", "EUR", "yes"},
+                       {"S2", "wine", "9", "USD", "yes"}}));
+
+  // j38: six-column service inventory.
+  out->push_back(Json("json-38-services", "flat-projection", 6, R"({
+  "services": [
+    {"svc": "auth", "owner": "ann", "lang": "go", "tier": 1,
+     "replicas": 6, "port": 8080},
+    {"svc": "feed", "owner": "bo", "lang": "rust", "tier": 2,
+     "replicas": 3, "port": 8081}
+  ]})",
+                      {{"auth", "ann", "go", "1", "6", "8080"},
+                       {"feed", "bo", "rust", "2", "3", "8081"}}));
+
+  // j39: country, city, district, street, households (deep; two
+  // countries so every level needs a structural join).
+  out->push_back(Json("json-39-census", "deep-nesting", 5, R"({
+  "countries": [
+    {"country": "AT", "cities": [
+      {"city": "Wien", "districts": [
+        {"district": "Mitte", "streets": [
+          {"street": "Ring", "households": 120},
+          {"street": "Graben", "households": 80}
+        ]}
+      ]}
+    ]},
+    {"country": "JP", "cities": [
+      {"city": "Osaka", "districts": [
+        {"district": "Kita", "streets": [
+          {"street": "Midosuji", "households": 400}
+        ]}
+      ]}
+    ]}
+  ]})",
+                      {{"AT", "Wien", "Mitte", "Ring", "120"},
+                       {"AT", "Wien", "Mitte", "Graben", "80"},
+                       {"JP", "Osaka", "Kita", "Midosuji", "400"}}));
+
+  // j40: open incidents: id, service, sev, opened_at, assignee — with a
+  // numeric severity threshold and state filter combined.
+  out->push_back(Json("json-40-pager", "mixed-filter", 5, R"({
+  "incidents": [
+    {"inc": "I-1", "svc": "auth", "sev": 1, "at": "02:11", "who": "ann",
+     "state": "open"},
+    {"inc": "I-2", "svc": "feed", "sev": 3, "at": "03:40", "who": "bo",
+     "state": "open"},
+    {"inc": "I-3", "svc": "auth", "sev": 1, "at": "04:02", "who": "cy",
+     "state": "closed"},
+    {"inc": "I-4", "svc": "db", "sev": 2, "at": "05:19", "who": "di",
+     "state": "open"}
+  ]})",
+                      {{"I-1", "auth", "1", "02:11", "ann"},
+                       {"I-4", "db", "2", "05:19", "di"}}));
+
+  // j41: five-column bank statement projection with sign filter.
+  out->push_back(Json("json-41-debits", "constant-filter", 5, R"({
+  "statement": [
+    {"txid": "x1", "day": "6-1", "payee": "grocer", "amount": -52,
+     "balance": 948},
+    {"txid": "x2", "day": "6-2", "payee": "salary", "amount": 3000,
+     "balance": 3948},
+    {"txid": "x3", "day": "6-3", "payee": "rent", "amount": -900,
+     "balance": 3048}
+  ]})",
+                      {{"x1", "6-1", "grocer", "-52", "948"},
+                       {"x3", "6-3", "rent", "-900", "3048"}}));
+
+  // j42: station, line, direction, minutes, platform (5 cols, nesting).
+  out->push_back(Json("json-42-full-departures", "nesting", 5, R"({
+  "boards": [
+    {"station": "Mitte", "departures": [
+      {"line": "U1", "dir": "north", "mins": 4, "platform": "2"},
+      {"line": "U3", "dir": "west", "mins": 16, "platform": "1"}
+    ]},
+    {"station": "Nord", "departures": [
+      {"line": "S7", "dir": "east", "mins": 8, "platform": "4"}
+    ]}
+  ]})",
+                      {{"Mitte", "U1", "north", "4", "2"},
+                       {"Mitte", "U3", "west", "16", "1"},
+                       {"Nord", "S7", "east", "8", "4"}}));
+
+  // j43: grant, pi (ref), institution (ref via pi), amount, year.
+  out->push_back(Json("json-43-grants", "id-ref-join", 5, R"({
+  "institutions": [
+    {"iid": "i1", "inst": "UT"},
+    {"iid": "i2", "inst": "MIT"}
+  ],
+  "pis": [
+    {"pid": "p1", "pi": "dillig", "inst_of": "i1"},
+    {"pid": "p2", "pi": "rinard", "inst_of": "i2"}
+  ],
+  "grants": [
+    {"grant": "G-1", "lead": "p1", "amount": 500, "year": 2017},
+    {"grant": "G-2", "lead": "p2", "amount": 800, "year": 2018}
+  ]})",
+                      {{"G-1", "dillig", "UT", "500", "2017"},
+                       {"G-2", "rinard", "MIT", "800", "2018"}}));
+
+  // j44: vm, host, rack, dc, cores (chain of references).
+  out->push_back(Json("json-44-vm-topology", "id-ref-join", 5, R"({
+  "dcs": [{"dcid": "dc1", "dc": "vienna"}],
+  "racks": [
+    {"rkid": "rk1", "rack": "r-07", "in_dc": "dc1"},
+    {"rkid": "rk2", "rack": "r-12", "in_dc": "dc1"}
+  ],
+  "hosts": [
+    {"hid": "h1", "host": "node-a", "in_rack": "rk1"},
+    {"hid": "h2", "host": "node-b", "in_rack": "rk2"}
+  ],
+  "vms": [
+    {"vm": "vm-101", "on": "h1", "cores": 8},
+    {"vm": "vm-102", "on": "h2", "cores": 4},
+    {"vm": "vm-103", "on": "h1", "cores": 2}
+  ]})",
+                      {{"vm-101", "node-a", "r-07", "vienna", "8"},
+                       {"vm-102", "node-b", "r-12", "vienna", "4"},
+                       {"vm-103", "node-a", "r-07", "vienna", "2"}}));
+
+  // j45 (UNSOLVABLE): per-team member *count* requires aggregation.
+  {
+    CorpusTask t = Json("json-45-team-sizes", "unsolvable-aggregation", 5,
+                        R"({
+  "teams": [
+    {"team": "red", "lead": "ann", "room": "R1", "floor": 2,
+     "members": [{"m": "a"}, {"m": "b"}, {"m": "c"}]},
+    {"team": "blue", "lead": "bo", "room": "R2", "floor": 3,
+     "members": [{"m": "d"}]}
+  ]})",
+                        {{"red", "ann", "R1", "2", "3"},
+                         {"blue", "bo", "R2", "3", "1"}});
+    t.expect_solvable = false;
+    t.notes = "column 5 is count(members) — aggregation is outside the "
+              "DSL; the value 3 appears only coincidentally";
+    out->push_back(std::move(t));
+  }
+
+  // j46 (UNSOLVABLE): contact column should fall back from "mobile" to
+  // "landline" — a conditional column extractor.
+  {
+    CorpusTask t = Json("json-46-best-contact", "unsolvable-conditional", 6,
+                        R"({
+  "people": [
+    {"who": "ann", "dept": "eng", "desk": "D1", "floor": 1, "badge": "B7",
+     "mobile": "111"},
+    {"who": "bo", "dept": "ops", "desk": "D2", "floor": 2, "badge": "B9",
+     "landline": "222"}
+  ]})",
+                        {{"ann", "eng", "D1", "1", "B7", "111"},
+                         {"bo", "ops", "D2", "2", "B9", "222"}});
+    t.expect_solvable = false;
+    t.notes = "column 6 needs mobile-if-present-else-landline; no single "
+              "column-extractor chain yields that union";
+    out->push_back(std::move(t));
+  }
+
+  // j47 (UNSOLVABLE in budget): six wide columns over 30 records — the
+  // intermediate cross product exceeds the evaluation budget, mirroring
+  // the paper's out-of-memory failure on its 6th benchmark.
+  {
+    std::string doc = R"({"recs": [)";
+    std::vector<hdt::Row> rows;
+    for (int i = 0; i < 30; ++i) {
+      if (i > 0) doc += ",";
+      std::string n = std::to_string(i);
+      doc += R"({"f1": "a)" + n + R"(", "f2": "b)" + n + R"(", "f3": "c)" +
+             n + R"(", "f4": "d)" + n + R"(", "f5": "e)" + n +
+             R"(", "f6": "g)" + n + "\"}";
+    }
+    doc += "]}";
+    for (int i = 0; i < 3; ++i) {
+      std::string n = std::to_string(i);
+      rows.push_back({"a" + n, "b" + n, "c" + n, "d" + n, "e" + n,
+                      "g" + n});
+    }
+    CorpusTask t = Json("json-47-wide-blowup", "unsolvable-resources", 6,
+                        std::move(doc), std::move(rows));
+    t.expect_solvable = false;
+    t.notes = "every covering table extractor materializes ≈30^6 "
+              "intermediate tuples, exceeding the evaluation budget "
+              "(MITRA's OOM analogue)";
+    out->push_back(std::move(t));
+  }
+}
+
+}  // namespace
+
+std::vector<CorpusTask> JsonCorpus() {
+  std::vector<CorpusTask> out;
+  out.reserve(47);
+  BucketUpTo2(&out);
+  Bucket3(&out);
+  Bucket4(&out);
+  Bucket5Plus(&out);
+  return out;
+}
+
+std::vector<CorpusTask> FullCorpus() {
+  std::vector<CorpusTask> out = XmlCorpus();
+  std::vector<CorpusTask> json = JsonCorpus();
+  out.insert(out.end(), std::make_move_iterator(json.begin()),
+             std::make_move_iterator(json.end()));
+  return out;
+}
+
+}  // namespace mitra::workload

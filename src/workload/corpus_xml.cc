@@ -1,0 +1,742 @@
+#include "workload/corpus.h"
+
+/// 51 XML benchmark tasks (§7.1). Buckets: ≤2 cols: 17 (2 unsolvable),
+/// 3 cols: 12, 4 cols: 12 (1 unsolvable), ≥5 cols: 10.
+
+namespace mitra::workload {
+
+namespace {
+
+CorpusTask Xml(std::string id, std::string category, int cols,
+               std::string doc, std::vector<hdt::Row> output) {
+  CorpusTask t;
+  t.id = std::move(id);
+  t.format = DocFormat::kXml;
+  t.category = std::move(category);
+  t.num_cols = cols;
+  t.document = std::move(doc);
+  t.output = std::move(output);
+  return t;
+}
+
+// --- bucket ≤2 (17 tasks, 2 unsolvable) ------------------------------------
+
+void BucketUpTo2(std::vector<CorpusTask>* out) {
+  // x01: flatten all book titles.
+  out->push_back(Xml("xml-01-book-titles", "flat-projection", 1, R"(
+<bookstore>
+  <book><title>Dune</title><price>12</price></book>
+  <book><title>Neuromancer</title><price>9</price></book>
+  <book><title>Foundation</title><price>11</price></book>
+</bookstore>)",
+                     {{"Dune"}, {"Neuromancer"}, {"Foundation"}}));
+
+  // x02: title with its own price (parent join).
+  out->push_back(Xml("xml-02-title-price", "parent-join", 2, R"(
+<bookstore>
+  <book><title>Dune</title><price>12</price></book>
+  <book><title>Neuromancer</title><price>9</price></book>
+  <book><title>Foundation</title><price>11</price></book>
+</bookstore>)",
+                     {{"Dune", "12"}, {"Neuromancer", "9"},
+                      {"Foundation", "11"}}));
+
+  // x03: the second author of every book (positional).
+  {
+    CorpusTask t = Xml("xml-03-second-author", "positional", 1, R"(
+<bookstore>
+  <book><title>A</title><author>Asimov</author><author>Clarke</author></book>
+  <book><title>B</title><author>Gibson</author><author>Sterling</author></book>
+</bookstore>)",
+                       {{"Clarke"}, {"Sterling"}});
+    t.generalization_document = R"(
+<bookstore>
+  <book><title>C</title><author>Herbert</author><author>Anderson</author></book>
+</bookstore>)";
+    t.generalization_output = {{"Anderson"}};
+    out->push_back(std::move(t));
+  }
+
+  // x04: books cheaper than 10 (constant threshold; kept set is not a
+  // lexicographic interval of the titles).
+  out->push_back(Xml("xml-04-cheap-books", "constant-filter", 1, R"(
+<bookstore>
+  <book><title>Alpha</title><price>15</price></book>
+  <book><title>Momo</title><price>8</price></book>
+  <book><title>Zorro</title><price>22</price></book>
+  <book><title>Gamma</title><price>5</price></book>
+</bookstore>)",
+                     {{"Momo"}, {"Gamma"}}));
+
+  // x05: product id attribute with nested name element.
+  out->push_back(Xml("xml-05-product-ids", "attribute", 2, R"(
+<catalog>
+  <product id="p1"><name>Bolt</name></product>
+  <product id="p2"><name>Nut</name></product>
+  <product id="p3"><name>Washer</name></product>
+</catalog>)",
+                     {{"p1", "Bolt"}, {"p2", "Nut"}, {"p3", "Washer"}}));
+
+  // x06: warehouse name × contained item sku.
+  {
+    CorpusTask t = Xml("xml-06-warehouse-items", "nesting", 2, R"(
+<warehouses>
+  <warehouse><wname>North</wname>
+    <item><sku>s1</sku></item><item><sku>s2</sku></item>
+  </warehouse>
+  <warehouse><wname>South</wname>
+    <item><sku>s3</sku></item>
+  </warehouse>
+</warehouses>)",
+                       {{"North", "s1"}, {"North", "s2"}, {"South", "s3"}});
+    t.generalization_document = R"(
+<warehouses>
+  <warehouse><wname>East</wname>
+    <item><sku>z9</sku></item>
+  </warehouse>
+  <warehouse><wname>West</wname>
+    <item><sku>z7</sku></item><item><sku>z8</sku></item>
+  </warehouse>
+</warehouses>)";
+    t.generalization_output = {{"East", "z9"}, {"West", "z7"},
+                               {"West", "z8"}};
+    out->push_back(std::move(t));
+  }
+
+  // x07: every email anywhere in the org chart (deep descendants).
+  out->push_back(Xml("xml-07-all-emails", "descendants", 1, R"(
+<org>
+  <unit><lead><email>a@x.io</email></lead>
+    <unit><lead><email>b@x.io</email></lead></unit>
+  </unit>
+  <staff><email>c@x.io</email></staff>
+</org>)",
+                     {{"a@x.io"}, {"b@x.io"}, {"c@x.io"}}));
+
+  // x08: paragraph id attribute with its (mixed-content) text.
+  out->push_back(Xml("xml-08-para-text", "mixed-content", 2, R"(
+<doc>
+  <para id="1">hello <b>bold</b></para>
+  <para id="2">world <b>strong</b></para>
+</doc>)",
+                     {{"1", "hello"}, {"2", "world"}}));
+
+  // x09: employee name with department name via dept reference.
+  {
+    CorpusTask t = Xml("xml-09-emp-dept", "id-ref-join", 2, R"(
+<company>
+  <emp name="Ann" dept="d1"/>
+  <emp name="Bo" dept="d2"/>
+  <emp name="Cy" dept="d1"/>
+  <dept id="d1"><dname>Eng</dname></dept>
+  <dept id="d2"><dname>Ops</dname></dept>
+</company>)",
+                       {{"Ann", "Eng"}, {"Bo", "Ops"}, {"Cy", "Eng"}});
+    t.generalization_document = R"(
+<company>
+  <emp name="Dee" dept="d9"/>
+  <emp name="Ed" dept="d8"/>
+  <dept id="d8"><dname>Sales</dname></dept>
+  <dept id="d9"><dname>Legal</dname></dept>
+</company>)";
+    t.generalization_output = {{"Dee", "Legal"}, {"Ed", "Sales"}};
+    out->push_back(std::move(t));
+  }
+
+  // x10: configuration key/value siblings.
+  out->push_back(Xml("xml-10-config-pairs", "sibling-pair", 2, R"(
+<config>
+  <entry><key>host</key><val>db.local</val></entry>
+  <entry><key>port</key><val>5432</val></entry>
+  <entry><key>user</key><val>app</val></entry>
+</config>)",
+                     {{"host", "db.local"}, {"port", "5432"},
+                      {"user", "app"}}));
+
+  // x11: primary (first) phone number of each contact.
+  out->push_back(Xml("xml-11-primary-phone", "positional", 1, R"(
+<contacts>
+  <contact><cname>A</cname><phone>111</phone><phone>222</phone></contact>
+  <contact><cname>B</cname><phone>333</phone></contact>
+</contacts>)",
+                     {{"111"}, {"333"}}));
+
+  // x12: production servers only: name and ip.
+  out->push_back(Xml("xml-12-prod-servers", "attribute-filter", 2, R"(
+<fleet>
+  <server env="prod"><sname>web1</sname><ip>10.0.0.1</ip></server>
+  <server env="dev"><sname>web2</sname><ip>10.0.0.2</ip></server>
+  <server env="prod"><sname>db1</sname><ip>10.0.0.3</ip></server>
+</fleet>)",
+                     {{"web1", "10.0.0.1"}, {"db1", "10.0.0.3"}}));
+
+  // x13: course code with each enrolled student (two-level nesting).
+  out->push_back(Xml("xml-13-course-roster", "nesting", 2, R"(
+<school>
+  <course code="CS101">
+    <roster><student>Kim</student><student>Lee</student></roster>
+  </course>
+  <course code="MA201">
+    <roster><student>Ada</student></roster>
+  </course>
+</school>)",
+                     {{"CS101", "Kim"}, {"CS101", "Lee"},
+                      {"MA201", "Ada"}}));
+
+  // x14: titles of tasks that are not done (negation).
+  out->push_back(Xml("xml-14-open-tasks", "negation-filter", 1, R"(
+<todo>
+  <task><what>buy milk</what><status>done</status></task>
+  <task><what>fix sink</what><status>open</status></task>
+  <task><what>call mom</what><status>blocked</status></task>
+  <task><what>pay rent</what><status>done</status></task>
+</todo>)",
+                     {{"fix sink"}, {"call mom"}}));
+
+  // x15: flight departure/arrival attribute pairs.
+  out->push_back(Xml("xml-15-flight-legs", "attribute", 2, R"(
+<timetable>
+  <flight from="VIE" to="JFK"/>
+  <flight from="JFK" to="SFO"/>
+  <flight from="SFO" to="NRT"/>
+</timetable>)",
+                     {{"VIE", "JFK"}, {"JFK", "SFO"}, {"SFO", "NRT"}}));
+
+  // x16 (UNSOLVABLE): display name should be the nickname when present,
+  // otherwise the legal name — a conditional column extractor, which the
+  // DSL cannot express (the two sources have different tags and no
+  // single extractor chain produces their union).
+  {
+    CorpusTask t = Xml("xml-16-conditional-name", "unsolvable-conditional",
+                       2, R"(
+<people>
+  <person><name>Robert</name><nick>Bob</nick><age>41</age></person>
+  <person><name>Susan</name><age>29</age></person>
+</people>)",
+                       {{"Bob", "41"}, {"Susan", "29"}});
+    t.expect_solvable = false;
+    t.notes = "needs a conditional column extractor (nick if present, else "
+              "name); no DSL column extractor yields that union";
+    out->push_back(std::move(t));
+  }
+
+  // x17 (UNSOLVABLE): line total = qty × price; the value 36 appears
+  // nowhere in the tree, so no extractor can produce it.
+  {
+    CorpusTask t = Xml("xml-17-line-total", "unsolvable-arithmetic", 1, R"(
+<order>
+  <line><qty>3</qty><price>12</price></line>
+  <line><qty>2</qty><price>7</price></line>
+</order>)",
+                       {{"36"}, {"14"}});
+    t.expect_solvable = false;
+    t.notes = "requires arithmetic (qty × price); target values are absent "
+              "from the input tree";
+    out->push_back(std::move(t));
+  }
+}
+
+// --- bucket 3 (12 tasks) -----------------------------------------------------
+
+void Bucket3(std::vector<CorpusTask>* out) {
+  // x18: book title, author, year.
+  out->push_back(Xml("xml-18-book-cards", "flat-projection", 3, R"(
+<bookstore>
+  <book><title>Dune</title><author>Herbert</author><year>1965</year></book>
+  <book><title>Ubik</title><author>Dick</author><year>1969</year></book>
+</bookstore>)",
+                     {{"Dune", "Herbert", "1965"},
+                      {"Ubik", "Dick", "1969"}}));
+
+  // x19: order id, item sku, qty (nested line items).
+  {
+    CorpusTask t = Xml("xml-19-order-lines", "nesting", 3, R"(
+<orders>
+  <order oid="o1">
+    <line><sku>a1</sku><qty>2</qty></line>
+    <line><sku>a2</sku><qty>5</qty></line>
+  </order>
+  <order oid="o2">
+    <line><sku>a3</sku><qty>1</qty></line>
+  </order>
+</orders>)",
+                       {{"o1", "a1", "2"}, {"o1", "a2", "5"},
+                        {"o2", "a3", "1"}});
+    t.generalization_document = R"(
+<orders>
+  <order oid="o9">
+    <line><sku>b1</sku><qty>7</qty></line>
+  </order>
+  <order oid="o8">
+    <line><sku>b2</sku><qty>3</qty></line>
+    <line><sku>b3</sku><qty>4</qty></line>
+  </order>
+</orders>)";
+    t.generalization_output = {{"o9", "b1", "7"}, {"o8", "b2", "3"},
+                               {"o8", "b3", "4"}};
+    out->push_back(std::move(t));
+  }
+
+  // x20: department, employee, title (two-level nesting).
+  out->push_back(Xml("xml-20-dept-emp-role", "nesting", 3, R"(
+<company>
+  <dept><dname>Eng</dname>
+    <emp><ename>Ann</ename><role>dev</role></emp>
+    <emp><ename>Bo</ename><role>lead</role></emp>
+  </dept>
+  <dept><dname>Ops</dname>
+    <emp><ename>Cy</ename><role>sre</role></emp>
+  </dept>
+</company>)",
+                     {{"Eng", "Ann", "dev"}, {"Eng", "Bo", "lead"},
+                      {"Ops", "Cy", "sre"}}));
+
+  // x21: enrollment-mediated join: student name, course title, grade.
+  // The grade lives on the enrollment, making the link navigable.
+  out->push_back(Xml("xml-21-enrollments", "id-ref-join", 3, R"(
+<school>
+  <student id="s1"><sname>Kim</sname></student>
+  <student id="s2"><sname>Lee</sname></student>
+  <course id="c1"><ctitle>Logic</ctitle></course>
+  <course id="c2"><ctitle>Sets</ctitle></course>
+  <enr student="s1" course="c1"><grade>A</grade></enr>
+  <enr student="s1" course="c2"><grade>B</grade></enr>
+  <enr student="s2" course="c1"><grade>C</grade></enr>
+</school>)",
+                     {{"Kim", "Logic", "A"}, {"Kim", "Sets", "B"},
+                      {"Lee", "Logic", "C"}}));
+
+  // x22: host attribute, first mount point, fs type.
+  out->push_back(Xml("xml-22-mounts", "positional", 3, R"(
+<hosts>
+  <host name="h1">
+    <mount><path>/</path><fs>ext4</fs></mount>
+    <mount><path>/data</path><fs>xfs</fs></mount>
+  </host>
+  <host name="h2">
+    <mount><path>/</path><fs>btrfs</fs></mount>
+  </host>
+</hosts>)",
+                     {{"h1", "/", "ext4"}, {"h1", "/data", "xfs"},
+                      {"h2", "/", "btrfs"}}));
+
+  // x23: region / country / city flatten (three levels).
+  out->push_back(Xml("xml-23-geo3", "deep-nesting", 3, R"(
+<world>
+  <region><rname>EU</rname>
+    <country><cname>AT</cname>
+      <city>Vienna</city><city>Graz</city>
+    </country>
+  </region>
+  <region><rname>NA</rname>
+    <country><cname>US</cname><city>Austin</city></country>
+  </region>
+</world>)",
+                     {{"EU", "AT", "Vienna"}, {"EU", "AT", "Graz"},
+                      {"NA", "US", "Austin"}}));
+
+  // x24: invoices over 100: number, customer, amount.
+  out->push_back(Xml("xml-24-big-invoices", "constant-filter", 3, R"(
+<ledger>
+  <invoice><no>i1</no><cust>Acme</cust><amount>250</amount></invoice>
+  <invoice><no>i2</no><cust>Bit</cust><amount>40</amount></invoice>
+  <invoice><no>i3</no><cust>Cog</cust><amount>130</amount></invoice>
+  <invoice><no>i4</no><cust>Dyn</cust><amount>90</amount></invoice>
+</ledger>)",
+                     {{"i1", "Acme", "250"}, {"i3", "Cog", "130"}}));
+
+  // x25: mentorship pairs with start year (self-referencing ids).
+  out->push_back(Xml("xml-25-mentors", "id-ref-join", 3, R"(
+<team>
+  <member id="m1"><mname>Ada</mname></member>
+  <member id="m2"><mname>Bob</mname></member>
+  <member id="m3"><mname>Cleo</mname></member>
+  <pair mentor="m1" mentee="m2"><since>2019</since></pair>
+  <pair mentor="m3" mentee="m1"><since>2021</since></pair>
+</team>)",
+                     {{"Ada", "Bob", "2019"}, {"Cleo", "Ada", "2021"}}));
+
+  // x26: playlist name, track title, duration.
+  out->push_back(Xml("xml-26-playlists", "nesting", 3, R"(
+<music>
+  <playlist><pname>Chill</pname>
+    <track><ttitle>Waves</ttitle><secs>210</secs></track>
+    <track><ttitle>Dunes</ttitle><secs>185</secs></track>
+  </playlist>
+  <playlist><pname>Focus</pname>
+    <track><ttitle>Deep</ttitle><secs>330</secs></track>
+  </playlist>
+</music>)",
+                     {{"Chill", "Waves", "210"}, {"Chill", "Dunes", "185"},
+                      {"Focus", "Deep", "330"}}));
+
+  // x27: commit hash attr, author, message text.
+  out->push_back(Xml("xml-27-commits", "attribute", 3, R"(
+<log>
+  <commit sha="f00d"><who>ann</who><msg>init</msg></commit>
+  <commit sha="beef"><who>bo</who><msg>fix parser</msg></commit>
+  <commit sha="cafe"><who>ann</who><msg>add tests</msg></commit>
+</log>)",
+                     {{"f00d", "ann", "init"}, {"beef", "bo", "fix parser"},
+                      {"cafe", "ann", "add tests"}}));
+
+  // x28: match day, home team (pos 0), away team (pos 1).
+  {
+    CorpusTask t = Xml("xml-28-fixtures", "positional", 3, R"(
+<season>
+  <match day="1"><team>Lions</team><team>Bears</team></match>
+  <match day="2"><team>Hawks</team><team>Lions</team></match>
+</season>)",
+                       {{"1", "Lions", "Bears"}, {"2", "Hawks", "Lions"}});
+    t.generalization_document = R"(
+<season>
+  <match day="9"><team>Owls</team><team>Foxes</team></match>
+</season>)";
+    t.generalization_output = {{"9", "Owls", "Foxes"}};
+    out->push_back(std::move(t));
+  }
+
+  // x29: sensor readings at or above 50: sensor, time, value.
+  out->push_back(Xml("xml-29-hot-readings", "constant-filter", 3, R"(
+<telemetry>
+  <reading><sensor>t1</sensor><at>09:00</at><value>47</value></reading>
+  <reading><sensor>t1</sensor><at>09:05</at><value>52</value></reading>
+  <reading><sensor>t2</sensor><at>09:00</at><value>61</value></reading>
+  <reading><sensor>t2</sensor><at>09:05</at><value>33</value></reading>
+</telemetry>)",
+                     {{"t1", "09:05", "52"}, {"t2", "09:00", "61"}}));
+}
+
+// --- bucket 4 (12 tasks, 1 unsolvable) --------------------------------------
+
+void Bucket4(std::vector<CorpusTask>* out) {
+  // x30: full bibliography card.
+  out->push_back(Xml("xml-30-bib-cards", "flat-projection", 4, R"(
+<bib>
+  <book><title>Dune</title><author>Herbert</author><year>1965</year>
+        <publisher>Chilton</publisher></book>
+  <book><title>Ubik</title><author>Dick</author><year>1969</year>
+        <publisher>Doubleday</publisher></book>
+</bib>)",
+                     {{"Dune", "Herbert", "1965", "Chilton"},
+                      {"Ubik", "Dick", "1969", "Doubleday"}}));
+
+  // x31: customer, order id, sku, qty (three-level nesting).
+  out->push_back(Xml("xml-31-customer-orders", "deep-nesting", 4, R"(
+<shop>
+  <customer><cust>Acme</cust>
+    <order oid="o1"><line><sku>a1</sku><qty>2</qty></line></order>
+    <order oid="o2"><line><sku>a2</sku><qty>1</qty></line>
+                    <line><sku>a3</sku><qty>4</qty></line></order>
+  </customer>
+  <customer><cust>Bit</cust>
+    <order oid="o3"><line><sku>a1</sku><qty>7</qty></line></order>
+  </customer>
+</shop>)",
+                     {{"Acme", "o1", "a1", "2"}, {"Acme", "o2", "a2", "1"},
+                      {"Acme", "o2", "a3", "4"}, {"Bit", "o3", "a1", "7"}}));
+
+  // x32: continent, country, city, population.
+  out->push_back(Xml("xml-32-geo4", "deep-nesting", 4, R"(
+<world>
+  <continent><conname>Europe</conname>
+    <country><cname>AT</cname>
+      <city><ciname>Vienna</ciname><pop>1900000</pop></city>
+    </country>
+  </continent>
+  <continent><conname>Asia</conname>
+    <country><cname>JP</cname>
+      <city><ciname>Osaka</ciname><pop>2700000</pop></city>
+      <city><ciname>Kyoto</ciname><pop>1460000</pop></city>
+    </country>
+  </continent>
+</world>)",
+                     {{"Europe", "AT", "Vienna", "1900000"},
+                      {"Asia", "JP", "Osaka", "2700000"},
+                      {"Asia", "JP", "Kyoto", "1460000"}}));
+
+  // x33: employee, dept name, dept location, dept budget via reference.
+  out->push_back(Xml("xml-33-emp-dept-loc", "id-ref-join", 4, R"(
+<company>
+  <emp name="Ann" dept="d1"/>
+  <emp name="Bo" dept="d2"/>
+  <dept id="d1"><dname>Eng</dname><loc>Wien</loc><budget>900</budget></dept>
+  <dept id="d2"><dname>Ops</dname><loc>Linz</loc><budget>400</budget></dept>
+</company>)",
+                     {{"Ann", "Eng", "Wien", "900"},
+                      {"Bo", "Ops", "Linz", "400"}}));
+
+  // x34: project, lead (ref), client (ref), year.
+  out->push_back(Xml("xml-34-projects", "id-ref-join", 4, R"(
+<portfolio>
+  <person id="p1"><pname>Ada</pname></person>
+  <person id="p2"><pname>Bob</pname></person>
+  <client id="c1"><clname>Acme</clname></client>
+  <client id="c2"><clname>Bit</clname></client>
+  <project lead="p1" client="c2"><prname>Mars</prname><year>2024</year></project>
+  <project lead="p2" client="c1"><prname>Vega</prname><year>2025</year></project>
+</portfolio>)",
+                     {{"Mars", "Ada", "Bit", "2024"},
+                      {"Vega", "Bob", "Acme", "2025"}}));
+
+  // x35: in-stock products: name, sku, price, category.
+  out->push_back(Xml("xml-35-in-stock", "attribute-filter", 4, R"(
+<inventory>
+  <product stock="yes"><pname>Bolt</pname><sku>s1</sku><price>2</price>
+    <cat>hw</cat></product>
+  <product stock="no"><pname>Nut</pname><sku>s2</sku><price>1</price>
+    <cat>hw</cat></product>
+  <product stock="yes"><pname>Tape</pname><sku>s3</sku><price>3</price>
+    <cat>adh</cat></product>
+</inventory>)",
+                     {{"Bolt", "s1", "2", "hw"}, {"Tape", "s3", "3", "adh"}}));
+
+  // x36: timetable: day, slot, room, course.
+  out->push_back(Xml("xml-36-timetable", "nesting", 4, R"(
+<week>
+  <day name="Mon">
+    <slot at="09"><room>R1</room><course>CS</course></slot>
+    <slot at="11"><room>R2</room><course>MA</course></slot>
+  </day>
+  <day name="Tue">
+    <slot at="09"><room>R1</room><course>PH</course></slot>
+  </day>
+</week>)",
+                     {{"Mon", "09", "R1", "CS"}, {"Mon", "11", "R2", "MA"},
+                      {"Tue", "09", "R1", "PH"}}));
+
+  // x37: error log entries: timestamp, module, code, message.
+  out->push_back(Xml("xml-37-error-log", "attribute-filter", 4, R"(
+<log>
+  <entry level="error"><ts>10:01</ts><mod>net</mod><code>500</code>
+    <msg>timeout</msg></entry>
+  <entry level="info"><ts>10:02</ts><mod>db</mod><code>0</code>
+    <msg>ok</msg></entry>
+  <entry level="error"><ts>10:03</ts><mod>db</mod><code>23</code>
+    <msg>deadlock</msg></entry>
+</log>)",
+                     {{"10:01", "net", "500", "timeout"},
+                      {"10:03", "db", "23", "deadlock"}}));
+
+  // x38: spreadsheet rows: first four cells as columns (positional).
+  out->push_back(Xml("xml-38-sheet-cells", "positional", 4, R"(
+<sheet>
+  <row><cell>a</cell><cell>b</cell><cell>c</cell><cell>d</cell></row>
+  <row><cell>e</cell><cell>f</cell><cell>g</cell><cell>h</cell></row>
+</sheet>)",
+                     {{"a", "b", "c", "d"}, {"e", "f", "g", "h"}}));
+
+  // x39: invoice lines with customer lookup: customer name, invoice no,
+  // sku, amount.
+  out->push_back(Xml("xml-39-invoice-lines", "id-ref-join", 4, R"(
+<books>
+  <customer id="c1"><cuname>Acme</cuname></customer>
+  <customer id="c2"><cuname>Bit</cuname></customer>
+  <invoice cust="c1"><no>i1</no>
+    <line><sku>x1</sku><amt>10</amt></line>
+    <line><sku>x2</sku><amt>20</amt></line>
+  </invoice>
+  <invoice cust="c2"><no>i2</no>
+    <line><sku>x1</sku><amt>15</amt></line>
+  </invoice>
+</books>)",
+                     {{"Acme", "i1", "x1", "10"}, {"Acme", "i1", "x2", "20"},
+                      {"Bit", "i2", "x1", "15"}}));
+
+  // x40: tournament results: round, player1, player2, winner-name (ref).
+  out->push_back(Xml("xml-40-tournament", "id-ref-join", 4, R"(
+<cup>
+  <player id="p1"><plname>Ann</plname></player>
+  <player id="p2"><plname>Bo</plname></player>
+  <player id="p3"><plname>Cy</plname></player>
+  <game round="1" won="p1"><a>Ann</a><b>Bo</b></game>
+  <game round="2" won="p3"><a>Cy</a><b>Ann</b></game>
+</cup>)",
+                     {{"1", "Ann", "Bo", "Ann"}, {"2", "Cy", "Ann", "Cy"}}));
+
+  // x41 (UNSOLVABLE): full name = "<first> <last>" — string concatenation
+  // is outside the DSL and the concatenated values are absent from the
+  // tree.
+  {
+    CorpusTask t = Xml("xml-41-full-names", "unsolvable-concat", 4, R"(
+<staff>
+  <person><first>Ada</first><last>Byron</last><desk>D1</desk>
+    <ext>12</ext></person>
+  <person><first>Alan</first><last>Turing</last><desk>D2</desk>
+    <ext>13</ext></person>
+</staff>)",
+                       {{"Ada Byron", "D1", "12", "Ada"},
+                        {"Alan Turing", "D2", "13", "Alan"}});
+    t.expect_solvable = false;
+    t.notes = "column 1 needs string concatenation (first + ' ' + last), "
+              "whose values are absent from the input tree";
+    out->push_back(std::move(t));
+  }
+}
+
+// --- bucket ≥5 (10 tasks) -----------------------------------------------------
+
+void Bucket5Plus(std::vector<CorpusTask>* out) {
+  // x42: full book record, 5 columns.
+  out->push_back(Xml("xml-42-book-records", "flat-projection", 5, R"(
+<bib>
+  <book><title>Dune</title><author>Herbert</author><year>1965</year>
+        <publisher>Chilton</publisher><isbn>0441013597</isbn></book>
+  <book><title>Ubik</title><author>Dick</author><year>1969</year>
+        <publisher>Doubleday</publisher><isbn>0679736646</isbn></book>
+</bib>)",
+                     {{"Dune", "Herbert", "1965", "Chilton", "0441013597"},
+                      {"Ubik", "Dick", "1969", "Doubleday", "0679736646"}}));
+
+  // x43: customer, order, sku, qty, unit price.
+  out->push_back(Xml("xml-43-order-full", "deep-nesting", 5, R"(
+<shop>
+  <customer><cust>Acme</cust>
+    <order oid="o1">
+      <line><sku>a1</sku><qty>2</qty><unit>10</unit></line>
+      <line><sku>a2</sku><qty>1</qty><unit>25</unit></line>
+    </order>
+  </customer>
+  <customer><cust>Bit</cust>
+    <order oid="o2">
+      <line><sku>a3</sku><qty>6</qty><unit>4</unit></line>
+    </order>
+  </customer>
+</shop>)",
+                     {{"Acme", "o1", "a1", "2", "10"},
+                      {"Acme", "o1", "a2", "1", "25"},
+                      {"Bit", "o2", "a3", "6", "4"}}));
+
+  // x44: planet / continent / country / city / population. Two planets
+  // so every level needs a structural join.
+  out->push_back(Xml("xml-44-geo5", "deep-nesting", 5, R"(
+<space>
+  <planet><plname>Earth</plname>
+    <continent><conname>Europe</conname>
+      <country><cname>AT</cname>
+        <city><ciname>Vienna</ciname><pop>1900000</pop></city>
+        <city><ciname>Graz</ciname><pop>290000</pop></city>
+      </country>
+    </continent>
+  </planet>
+  <planet><plname>Mars</plname>
+    <continent><conname>Tharsis</conname>
+      <country><cname>MC</cname>
+        <city><ciname>Olympus</ciname><pop>120</pop></city>
+      </country>
+    </continent>
+  </planet>
+</space>)",
+                     {{"Earth", "Europe", "AT", "Vienna", "1900000"},
+                      {"Earth", "Europe", "AT", "Graz", "290000"},
+                      {"Mars", "Tharsis", "MC", "Olympus", "120"}}));
+
+  // x45: employee, dept (ref), manager (ref), salary, grade.
+  out->push_back(Xml("xml-45-hr-records", "id-ref-join", 5, R"(
+<hr>
+  <person id="p1"><hname>Ada</hname></person>
+  <person id="p2"><hname>Bob</hname></person>
+  <dept id="d1"><dname>Eng</dname></dept>
+  <dept id="d2"><dname>Ops</dname></dept>
+  <emp dept="d1" mgr="p1"><ename>Cy</ename><sal>70</sal><gr>L4</gr></emp>
+  <emp dept="d2" mgr="p2"><ename>Di</ename><sal>65</sal><gr>L3</gr></emp>
+</hr>)",
+                     {{"Cy", "Eng", "Ada", "70", "L4"},
+                      {"Di", "Ops", "Bob", "65", "L3"}}));
+
+  // x46: real-estate listing, 6 columns.
+  out->push_back(Xml("xml-46-listings", "flat-projection", 6, R"(
+<listings>
+  <home><street>Oak 1</street><city>Wien</city><zip>1010</zip>
+        <beds>3</beds><baths>2</baths><price>420000</price></home>
+  <home><street>Elm 9</street><city>Graz</city><zip>8010</zip>
+        <beds>2</beds><baths>1</baths><price>260000</price></home>
+</listings>)",
+                     {{"Oak 1", "Wien", "1010", "3", "2", "420000"},
+                      {"Elm 9", "Graz", "8010", "2", "1", "260000"}}));
+
+  // x47: race results: race name, first, second, third (positional), laps.
+  out->push_back(Xml("xml-47-podium", "positional", 5, R"(
+<season>
+  <race laps="58"><rname>Monza</rname>
+    <finisher>Ann</finisher><finisher>Bo</finisher><finisher>Cy</finisher>
+  </race>
+  <race laps="44"><rname>Spa</rname>
+    <finisher>Bo</finisher><finisher>Cy</finisher><finisher>Ann</finisher>
+  </race>
+</season>)",
+                     {{"Monza", "Ann", "Bo", "Cy", "58"},
+                      {"Spa", "Bo", "Cy", "Ann", "44"}}));
+
+  // x48: shipment: order (ref), customer (ref via order), carrier, eta,
+  // weight.
+  out->push_back(Xml("xml-48-shipments", "id-ref-join", 5, R"(
+<logistics>
+  <order id="o1" cust="Acme"/>
+  <order id="o2" cust="Bit"/>
+  <shipment order="o1"><carrier>DHL</carrier><eta>Mon</eta>
+    <kg>4</kg></shipment>
+  <shipment order="o2"><carrier>UPS</carrier><eta>Tue</eta>
+    <kg>11</kg></shipment>
+</logistics>)",
+                     {{"o1", "Acme", "DHL", "Mon", "4"},
+                      {"o2", "Bit", "UPS", "Tue", "11"}}));
+
+  // x49: big sales only: rep, region, product, units, revenue
+  // (units >= 10).
+  out->push_back(Xml("xml-49-big-sales", "constant-filter", 5, R"(
+<sales>
+  <sale><rep>Ann</rep><region>EU</region><prod>X</prod><units>12</units>
+    <rev>1200</rev></sale>
+  <sale><rep>Bo</rep><region>NA</region><prod>Y</prod><units>3</units>
+    <rev>300</rev></sale>
+  <sale><rep>Cy</rep><region>SA</region><prod>Z</prod><units>30</units>
+    <rev>2900</rev></sale>
+  <sale><rep>Dee</rep><region>EU</region><prod>Y</prod><units>7</units>
+    <rev>700</rev></sale>
+</sales>)",
+                     {{"Ann", "EU", "X", "12", "1200"},
+                      {"Cy", "SA", "Z", "30", "2900"}}));
+
+  // x50: six columns across nested log structure.
+  out->push_back(Xml("xml-50-audit", "nesting", 6, R"(
+<audit>
+  <session user="u1" ip="10.1.1.1">
+    <event><ts>1</ts><kind>login</kind><ok>yes</ok><ms>20</ms></event>
+    <event><ts>2</ts><kind>read</kind><ok>yes</ok><ms>5</ms></event>
+  </session>
+  <session user="u2" ip="10.1.1.2">
+    <event><ts>3</ts><kind>login</kind><ok>no</ok><ms>31</ms></event>
+  </session>
+</audit>)",
+                     {{"u1", "10.1.1.1", "1", "login", "yes", "20"},
+                      {"u1", "10.1.1.1", "2", "read", "yes", "5"},
+                      {"u2", "10.1.1.2", "3", "login", "no", "31"}}));
+
+  // x51: non-cancelled bookings: guest, hotel, room, nights, rate.
+  out->push_back(Xml("xml-51-active-bookings", "negation-filter", 5, R"(
+<bookings>
+  <booking state="confirmed"><guest>Ann</guest><hotel>Rex</hotel>
+    <room>12</room><nights>3</nights><rate>90</rate></booking>
+  <booking state="cancelled"><guest>Bo</guest><hotel>Lux</hotel>
+    <room>7</room><nights>1</nights><rate>200</rate></booking>
+  <booking state="confirmed"><guest>Cy</guest><hotel>Rex</hotel>
+    <room>3</room><nights>2</nights><rate>85</rate></booking>
+</bookings>)",
+                     {{"Ann", "Rex", "12", "3", "90"},
+                      {"Cy", "Rex", "3", "2", "85"}}));
+}
+
+}  // namespace
+
+std::vector<CorpusTask> XmlCorpus() {
+  std::vector<CorpusTask> out;
+  out.reserve(51);
+  BucketUpTo2(&out);
+  Bucket3(&out);
+  Bucket4(&out);
+  Bucket5Plus(&out);
+  return out;
+}
+
+}  // namespace mitra::workload

@@ -1,0 +1,281 @@
+#include <memory>
+
+#include "workload/datasets.h"
+#include "xml/xml_parser.h"
+
+/// Synthetic DBLP (XML): 9 tables, 39 columns — matching the paper's
+/// Table 2 row for DBLP. Shape follows dblp.xml: a flat stream of
+/// publication elements with nested author lists; incollections are
+/// nested in their parent book (the structural form of the crossref).
+
+namespace mitra::workload {
+
+namespace {
+
+struct Article {
+  std::string title, year, journal, volume;
+  std::vector<std::string> authors;
+};
+struct Inproc {
+  std::string title, year, pages, booktitle;
+};
+struct Proc {
+  std::string title, year, publisher;
+};
+struct Incoll {
+  std::string title, year, pages;
+};
+struct Book {
+  std::string title, year, publisher, isbn;
+  std::vector<Incoll> chapters;
+};
+struct Thesis {
+  std::string title, year, school;
+};
+struct Www {
+  std::string title, url, ee;
+};
+
+struct Model {
+  std::vector<Article> articles;
+  std::vector<Inproc> inprocs;
+  std::vector<Proc> procs;
+  std::vector<Book> books;
+  std::vector<Thesis> phds;
+  std::vector<Thesis> masters;
+  std::vector<Www> wwws;
+};
+
+std::string Year(Rng& rng) { return std::to_string(rng.Range(1970, 2017)); }
+
+Model BuildModel(int scale, uint32_t seed) {
+  Rng rng(seed ^ 0xdb1d);
+  Model m;
+  int n = std::max(2, scale);
+  for (int i = 0; i < n; ++i) {
+    Article a;
+    a.title = "art-" + rng.Word(7) + "-" + std::to_string(i);
+    a.year = Year(rng);
+    a.journal = "j-" + rng.Word(5);
+    a.volume = std::to_string(rng.Range(1, 60));
+    int num_authors = rng.Range(1, 3);
+    for (int k = 0; k < num_authors; ++k) {
+      a.authors.push_back(rng.Word(4) + " " + rng.Word(6));
+    }
+    m.articles.push_back(std::move(a));
+  }
+  for (int i = 0; i < std::max(2, n / 2); ++i) {
+    m.inprocs.push_back(Inproc{"inp-" + rng.Word(6) + "-" +
+                                   std::to_string(i),
+                               Year(rng),
+                               std::to_string(rng.Range(1, 400)) + "-" +
+                                   std::to_string(rng.Range(401, 800)),
+                               "conf-" + rng.Word(4)});
+  }
+  for (int i = 0; i < std::max(2, n / 2); ++i) {
+    m.procs.push_back(Proc{"proc-" + rng.Word(6) + "-" + std::to_string(i),
+                           Year(rng), "pub-" + rng.Word(5)});
+  }
+  for (int i = 0; i < std::max(2, n / 3); ++i) {
+    Book b;
+    b.title = "book-" + rng.Word(6) + "-" + std::to_string(i);
+    b.year = Year(rng);
+    b.publisher = "pub-" + rng.Word(5);
+    b.isbn = std::to_string(rng.Range(100000000, 999999999));
+    int chapters = (i == 0) ? 2 : rng.Range(1, 3);
+    for (int k = 0; k < chapters; ++k) {
+      b.chapters.push_back(Incoll{
+          "chap-" + rng.Word(5) + "-" + std::to_string(i) + "-" +
+              std::to_string(k),
+          Year(rng),
+          std::to_string(rng.Range(1, 30)) + "-" +
+              std::to_string(rng.Range(31, 60))});
+    }
+    m.books.push_back(std::move(b));
+  }
+  for (int i = 0; i < std::max(2, n / 5); ++i) {
+    m.phds.push_back(Thesis{"phd-" + rng.Word(6) + "-" + std::to_string(i),
+                            Year(rng), "uni-" + rng.Word(5)});
+  }
+  for (int i = 0; i < std::max(2, n / 5); ++i) {
+    m.masters.push_back(Thesis{"msc-" + rng.Word(6) + "-" +
+                                   std::to_string(i),
+                               Year(rng), "uni-" + rng.Word(5)});
+  }
+  for (int i = 0; i < std::max(2, n / 4); ++i) {
+    m.wwws.push_back(Www{"www-" + rng.Word(6) + "-" + std::to_string(i),
+                         "https://" + rng.Word(7) + ".org",
+                         "db/" + rng.Word(5)});
+  }
+  return m;
+}
+
+std::string Render(const Model& m) {
+  std::string out = "<dblp>\n";
+  auto field = [&](const char* tag, const std::string& v) {
+    out += "    <";
+    out += tag;
+    out += ">";
+    out += xml::EscapeText(v);
+    out += "</";
+    out += tag;
+    out += ">\n";
+  };
+  for (const Article& a : m.articles) {
+    out += "  <article>\n";
+    field("title", a.title);
+    field("year", a.year);
+    field("journal", a.journal);
+    field("volume", a.volume);
+    for (const std::string& who : a.authors) field("author", who);
+    out += "  </article>\n";
+  }
+  for (const Inproc& p : m.inprocs) {
+    out += "  <inproceedings>\n";
+    field("title", p.title);
+    field("year", p.year);
+    field("pages", p.pages);
+    field("booktitle", p.booktitle);
+    out += "  </inproceedings>\n";
+  }
+  for (const Proc& p : m.procs) {
+    out += "  <proceedings>\n";
+    field("title", p.title);
+    field("year", p.year);
+    field("publisher", p.publisher);
+    out += "  </proceedings>\n";
+  }
+  for (const Book& b : m.books) {
+    out += "  <book>\n";
+    field("title", b.title);
+    field("year", b.year);
+    field("publisher", b.publisher);
+    field("isbn", b.isbn);
+    for (const Incoll& c : b.chapters) {
+      out += "    <incollection>\n";
+      out += "      <ctitle>" + xml::EscapeText(c.title) + "</ctitle>\n";
+      out += "      <cyear>" + c.year + "</cyear>\n";
+      out += "      <cpages>" + c.pages + "</cpages>\n";
+      out += "    </incollection>\n";
+    }
+    out += "  </book>\n";
+  }
+  for (const Thesis& t : m.phds) {
+    out += "  <phdthesis>\n";
+    field("title", t.title);
+    field("year", t.year);
+    field("school", t.school);
+    out += "  </phdthesis>\n";
+  }
+  for (const Thesis& t : m.masters) {
+    out += "  <mastersthesis>\n";
+    field("title", t.title);
+    field("year", t.year);
+    field("school", t.school);
+    out += "  </mastersthesis>\n";
+  }
+  for (const Www& w : m.wwws) {
+    out += "  <www>\n";
+    field("title", w.title);
+    field("url", w.url);
+    field("ee", w.ee);
+    out += "  </www>\n";
+  }
+  out += "</dblp>\n";
+  return out;
+}
+
+std::map<std::string, std::vector<hdt::Row>> Tables(const Model& m) {
+  std::map<std::string, std::vector<hdt::Row>> t;
+  for (const Article& a : m.articles) {
+    t["article"].push_back({a.title, a.year, a.journal, a.volume});
+    for (const std::string& who : a.authors) {
+      t["article_author"].push_back({who});
+    }
+  }
+  for (const Inproc& p : m.inprocs) {
+    t["inproceedings"].push_back({p.title, p.year, p.pages, p.booktitle});
+  }
+  for (const Proc& p : m.procs) {
+    t["proceedings"].push_back({p.title, p.year, p.publisher});
+  }
+  for (const Book& b : m.books) {
+    t["book"].push_back({b.title, b.year, b.publisher, b.isbn});
+    for (const Incoll& c : b.chapters) {
+      t["incollection"].push_back({c.title, c.year, c.pages});
+    }
+  }
+  for (const Thesis& th : m.phds) {
+    t["phdthesis"].push_back({th.title, th.year, th.school});
+  }
+  for (const Thesis& th : m.masters) {
+    t["mastersthesis"].push_back({th.title, th.year, th.school});
+  }
+  for (const Www& w : m.wwws) {
+    t["www"].push_back({w.title, w.url, w.ee});
+  }
+  return t;
+}
+
+db::DatabaseSchema Schema() {
+  using db::ColumnKind;
+  db::DatabaseSchema s;
+  auto pk = [](const char* n) {
+    return db::ColumnDef{n, ColumnKind::kPrimaryKey, ""};
+  };
+  auto col = [](const char* n) {
+    return db::ColumnDef{n, ColumnKind::kData, ""};
+  };
+  auto fk = [](const char* n, const char* ref) {
+    return db::ColumnDef{n, ColumnKind::kForeignKey, ref};
+  };
+  s.tables.push_back({"article",
+                      {pk("aid"), col("title"), col("year"), col("journal"),
+                       col("volume")}});
+  s.tables.push_back(
+      {"article_author", {pk("auid"), col("name"), fk("art", "article")}});
+  s.tables.push_back({"inproceedings",
+                      {pk("ipid"), col("title"), col("year"), col("pages"),
+                       col("booktitle")}});
+  s.tables.push_back(
+      {"proceedings",
+       {pk("prid"), col("title"), col("year"), col("publisher")}});
+  s.tables.push_back({"book",
+                      {pk("bid"), col("title"), col("year"),
+                       col("publisher"), col("isbn")}});
+  s.tables.push_back({"incollection",
+                      {pk("icid"), col("ctitle"), col("cyear"),
+                       col("cpages"), fk("book", "book")}});
+  s.tables.push_back(
+      {"phdthesis", {pk("phid"), col("title"), col("year"), col("school")}});
+  s.tables.push_back(
+      {"mastersthesis",
+       {pk("mid"), col("title"), col("year"), col("school")}});
+  s.tables.push_back(
+      {"www", {pk("wid"), col("title"), col("url"), col("ee")}});
+  return s;
+}
+
+}  // namespace
+
+const DatasetSpec& Dblp() {
+  static const DatasetSpec* spec = [] {
+    auto* s = new DatasetSpec();
+    s->name = "DBLP";
+    s->format = DocFormat::kXml;
+    s->schema = Schema();
+    Model example = BuildModel(3, 7);
+    s->example_document = Render(example);
+    s->example_tables = Tables(example);
+    s->generate = [](int scale, uint32_t seed) {
+      return Render(BuildModel(scale, seed));
+    };
+    s->expected_tables = [](int scale, uint32_t seed) {
+      return Tables(BuildModel(scale, seed));
+    };
+    return s;
+  }();
+  return *spec;
+}
+
+}  // namespace mitra::workload

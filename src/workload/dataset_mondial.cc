@@ -1,0 +1,619 @@
+#include "workload/datasets.h"
+
+#include "xml/xml_parser.h"
+
+/// Synthetic MONDIAL (XML): 25 tables, 120 columns — matching the paper's
+/// Table 2 row. MONDIAL is geographical: continents, countries with
+/// nested provinces/cities and demographic sub-records, organizations
+/// with members, and stand-alone geographic features.
+
+namespace mitra::workload {
+
+namespace {
+
+struct HistPop {
+  std::string year, pop;
+};
+struct LocatedAt {
+  std::string water, wtype;
+};
+struct City {
+  std::string name, pop, elevation, longitude, latitude, type;
+  std::vector<HistPop> histpops;
+  std::vector<LocatedAt> located;
+};
+struct Province {
+  std::string name, area, pop;
+  std::vector<City> cities;
+};
+struct Language {
+  std::string name, percent, family;
+};
+struct KV2 {
+  std::string a, b;
+};
+struct Economy {
+  std::string inflation, unemployment, agri, ind, serv;
+};
+struct Country {
+  std::string name, capital, pop, area, gdp, carcode, indep, government;
+  std::vector<Province> provinces;
+  std::vector<Language> languages;
+  std::vector<KV2> religions;     // name, percent
+  std::vector<KV2> ethnicgroups;  // name, percent
+  std::vector<KV2> borders;       // country, length
+  std::vector<KV2> encompassed;   // continent, pct
+  Economy economy;
+  std::vector<KV2> countrypops;  // year, count
+  KV2 popgrowth;                 // rate, infant mortality
+};
+struct Organization {
+  std::string name, abbrev, established, seat, category;
+  std::vector<KV2> members;  // country, type
+};
+struct Island {
+  std::string name, area, height;
+  std::vector<KV2> in;  // water, wtype
+};
+struct Airport {
+  std::string name, iata, elev;
+  KV2 loc;  // city, country
+};
+struct Feature4 {
+  std::string a, b, c, d, e;
+};
+
+struct Model {
+  std::vector<KV2> continents;  // name, area
+  std::vector<Country> countries;
+  std::vector<Organization> orgs;
+  std::vector<Feature4> seas;      // name, depth, area, bordering
+  std::vector<Feature4> lakes;     // name, area, depth, location, type
+  std::vector<Feature4> rivers;    // name, length, source, mouth, basin
+  std::vector<Feature4> mountains;  // name, height, type
+  std::vector<Feature4> deserts;   // name, area, country
+  std::vector<Island> islands;
+  std::vector<Airport> airports;
+};
+
+/// In example mode every list is as small as possible while still ruling
+/// out positional overfitting (one list of 2, the rest 1). This keeps the
+/// training cross products tiny — the paper's examples averaged only
+/// 16.6 elements.
+bool g_example_mode = false;
+
+int ListLen(Rng& rng, size_t index, int lo, int hi) {
+  if (index == 0) return 2;
+  if (index == 1) return 1;
+  if (g_example_mode) return 1;
+  return rng.Range(lo, hi);
+}
+
+Model BuildModel(int scale, uint32_t seed) {
+  Rng rng(seed ^ 0x40d1a1);
+  Model m;
+  int n = std::max(2, scale);
+
+  int num_continents = std::max(2, n / 4);
+  for (int i = 0; i < num_continents; ++i) {
+    m.continents.push_back(KV2{"cont-" + rng.Word(5) + "-" +
+                                   std::to_string(i),
+                               std::to_string(rng.Range(100, 60000))});
+  }
+
+  for (int i = 0; i < n; ++i) {
+    size_t idx = static_cast<size_t>(i);
+    Country c;
+    std::string tag = std::to_string(i);
+    c.name = "country-" + rng.Word(5) + "-" + tag;
+    c.capital = "cap-" + rng.Word(5) + "-" + tag;
+    c.pop = std::to_string(rng.Range(100000, 90000000));
+    c.area = std::to_string(rng.Range(1000, 900000));
+    c.gdp = std::to_string(rng.Range(5, 20000));
+    c.carcode = "CC" + tag;
+    c.indep = std::to_string(rng.Range(1200, 1995));
+    c.government = (i % 2) ? "republic" : "monarchy";
+
+    int np = ListLen(rng, idx, 1, 3);
+    static int global_prov = 0;
+    if (i == 0) global_prov = 0;  // reset per model build
+    for (int p = 0; p < np; ++p) {
+      Province prov;
+      prov.name = "prov-" + rng.Word(4) + "-" + tag + "-" +
+                  std::to_string(p);
+      prov.area = std::to_string(rng.Range(100, 90000));
+      prov.pop = std::to_string(rng.Range(1000, 9000000));
+      // City multiplicity keyed on the *global* province index so the
+      // example-mode model has exactly one province with two cities.
+      int nc = ListLen(rng, static_cast<size_t>(global_prov++), 1, 3);
+      for (int ci = 0; ci < nc; ++ci) {
+        City city;
+        city.name = "city-" + rng.Word(4) + "-" + tag + "-" +
+                    std::to_string(p) + "-" + std::to_string(ci);
+        city.pop = std::to_string(rng.Range(5000, 4000000));
+        city.elevation = std::to_string(rng.Range(0, 3600));
+        city.longitude = std::to_string(rng.Range(-179, 179));
+        city.latitude = std::to_string(rng.Range(-89, 89));
+        city.type = (ci % 2) ? "metro" : "town";
+        int nh = ListLen(rng, static_cast<size_t>(ci), 0, 2);
+        for (int h = 0; h < nh; ++h) {
+          city.histpops.push_back(
+              HistPop{std::to_string(1950 + 10 * h),
+                      std::to_string(rng.Range(1000, 3000000))});
+        }
+        int nl = ListLen(rng, static_cast<size_t>(ci), 0, 2);
+        for (int l = 0; l < nl; ++l) {
+          city.located.push_back(LocatedAt{"water-" + rng.Word(4),
+                                           (l % 2) ? "river" : "lake"});
+        }
+        prov.cities.push_back(std::move(city));
+      }
+      c.provinces.push_back(std::move(prov));
+    }
+
+    int nl = ListLen(rng, idx, 1, 3);
+    for (int l = 0; l < nl; ++l) {
+      c.languages.push_back(Language{"lang-" + rng.Word(4),
+                                     std::to_string(rng.Range(1, 99)),
+                                     "fam-" + rng.Word(3)});
+    }
+    int nr = ListLen(rng, idx, 1, 2);
+    for (int r = 0; r < nr; ++r) {
+      c.religions.push_back(KV2{"rel-" + rng.Word(4),
+                                std::to_string(rng.Range(1, 99))});
+    }
+    int ne = ListLen(rng, idx, 1, 2);
+    for (int e = 0; e < ne; ++e) {
+      c.ethnicgroups.push_back(KV2{"eth-" + rng.Word(4),
+                                   std::to_string(rng.Range(1, 99))});
+    }
+    int nb = ListLen(rng, idx, 0, 3);
+    for (int b = 0; b < nb; ++b) {
+      c.borders.push_back(KV2{"CC" + std::to_string((i + b + 1) % n),
+                              std::to_string(rng.Range(10, 4000))});
+    }
+    int nen = ListLen(rng, idx, 1, 2);
+    for (int e = 0; e < nen; ++e) {
+      c.encompassed.push_back(
+          KV2{m.continents[static_cast<size_t>(e) % m.continents.size()].a,
+              std::to_string(rng.Range(10, 100))});
+    }
+    c.economy = Economy{std::to_string(rng.Range(0, 20)) + "." +
+                            std::to_string(rng.Range(0, 9)),
+                        std::to_string(rng.Range(1, 30)),
+                        std::to_string(rng.Range(1, 60)),
+                        std::to_string(rng.Range(1, 60)),
+                        std::to_string(rng.Range(1, 60))};
+    int ncp = ListLen(rng, idx, 1, 3);
+    for (int p = 0; p < ncp; ++p) {
+      c.countrypops.push_back(
+          KV2{std::to_string(1960 + 20 * p),
+              std::to_string(rng.Range(90000, 80000000))});
+    }
+    c.popgrowth = KV2{std::to_string(rng.Range(-2, 4)) + "." +
+                          std::to_string(rng.Range(0, 9)),
+                      std::to_string(rng.Range(2, 80))};
+    m.countries.push_back(std::move(c));
+  }
+
+  int norg = std::max(2, n / 3);
+  for (int i = 0; i < norg; ++i) {
+    Organization o;
+    o.name = "org-" + rng.Word(6) + "-" + std::to_string(i);
+    o.abbrev = "O" + std::to_string(i);
+    o.established = std::to_string(rng.Range(1900, 2000));
+    o.seat = "cap-" + rng.Word(5);
+    o.category = (i % 2) ? "economic" : "political";
+    int nm = ListLen(rng, static_cast<size_t>(i), 1, 4);
+    for (int k = 0; k < nm; ++k) {
+      o.members.push_back(KV2{"CC" + std::to_string((i + k) % n),
+                              (k % 2) ? "member" : "observer"});
+    }
+    m.orgs.push_back(std::move(o));
+  }
+
+  int nfeat = std::max(2, n / 3);
+  for (int i = 0; i < nfeat; ++i) {
+    std::string tag = std::to_string(i);
+    m.seas.push_back(Feature4{"sea-" + rng.Word(4) + "-" + tag,
+                              std::to_string(rng.Range(50, 11000)),
+                              std::to_string(rng.Range(1000, 900000)),
+                              "CC" + std::to_string(i % n), ""});
+    m.lakes.push_back(Feature4{"lake-" + rng.Word(4) + "-" + tag,
+                               std::to_string(rng.Range(5, 90000)),
+                               std::to_string(rng.Range(2, 1700)),
+                               "prov-" + rng.Word(4),
+                               (i % 2) ? "salt" : "fresh"});
+    m.rivers.push_back(Feature4{"river-" + rng.Word(4) + "-" + tag,
+                                std::to_string(rng.Range(50, 6500)),
+                                "mt-" + rng.Word(4), "sea-" + rng.Word(4),
+                                "basin-" + rng.Word(4)});
+    m.mountains.push_back(Feature4{"mt-" + rng.Word(4) + "-" + tag,
+                                   std::to_string(rng.Range(900, 8800)),
+                                   (i % 2) ? "volcano" : "fold", "", ""});
+    m.deserts.push_back(Feature4{"desert-" + rng.Word(4) + "-" + tag,
+                                 std::to_string(rng.Range(100, 9000000)),
+                                 "CC" + std::to_string(i % n), "", ""});
+    Island isl;
+    isl.name = "isl-" + rng.Word(4) + "-" + tag;
+    isl.area = std::to_string(rng.Range(1, 800000));
+    isl.height = std::to_string(rng.Range(1, 4000));
+    int ni = ListLen(rng, static_cast<size_t>(i), 0, 2);
+    for (int k = 0; k < ni; ++k) {
+      isl.in.push_back(KV2{"sea-" + rng.Word(4), (k % 2) ? "sea" : "lake"});
+    }
+    m.islands.push_back(std::move(isl));
+    Airport ap;
+    ap.name = "apt-" + rng.Word(5) + "-" + tag;
+    ap.iata = "A" + std::to_string(100 + i);
+    ap.elev = std::to_string(rng.Range(0, 2500));
+    ap.loc = KV2{"city-" + rng.Word(4), "CC" + std::to_string(i % n)};
+    m.airports.push_back(std::move(ap));
+  }
+  return m;
+}
+
+void Field(std::string* out, int indent, const char* tag,
+           const std::string& v) {
+  out->append(static_cast<size_t>(indent), ' ');
+  *out += "<";
+  *out += tag;
+  *out += ">";
+  *out += xml::EscapeText(v);
+  *out += "</";
+  *out += tag;
+  *out += ">\n";
+}
+
+std::string Render(const Model& m) {
+  std::string out = "<mondial>\n";
+  for (const KV2& c : m.continents) {
+    out += "  <continent>\n";
+    Field(&out, 4, "coname", c.a);
+    Field(&out, 4, "coarea", c.b);
+    out += "  </continent>\n";
+  }
+  for (const Country& c : m.countries) {
+    out += "  <country>\n";
+    Field(&out, 4, "cname", c.name);
+    Field(&out, 4, "capital", c.capital);
+    Field(&out, 4, "cpop", c.pop);
+    Field(&out, 4, "carea", c.area);
+    Field(&out, 4, "gdp", c.gdp);
+    Field(&out, 4, "carcode", c.carcode);
+    Field(&out, 4, "indep", c.indep);
+    Field(&out, 4, "government", c.government);
+    for (const Province& p : c.provinces) {
+      out += "    <province>\n";
+      Field(&out, 6, "pname", p.name);
+      Field(&out, 6, "parea", p.area);
+      Field(&out, 6, "ppop", p.pop);
+      for (const City& ci : p.cities) {
+        out += "      <city>\n";
+        Field(&out, 8, "ciname", ci.name);
+        Field(&out, 8, "cipop", ci.pop);
+        Field(&out, 8, "elevation", ci.elevation);
+        Field(&out, 8, "longitude", ci.longitude);
+        Field(&out, 8, "latitude", ci.latitude);
+        Field(&out, 8, "citype", ci.type);
+        for (const HistPop& h : ci.histpops) {
+          out += "        <histpop>\n";
+          Field(&out, 10, "hyear", h.year);
+          Field(&out, 10, "hpop", h.pop);
+          out += "        </histpop>\n";
+        }
+        for (const LocatedAt& l : ci.located) {
+          out += "        <locatedat>\n";
+          Field(&out, 10, "water", l.water);
+          Field(&out, 10, "wtype", l.wtype);
+          out += "        </locatedat>\n";
+        }
+        out += "      </city>\n";
+      }
+      out += "    </province>\n";
+    }
+    for (const Language& l : c.languages) {
+      out += "    <language>\n";
+      Field(&out, 6, "lname", l.name);
+      Field(&out, 6, "lpercent", l.percent);
+      Field(&out, 6, "lfamily", l.family);
+      out += "    </language>\n";
+    }
+    auto pair_block = [&](const char* outer, const char* ta, const char* tb,
+                          const std::vector<KV2>& items) {
+      for (const KV2& kv : items) {
+        out += "    <";
+        out += outer;
+        out += ">\n";
+        Field(&out, 6, ta, kv.a);
+        Field(&out, 6, tb, kv.b);
+        out += "    </";
+        out += outer;
+        out += ">\n";
+      }
+    };
+    pair_block("religion", "rname", "rpercent", c.religions);
+    pair_block("ethnicgroup", "egname", "egpercent", c.ethnicgroups);
+    pair_block("border", "bcountry", "blength", c.borders);
+    pair_block("encompassed", "econtinent", "epct", c.encompassed);
+    out += "    <economy>\n";
+    Field(&out, 6, "inflation", c.economy.inflation);
+    Field(&out, 6, "unemployment", c.economy.unemployment);
+    Field(&out, 6, "gdpagri", c.economy.agri);
+    Field(&out, 6, "gdpind", c.economy.ind);
+    Field(&out, 6, "gdpserv", c.economy.serv);
+    out += "    </economy>\n";
+    pair_block("countrypop", "pyear", "pcount", c.countrypops);
+    out += "    <popgrowth>\n";
+    Field(&out, 6, "growthrate", c.popgrowth.a);
+    Field(&out, 6, "infantmortality", c.popgrowth.b);
+    out += "    </popgrowth>\n";
+    out += "  </country>\n";
+  }
+  for (const Organization& o : m.orgs) {
+    out += "  <organization>\n";
+    Field(&out, 4, "oname", o.name);
+    Field(&out, 4, "abbrev", o.abbrev);
+    Field(&out, 4, "established", o.established);
+    Field(&out, 4, "seat", o.seat);
+    Field(&out, 4, "ocategory", o.category);
+    for (const KV2& mm : o.members) {
+      out += "    <member>\n";
+      Field(&out, 6, "mcountry", mm.a);
+      Field(&out, 6, "mtype", mm.b);
+      out += "    </member>\n";
+    }
+    out += "  </organization>\n";
+  }
+  for (const Feature4& s : m.seas) {
+    out += "  <sea>\n";
+    Field(&out, 4, "sname", s.a);
+    Field(&out, 4, "sdepth", s.b);
+    Field(&out, 4, "sarea", s.c);
+    Field(&out, 4, "sbordering", s.d);
+    out += "  </sea>\n";
+  }
+  for (const Feature4& l : m.lakes) {
+    out += "  <lake>\n";
+    Field(&out, 4, "lkname", l.a);
+    Field(&out, 4, "lkarea", l.b);
+    Field(&out, 4, "lkdepth", l.c);
+    Field(&out, 4, "lklocation", l.d);
+    Field(&out, 4, "lktype", l.e);
+    out += "  </lake>\n";
+  }
+  for (const Feature4& r : m.rivers) {
+    out += "  <river>\n";
+    Field(&out, 4, "rivname", r.a);
+    Field(&out, 4, "rivlength", r.b);
+    Field(&out, 4, "source", r.c);
+    Field(&out, 4, "mouth", r.d);
+    Field(&out, 4, "rivbasin", r.e);
+    out += "  </river>\n";
+  }
+  for (const Feature4& mt : m.mountains) {
+    out += "  <mountain>\n";
+    Field(&out, 4, "mtname", mt.a);
+    Field(&out, 4, "height", mt.b);
+    Field(&out, 4, "mttype", mt.c);
+    out += "  </mountain>\n";
+  }
+  for (const Feature4& d : m.deserts) {
+    out += "  <desert>\n";
+    Field(&out, 4, "dname", d.a);
+    Field(&out, 4, "darea", d.b);
+    Field(&out, 4, "dcountry", d.c);
+    out += "  </desert>\n";
+  }
+  for (const Island& i : m.islands) {
+    out += "  <island>\n";
+    Field(&out, 4, "iname", i.name);
+    Field(&out, 4, "iarea", i.area);
+    Field(&out, 4, "iheight", i.height);
+    for (const KV2& in : i.in) {
+      out += "    <islandin>\n";
+      Field(&out, 6, "iwater", in.a);
+      Field(&out, 6, "iwtype", in.b);
+      out += "    </islandin>\n";
+    }
+    out += "  </island>\n";
+  }
+  for (const Airport& a : m.airports) {
+    out += "  <airport>\n";
+    Field(&out, 4, "apname", a.name);
+    Field(&out, 4, "iata", a.iata);
+    Field(&out, 4, "apelev", a.elev);
+    out += "    <airportloc>\n";
+    Field(&out, 6, "alcity", a.loc.a);
+    Field(&out, 6, "alcountry", a.loc.b);
+    out += "    </airportloc>\n";
+    out += "  </airport>\n";
+  }
+  out += "</mondial>\n";
+  return out;
+}
+
+std::map<std::string, std::vector<hdt::Row>> Tables(const Model& m) {
+  std::map<std::string, std::vector<hdt::Row>> t;
+  for (const KV2& c : m.continents) t["continent"].push_back({c.a, c.b});
+  for (const Country& c : m.countries) {
+    t["country"].push_back({c.name, c.capital, c.pop, c.area, c.gdp,
+                            c.carcode, c.indep, c.government});
+    for (const Province& p : c.provinces) {
+      t["province"].push_back({p.name, p.area, p.pop});
+      for (const City& ci : p.cities) {
+        t["city"].push_back({ci.name, ci.pop, ci.elevation, ci.longitude,
+                             ci.latitude, ci.type});
+        for (const HistPop& h : ci.histpops) {
+          t["cityhistpop"].push_back({h.year, h.pop});
+        }
+        for (const LocatedAt& l : ci.located) {
+          t["locatedat"].push_back({l.water, l.wtype});
+        }
+      }
+    }
+    for (const Language& l : c.languages) {
+      t["language"].push_back({l.name, l.percent, l.family});
+    }
+    for (const KV2& r : c.religions) t["religion"].push_back({r.a, r.b});
+    for (const KV2& e : c.ethnicgroups) {
+      t["ethnicgroup"].push_back({e.a, e.b});
+    }
+    for (const KV2& b : c.borders) t["border"].push_back({b.a, b.b});
+    for (const KV2& e : c.encompassed) {
+      t["encompassed"].push_back({e.a, e.b});
+    }
+    t["economy"].push_back({c.economy.inflation, c.economy.unemployment,
+                            c.economy.agri, c.economy.ind, c.economy.serv});
+    for (const KV2& p : c.countrypops) {
+      t["countrypop"].push_back({p.a, p.b});
+    }
+    t["popgrowth"].push_back({c.popgrowth.a, c.popgrowth.b});
+  }
+  for (const Organization& o : m.orgs) {
+    t["organization"].push_back(
+        {o.name, o.abbrev, o.established, o.seat, o.category});
+    for (const KV2& mm : o.members) t["member"].push_back({mm.a, mm.b});
+  }
+  for (const Feature4& s : m.seas) {
+    t["sea"].push_back({s.a, s.b, s.c, s.d});
+  }
+  for (const Feature4& l : m.lakes) {
+    t["lake"].push_back({l.a, l.b, l.c, l.d, l.e});
+  }
+  for (const Feature4& r : m.rivers) {
+    t["river"].push_back({r.a, r.b, r.c, r.d, r.e});
+  }
+  for (const Feature4& mt : m.mountains) {
+    t["mountain"].push_back({mt.a, mt.b, mt.c});
+  }
+  for (const Feature4& d : m.deserts) {
+    t["desert"].push_back({d.a, d.b, d.c});
+  }
+  for (const Island& i : m.islands) {
+    t["island"].push_back({i.name, i.area, i.height});
+    for (const KV2& in : i.in) t["islandin"].push_back({in.a, in.b});
+  }
+  for (const Airport& a : m.airports) {
+    t["airport"].push_back({a.name, a.iata, a.elev});
+    t["airportloc"].push_back({a.loc.a, a.loc.b});
+  }
+  return t;
+}
+
+db::DatabaseSchema Schema() {
+  using db::ColumnKind;
+  db::DatabaseSchema s;
+  auto pk = [](const char* n) {
+    return db::ColumnDef{n, ColumnKind::kPrimaryKey, ""};
+  };
+  auto col = [](const char* n) {
+    return db::ColumnDef{n, ColumnKind::kData, ""};
+  };
+  auto fk = [](const char* n, const char* ref) {
+    return db::ColumnDef{n, ColumnKind::kForeignKey, ref};
+  };
+  s.tables.push_back({"continent", {pk("id"), col("coname"), col("coarea")}});
+  s.tables.push_back({"country",
+                      {pk("id"), col("cname"), col("capital"), col("cpop"),
+                       col("carea"), col("gdp"), col("carcode"),
+                       col("indep"), col("government")}});
+  s.tables.push_back({"province",
+                      {pk("id"), col("pname"), col("parea"), col("ppop"),
+                       fk("country", "country")}});
+  s.tables.push_back({"city",
+                      {pk("id"), col("ciname"), col("cipop"),
+                       col("elevation"), col("longitude"), col("latitude"),
+                       col("citype"), fk("province", "province")}});
+  s.tables.push_back({"cityhistpop",
+                      {pk("id"), col("hyear"), col("hpop"),
+                       fk("city", "city")}});
+  s.tables.push_back({"locatedat",
+                      {pk("id"), col("water"), col("wtype"),
+                       fk("city", "city")}});
+  s.tables.push_back({"language",
+                      {pk("id"), col("lname"), col("lpercent"),
+                       col("lfamily"), fk("country", "country")}});
+  s.tables.push_back({"religion",
+                      {pk("id"), col("rname"), col("rpercent"),
+                       fk("country", "country")}});
+  s.tables.push_back({"ethnicgroup",
+                      {pk("id"), col("egname"), col("egpercent"),
+                       fk("country", "country")}});
+  s.tables.push_back({"border",
+                      {pk("id"), col("bcountry"), col("blength"),
+                       fk("country", "country")}});
+  s.tables.push_back({"encompassed",
+                      {pk("id"), col("econtinent"), col("epct"),
+                       fk("country", "country")}});
+  s.tables.push_back({"economy",
+                      {pk("id"), col("inflation"), col("unemployment"),
+                       col("gdpagri"), col("gdpind"), col("gdpserv"),
+                       fk("country", "country")}});
+  s.tables.push_back({"countrypop",
+                      {pk("id"), col("pyear"), col("pcount"),
+                       fk("country", "country")}});
+  s.tables.push_back({"popgrowth",
+                      {pk("id"), col("growthrate"), col("infantmortality"),
+                       fk("country", "country")}});
+  s.tables.push_back({"organization",
+                      {pk("id"), col("oname"), col("abbrev"),
+                       col("established"), col("seat"), col("ocategory")}});
+  s.tables.push_back({"member",
+                      {pk("id"), col("mcountry"), col("mtype"),
+                       fk("org", "organization")}});
+  s.tables.push_back({"sea",
+                      {pk("id"), col("sname"), col("sdepth"), col("sarea"),
+                       col("sbordering")}});
+  s.tables.push_back({"lake",
+                      {pk("id"), col("lkname"), col("lkarea"),
+                       col("lkdepth"), col("lklocation"), col("lktype")}});
+  s.tables.push_back({"river",
+                      {pk("id"), col("rivname"), col("rivlength"),
+                       col("source"), col("mouth"), col("rivbasin")}});
+  s.tables.push_back({"mountain",
+                      {pk("id"), col("mtname"), col("height"),
+                       col("mttype")}});
+  s.tables.push_back({"desert",
+                      {pk("id"), col("dname"), col("darea"),
+                       col("dcountry")}});
+  s.tables.push_back({"island",
+                      {pk("id"), col("iname"), col("iarea"),
+                       col("iheight")}});
+  s.tables.push_back({"islandin",
+                      {pk("id"), col("iwater"), col("iwtype"),
+                       fk("island", "island")}});
+  s.tables.push_back({"airport",
+                      {pk("id"), col("apname"), col("iata"),
+                       col("apelev")}});
+  s.tables.push_back({"airportloc",
+                      {pk("id"), col("alcity"), col("alcountry"),
+                       fk("airport", "airport")}});
+  return s;
+}
+
+}  // namespace
+
+const DatasetSpec& Mondial() {
+  static const DatasetSpec* spec = [] {
+    auto* s = new DatasetSpec();
+    s->name = "MONDIAL";
+    s->format = DocFormat::kXml;
+    s->schema = Schema();
+    g_example_mode = true;
+    Model example = BuildModel(2, 5);
+    g_example_mode = false;
+    s->example_document = Render(example);
+    s->example_tables = Tables(example);
+    s->generate = [](int scale, uint32_t seed) {
+      return Render(BuildModel(scale, seed));
+    };
+    s->expected_tables = [](int scale, uint32_t seed) {
+      return Tables(BuildModel(scale, seed));
+    };
+    return s;
+  }();
+  return *spec;
+}
+
+}  // namespace mitra::workload

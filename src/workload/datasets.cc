@@ -1,0 +1,24 @@
+#include "workload/datasets.h"
+
+namespace mitra::workload {
+
+std::string Rng::Word(int len) {
+  static const char* consonants = "bcdfghklmnprstvz";
+  static const char* vowels = "aeiou";
+  std::string out;
+  out.reserve(static_cast<size_t>(len));
+  for (int i = 0; i < len; ++i) {
+    if (i % 2 == 0) {
+      out.push_back(consonants[Below(16)]);
+    } else {
+      out.push_back(vowels[Below(5)]);
+    }
+  }
+  return out;
+}
+
+std::vector<const DatasetSpec*> AllDatasets() {
+  return {&Dblp(), &Imdb(), &Mondial(), &Yelp()};
+}
+
+}  // namespace mitra::workload

@@ -1,0 +1,54 @@
+#ifndef MITRA_WORKLOAD_DOCGEN_H_
+#define MITRA_WORKLOAD_DOCGEN_H_
+
+#include <cstdint>
+#include <string>
+
+/// \file docgen.h
+/// Schema-driven document generators for the *execution* benchmarks —
+/// our stand-in for the paper's use of the Oxygen XML editor to produce
+/// ~512 MB documents with a fixed schema (§7.1 "Performance") and for
+/// the §2 claim of migrating a >1M-element social-network document.
+
+namespace mitra::workload {
+
+/// Generates a social-network document in the shape of Fig. 2a with
+/// `num_persons` persons (≈ 8 HDT nodes per person: Person, id, name,
+/// Friendship, and 2 Friend entries with fid/years on average).
+/// Friendships are symmetric, as in the paper's example.
+std::string GenerateSocialNetworkXml(int num_persons, uint32_t seed);
+
+/// Expected number of rows of the motivating-example relation for a
+/// document produced by GenerateSocialNetworkXml with the same arguments.
+size_t SocialNetworkExpectedRows(int num_persons, uint32_t seed);
+
+/// Approximate HDT node count for GenerateSocialNetworkXml output.
+size_t SocialNetworkApproxElements(int num_persons, uint32_t seed);
+
+}  // namespace mitra::workload
+
+#include <set>
+
+#include "hdt/hdt.h"
+
+namespace mitra::workload {
+
+/// Replicates a document `factor` times: the result's root carries
+/// `factor` copies of the input root's children, in order. Used to scale
+/// the execution benchmarks the way the paper scaled its test documents
+/// with a schema-driven generator.
+///
+/// When `mutate_strings` is set, non-numeric data values are suffixed
+/// with the copy index so copies stay distinguishable — value-based
+/// joins then match within one copy only (as they would in real data,
+/// where identifiers are unique), instead of cross-matching all copies
+/// combinatorially. Values listed in `preserve` (e.g. constants the
+/// synthesized program filters on) are never mutated, keeping filter
+/// semantics intact.
+hdt::Hdt ReplicateDocument(const hdt::Hdt& tree, int factor,
+                           bool mutate_strings = false,
+                           const std::set<std::string>* preserve = nullptr);
+
+}  // namespace mitra::workload
+
+#endif  // MITRA_WORKLOAD_DOCGEN_H_

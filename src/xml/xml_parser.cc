@@ -1,0 +1,376 @@
+#include "xml/xml_parser.h"
+
+#include <cctype>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace mitra::xml {
+
+namespace {
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+/// Recursive-descent XML parser building the HDT encoding directly.
+class Parser {
+ public:
+  explicit Parser(std::string_view in) : in_(in) {}
+
+  Result<hdt::Hdt> Parse() {
+    SkipProlog();
+    if (AtEnd()) return Err("document has no root element");
+    hdt::Hdt tree;
+    MITRA_RETURN_IF_ERROR(ParseElement(&tree, hdt::kInvalidNode));
+    SkipMisc();
+    if (!AtEnd()) return Err("trailing content after root element");
+    return tree;
+  }
+
+ private:
+  // --- low-level cursor ---------------------------------------------------
+  bool AtEnd() const { return pos_ >= in_.size(); }
+  char Peek() const { return in_[pos_]; }
+  char PeekAt(size_t off) const {
+    return pos_ + off < in_.size() ? in_[pos_ + off] : '\0';
+  }
+  void Advance() {
+    if (in_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+  bool Consume(char c) {
+    if (!AtEnd() && Peek() == c) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeLit(std::string_view lit) {
+    if (in_.substr(pos_).substr(0, lit.size()) == lit) {
+      for (size_t i = 0; i < lit.size(); ++i) Advance();
+      return true;
+    }
+    return false;
+  }
+  void SkipWs() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+  Status Err(std::string msg) const {
+    return Status::ParseError("XML " + std::to_string(line_) + ":" +
+                              std::to_string(col_) + ": " + std::move(msg));
+  }
+
+  // --- structure ----------------------------------------------------------
+
+  void SkipMisc() {
+    // Whitespace, comments, processing instructions between markup.
+    while (true) {
+      SkipWs();
+      if (ConsumeLit("<!--")) {
+        SkipUntil("-->");
+      } else if (pos_ + 1 < in_.size() && Peek() == '<' &&
+                 PeekAt(1) == '?') {
+        SkipUntil("?>");
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipProlog() {
+    while (true) {
+      SkipWs();
+      if (ConsumeLit("<?")) {
+        SkipUntil("?>");
+      } else if (ConsumeLit("<!--")) {
+        SkipUntil("-->");
+      } else if (ConsumeLit("<!DOCTYPE")) {
+        // Skip to the matching '>' (handles one level of [] internal subset).
+        int depth = 0;
+        while (!AtEnd()) {
+          char c = Peek();
+          Advance();
+          if (c == '[') ++depth;
+          if (c == ']') --depth;
+          if (c == '>' && depth <= 0) break;
+        }
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipUntil(std::string_view terminator) {
+    while (!AtEnd() && !ConsumeLit(terminator)) Advance();
+  }
+
+  Result<std::string> ParseName() {
+    if (AtEnd() || !IsNameStartChar(Peek())) {
+      return Err("expected a name");
+    }
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) Advance();
+    return std::string(in_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> ParseAttrValue() {
+    char quote = Peek();
+    if (quote != '"' && quote != '\'') return Err("expected quoted value");
+    Advance();
+    size_t start = pos_;
+    while (!AtEnd() && Peek() != quote) Advance();
+    if (AtEnd()) return Err("unterminated attribute value");
+    std::string_view raw = in_.substr(start, pos_ - start);
+    Advance();  // closing quote
+    return DecodeEntities(raw);
+  }
+
+  /// Parses one element; creates the node under `parent` (or the root).
+  Status ParseElement(hdt::Hdt* tree, hdt::NodeId parent) {
+    if (!Consume('<')) return Err("expected '<'");
+    MITRA_ASSIGN_OR_RETURN(std::string name, ParseName());
+
+    struct Attr {
+      std::string name, value;
+    };
+    std::vector<Attr> attrs;
+    while (true) {
+      SkipWs();
+      if (AtEnd()) return Err("unterminated start tag <" + name);
+      if (Peek() == '/' || Peek() == '>') break;
+      MITRA_ASSIGN_OR_RETURN(std::string aname, ParseName());
+      SkipWs();
+      if (!Consume('=')) return Err("expected '=' after attribute name");
+      SkipWs();
+      MITRA_ASSIGN_OR_RETURN(std::string avalue, ParseAttrValue());
+      attrs.push_back({std::move(aname), std::move(avalue)});
+    }
+
+    bool self_closing = Consume('/');
+    if (!Consume('>')) return Err("expected '>'");
+
+    hdt::NodeId node = parent == hdt::kInvalidNode
+                           ? tree->AddRoot(name)
+                           : tree->AddChild(parent, name);
+    for (const Attr& a : attrs) tree->AddAttribute(node, a.name, a.value);
+    if (self_closing) return Status::OK();
+
+    // Content: interleave text runs and child elements until </name>.
+    std::vector<std::string> text_runs;
+    std::string pending_text;
+    bool saw_child_element = !attrs.empty();
+    auto flush_text = [&]() {
+      std::string_view trimmed = TrimWhitespace(pending_text);
+      if (!trimmed.empty()) text_runs.emplace_back(trimmed);
+      pending_text.clear();
+    };
+
+    while (true) {
+      if (AtEnd()) return Err("unterminated element <" + name + ">");
+      if (Peek() == '<') {
+        if (ConsumeLit("<!--")) {
+          SkipUntil("-->");
+          continue;
+        }
+        if (ConsumeLit("<![CDATA[")) {
+          size_t start = pos_;
+          while (!AtEnd() && !(Peek() == ']' && PeekAt(1) == ']' &&
+                               PeekAt(2) == '>')) {
+            Advance();
+          }
+          if (AtEnd()) return Err("unterminated CDATA section");
+          pending_text.append(in_.substr(start, pos_ - start));
+          ConsumeLit("]]>");
+          continue;
+        }
+        if (PeekAt(1) == '?') {
+          SkipUntil("?>");
+          continue;
+        }
+        if (PeekAt(1) == '/') {
+          Advance();  // '<'
+          Advance();  // '/'
+          MITRA_ASSIGN_OR_RETURN(std::string close, ParseName());
+          SkipWs();
+          if (!Consume('>')) return Err("expected '>' in end tag");
+          if (close != name) {
+            return Err("mismatched end tag </" + close + ">, expected </" +
+                       name + ">");
+          }
+          break;
+        }
+        // A child element: any buffered text becomes a `text` child run.
+        flush_text();
+        saw_child_element = true;
+        // Emit text runs seen so far in document order before the child.
+        for (std::string& run : text_runs) {
+          tree->AddChild(node, "text", run);
+        }
+        text_runs.clear();
+        MITRA_RETURN_IF_ERROR(ParseElement(tree, node));
+      } else if (Peek() == '&') {
+        size_t start = pos_;
+        while (!AtEnd() && Peek() != ';') Advance();
+        if (AtEnd()) return Err("unterminated entity reference");
+        Advance();  // ';'
+        MITRA_ASSIGN_OR_RETURN(
+            std::string decoded,
+            DecodeEntities(in_.substr(start, pos_ - start)));
+        pending_text.append(decoded);
+      } else {
+        pending_text.push_back(Peek());
+        Advance();
+      }
+    }
+
+    flush_text();
+    if (!saw_child_element && text_runs.size() == 1 &&
+        tree->node(node).children.empty()) {
+      // Pure text content: store as the element's own data (Fig. 4a).
+      tree->SetLeafData(node, text_runs[0]);
+    } else {
+      for (std::string& run : text_runs) tree->AddChild(node, "text", run);
+    }
+    return Status::OK();
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+Result<hdt::Hdt> ParseXml(std::string_view input) {
+  return Parser(input).Parse();
+}
+
+Result<std::string> DecodeEntities(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '&') {
+      out.push_back(s[i]);
+      continue;
+    }
+    size_t semi = s.find(';', i);
+    if (semi == std::string_view::npos) {
+      return Status::ParseError("unterminated entity in '" + std::string(s) +
+                                "'");
+    }
+    std::string_view ent = s.substr(i + 1, semi - i - 1);
+    if (ent == "lt") {
+      out.push_back('<');
+    } else if (ent == "gt") {
+      out.push_back('>');
+    } else if (ent == "amp") {
+      out.push_back('&');
+    } else if (ent == "quot") {
+      out.push_back('"');
+    } else if (ent == "apos") {
+      out.push_back('\'');
+    } else if (!ent.empty() && ent[0] == '#') {
+      bool hex = ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X');
+      std::string_view digits = ent.substr(hex ? 2 : 1);
+      if (digits.empty()) return Status::ParseError("bad numeric entity");
+      uint32_t code = 0;
+      for (char c : digits) {
+        int d;
+        if (c >= '0' && c <= '9') {
+          d = c - '0';
+        } else if (hex && c >= 'a' && c <= 'f') {
+          d = c - 'a' + 10;
+        } else if (hex && c >= 'A' && c <= 'F') {
+          d = c - 'A' + 10;
+        } else {
+          return Status::ParseError("bad numeric entity &" + std::string(ent) +
+                                    ";");
+        }
+        code = code * (hex ? 16 : 10) + static_cast<uint32_t>(d);
+        if (code > 0x10FFFF) {
+          return Status::ParseError("numeric entity out of range");
+        }
+      }
+      // UTF-8 encode.
+      if (code < 0x80) {
+        out.push_back(static_cast<char>(code));
+      } else if (code < 0x800) {
+        out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+      } else if (code < 0x10000) {
+        out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+      } else {
+        out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+      }
+    } else {
+      return Status::ParseError("unknown entity &" + std::string(ent) + ";");
+    }
+    i = semi;
+  }
+  return out;
+}
+
+std::string EscapeText(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string EscapeAttribute(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace mitra::xml

@@ -1,0 +1,94 @@
+#include "xml/xml_writer.h"
+
+#include "xml/xml_parser.h"
+
+namespace mitra::xml {
+
+namespace {
+
+void WriteNode(const hdt::Hdt& t, hdt::NodeId id, const WriteOptions& opts,
+               int depth, std::string* out) {
+  auto indent = [&]() {
+    if (opts.pretty) out->append(static_cast<size_t>(depth) * 2, ' ');
+  };
+  auto newline = [&]() {
+    if (opts.pretty) out->push_back('\n');
+  };
+
+  const hdt::Node& n = t.node(id);
+  const std::string& tag = t.NodeTagName(id);
+
+  if (tag == "text" && n.has_data) {
+    indent();
+    out->append(EscapeText(n.data));
+    newline();
+    return;
+  }
+
+  indent();
+  out->push_back('<');
+  out->append(tag);
+  // Attribute-encoded children render as real attributes.
+  size_t non_attr_children = 0;
+  for (hdt::NodeId c : n.children) {
+    if (t.IsAttribute(c)) {
+      out->push_back(' ');
+      out->append(t.NodeTagName(c));
+      out->append("=\"");
+      out->append(EscapeAttribute(std::string(t.Data(c))));
+      out->push_back('"');
+    } else {
+      ++non_attr_children;
+    }
+  }
+  if (non_attr_children == 0 && !n.children.empty()) {
+    if (n.has_data) {
+      out->push_back('>');
+      out->append(EscapeText(n.data));
+      out->append("</");
+      out->append(tag);
+      out->push_back('>');
+    } else {
+      out->append("/>");
+    }
+    newline();
+    return;
+  }
+  if (n.children.empty()) {
+    if (n.has_data) {
+      out->push_back('>');
+      out->append(EscapeText(n.data));
+      out->append("</");
+      out->append(tag);
+      out->push_back('>');
+    } else {
+      out->append("/>");
+    }
+    newline();
+    return;
+  }
+  out->push_back('>');
+  newline();
+  for (hdt::NodeId c : n.children) {
+    if (!t.IsAttribute(c)) WriteNode(t, c, opts, depth + 1, out);
+  }
+  indent();
+  out->append("</");
+  out->append(tag);
+  out->push_back('>');
+  newline();
+}
+
+}  // namespace
+
+std::string WriteXml(const hdt::Hdt& tree, const WriteOptions& opts) {
+  std::string out;
+  if (opts.prolog) {
+    out += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+    if (opts.pretty) out += "\n";
+  }
+  if (!tree.empty()) WriteNode(tree, tree.root(), opts, 0, &out);
+  return out;
+}
+
+}  // namespace mitra::xml

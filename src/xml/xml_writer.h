@@ -1,0 +1,29 @@
+#ifndef MITRA_XML_XML_WRITER_H_
+#define MITRA_XML_XML_WRITER_H_
+
+#include <string>
+
+#include "hdt/hdt.h"
+
+/// \file xml_writer.h
+/// Serializes an Hdt back to XML text. The inverse of the parser's
+/// encoding, modulo attribute/element distinction (all HDT children are
+/// emitted as nested elements; children tagged `text` are emitted as
+/// character data). Round-tripping text → Hdt → text → Hdt yields an
+/// identical tree, which is the property the tests assert.
+
+namespace mitra::xml {
+
+struct WriteOptions {
+  /// Pretty-print with 2-space indentation and newlines.
+  bool pretty = true;
+  /// Emit an `<?xml version="1.0"?>` prolog.
+  bool prolog = false;
+};
+
+/// Serializes the subtree rooted at `tree.root()`.
+std::string WriteXml(const hdt::Hdt& tree, const WriteOptions& opts = {});
+
+}  // namespace mitra::xml
+
+#endif  // MITRA_XML_XML_WRITER_H_

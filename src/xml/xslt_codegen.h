@@ -1,0 +1,44 @@
+#ifndef MITRA_XML_XSLT_CODEGEN_H_
+#define MITRA_XML_XSLT_CODEGEN_H_
+
+#include <string>
+#include <vector>
+
+#include "dsl/ast.h"
+
+/// \file xslt_codegen.h
+/// XML plug-in backend (paper §6, Fig. 14): translates a synthesized DSL
+/// program into an executable XSLT 1.0 stylesheet.
+///
+/// Mapping from DSL to XPath:
+///   children(π, tag)        →  π/tag
+///   pchildren(π, tag, pos)  →  π/tag[pos+1]       (XPath is 1-based)
+///   descendants(π, tag)     →  π//tag
+///   parent(ϕ)               →  ϕ/..
+///   child(ϕ, tag, pos)      →  ϕ/tag[pos+1]
+///
+/// Attribute nodes of the HDT encoding map to `@tag` and text-run nodes to
+/// `text()`; since the generator cannot know which tags were attributes in
+/// the source document, it emits a union step `(tag|@tag)` where a tag
+/// could be either — XPath unions are free of false positives because an
+/// element never has both forms in the documents MITRA targets.
+///
+/// The generated stylesheet emits one `row` element per output tuple with
+/// one `col` element per column — the same row/column text layout the
+/// MITRA artifact produced. Predicate checks are hoisted to the outermost
+/// for-each at which all referenced columns are bound (the App. C
+/// early-filtering structure).
+
+namespace mitra::xml {
+
+/// Generates the XSLT program text for `p`.
+std::string GenerateXslt(const dsl::Program& p);
+
+/// Counts the lines of the generated program, excluding built-in scaffold
+/// (stylesheet boilerplate), matching the paper's Table 1 "LOC" metric
+/// which excludes built-in functions and input parsing.
+int CountEffectiveLoc(const std::string& code);
+
+}  // namespace mitra::xml
+
+#endif  // MITRA_XML_XSLT_CODEGEN_H_

@@ -1,0 +1,41 @@
+#ifndef MITRA_XML_XSLT_INTERPRETER_H_
+#define MITRA_XML_XSLT_INTERPRETER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "hdt/hdt.h"
+#include "hdt/table.h"
+
+/// \file xslt_interpreter.h
+/// An interpreter for the XSLT subset emitted by GenerateXslt, so the
+/// generated stylesheets can be *executed* and validated against the
+/// in-library executor (the paper ran its XSLT under a full processor;
+/// none is available offline, and this closes the same loop).
+///
+/// Supported stylesheet structure: one template with nested
+/// `xsl:for-each` / `xsl:variable` (select=".") / `xsl:if` and a `row` of
+/// `col`/`xsl:value-of` leaves. Supported XPath subset (exactly what the
+/// generator emits):
+///
+///   /*/a/b[2]/descendant::c/@d/text()[1]  absolute location paths
+///   $cN/../a[1]                            variable-relative paths
+///   (A | B)                                unions
+///   generate-id(P) = generate-id(Q)        node-identity comparison
+///   P = Q, P != Q, P < 3, …                existential node-set compares
+///   E and E, E or E, not(E)                boolean connectives
+///
+/// Semantics follow the HDT encoding contract documented in
+/// xslt_codegen.h: `@name` matches the leaf child encoding an attribute,
+/// `text()` matches `text`-tagged children, and comparisons use the
+/// numeric-aware ordering of the DSL evaluator.
+
+namespace mitra::xml {
+
+/// Runs a generated stylesheet against a document (as HDT). Returns the
+/// emitted rows (one per `row` element, one cell per `col`).
+Result<hdt::Table> RunXslt(const std::string& stylesheet, const hdt::Hdt& doc);
+
+}  // namespace mitra::xml
+
+#endif  // MITRA_XML_XSLT_INTERPRETER_H_

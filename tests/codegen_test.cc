@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "core/synthesizer.h"
+#include "json/js_codegen.h"
+#include "test_util.h"
+#include "xml/xslt_codegen.h"
+
+namespace mitra {
+namespace {
+
+using test::MakeTable;
+using test::ParseXmlOrDie;
+using test::SynthesizeOrDie;
+
+dsl::Program SampleProgram() {
+  hdt::Hdt t = ParseXmlOrDie(R"(
+<r>
+  <p id="1"><n>A</n></p>
+  <p id="2"><n>B</n></p>
+</r>
+)");
+  hdt::Table r = MakeTable({{"A", "1"}, {"B", "2"}});
+  return SynthesizeOrDie(t, r).program;
+}
+
+TEST(XsltCodegen, EmitsWellFormedStylesheet) {
+  std::string code = xml::GenerateXslt(SampleProgram());
+  EXPECT_NE(code.find("<xsl:stylesheet"), std::string::npos);
+  EXPECT_NE(code.find("</xsl:stylesheet>"), std::string::npos);
+  EXPECT_NE(code.find("<xsl:for-each"), std::string::npos);
+  EXPECT_NE(code.find("<row>"), std::string::npos);
+  // Balanced for-each tags.
+  size_t opens = 0, closes = 0, at = 0;
+  while ((at = code.find("<xsl:for-each", at)) != std::string::npos) {
+    ++opens;
+    ++at;
+  }
+  at = 0;
+  while ((at = code.find("</xsl:for-each>", at)) != std::string::npos) {
+    ++closes;
+    ++at;
+  }
+  EXPECT_EQ(opens, closes);
+  // The emitted stylesheet must itself parse as XML.
+  auto parsed = xml::ParseXml(code);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << code;
+}
+
+TEST(XsltCodegen, PredicatesBecomeIfTests) {
+  dsl::Program p = SampleProgram();
+  ASSERT_GT(p.NumUsedAtoms(), 0) << dsl::ToString(p);
+  std::string code = xml::GenerateXslt(p);
+  EXPECT_NE(code.find("<xsl:if test="), std::string::npos);
+}
+
+TEST(XsltCodegen, DescendantsMapToDescendantAxis) {
+  dsl::Program p;
+  p.columns = {dsl::ColumnExtractor{{{dsl::ColOp::kDescendants, "x", 0}}}};
+  std::string code = xml::GenerateXslt(p);
+  EXPECT_NE(code.find("descendant::x"), std::string::npos);
+}
+
+TEST(XsltCodegen, PositionsAreOneBased) {
+  dsl::Program p;
+  p.columns = {dsl::ColumnExtractor{{{dsl::ColOp::kPChildren, "x", 1}}}};
+  std::string code = xml::GenerateXslt(p);
+  EXPECT_NE(code.find("x[2]"), std::string::npos);
+}
+
+TEST(XsltCodegen, LocExcludesBoilerplate) {
+  std::string code = xml::GenerateXslt(SampleProgram());
+  int loc = xml::CountEffectiveLoc(code);
+  EXPECT_GT(loc, 4);
+  EXPECT_LT(loc, 60);
+}
+
+TEST(JsCodegen, EmitsMigrateFunctionAndRuntime) {
+  std::string code = json::GenerateJavaScript(SampleProgram());
+  EXPECT_NE(code.find("function migrate(doc)"), std::string::npos);
+  EXPECT_NE(code.find("function toHdt"), std::string::npos);
+  EXPECT_NE(code.find("rows.push"), std::string::npos);
+  EXPECT_NE(code.find("module.exports"), std::string::npos);
+  // Balanced braces (sanity for generated syntax).
+  int depth = 0;
+  for (char c : code) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(JsCodegen, LocExcludesRuntime) {
+  std::string code = json::GenerateJavaScript(SampleProgram());
+  int loc = json::CountEffectiveLoc(code);
+  // The runtime is ~90 lines; effective LOC counts only migrate().
+  EXPECT_GT(loc, 4);
+  EXPECT_LT(loc, 40);
+}
+
+TEST(JsCodegen, EscapesTagStrings) {
+  dsl::Program p;
+  p.columns = {
+      dsl::ColumnExtractor{{{dsl::ColOp::kChildren, "we\"ird", 0}}}};
+  std::string code = json::GenerateJavaScript(p);
+  EXPECT_NE(code.find("we\\\"ird"), std::string::npos);
+}
+
+TEST(JsCodegen, MultiClauseFormulaEmitted) {
+  dsl::Program p;
+  p.columns = {dsl::ColumnExtractor{{{dsl::ColOp::kChildren, "x", 0}}}};
+  dsl::Atom a;
+  a.lhs_col = 0;
+  a.rhs_is_const = true;
+  a.rhs_const = "1";
+  a.op = dsl::CmpOp::kEq;
+  dsl::Atom b = a;
+  b.rhs_const = "2";
+  p.atoms = {a, b};
+  p.formula =
+      dsl::Dnf{{{dsl::Literal{0, false}}, {dsl::Literal{1, false}}}};
+  std::string code = json::GenerateJavaScript(p);
+  EXPECT_NE(code.find("||"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mitra

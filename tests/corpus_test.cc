@@ -1,0 +1,111 @@
+/// Runs the entire 98-task §7.1 benchmark corpus through the synthesizer:
+/// every task marked solvable must synthesize a program that reproduces
+/// its example (and its generalization document, when present); every
+/// task marked unsolvable must be rejected. Also pins the corpus
+/// composition to Table 1's per-category counts.
+
+#include <gtest/gtest.h>
+
+#include "core/synthesizer.h"
+#include "test_util.h"
+#include "workload/corpus.h"
+
+namespace mitra::workload {
+namespace {
+
+core::SynthesisOptions CorpusOptions() {
+  core::SynthesisOptions opts;
+  opts.time_limit_seconds = 30.0;
+  return opts;
+}
+
+hdt::Hdt ParseTaskDoc(const CorpusTask& task, const std::string& doc) {
+  if (task.format == DocFormat::kXml) return test::ParseXmlOrDie(doc);
+  return test::ParseJsonOrDie(doc);
+}
+
+TEST(CorpusComposition, MatchesTable1Counts) {
+  auto xml = XmlCorpus();
+  auto json = JsonCorpus();
+  EXPECT_EQ(xml.size(), 51u);
+  EXPECT_EQ(json.size(), 47u);
+
+  auto count = [](const std::vector<CorpusTask>& tasks, int bucket,
+                  bool solvable_only) {
+    int n = 0;
+    for (const CorpusTask& t : tasks) {
+      if (t.Bucket() == bucket && (!solvable_only || t.expect_solvable)) {
+        ++n;
+      }
+    }
+    return n;
+  };
+  // Totals per bucket (Table 1 "Total").
+  EXPECT_EQ(count(xml, 2, false), 17);
+  EXPECT_EQ(count(xml, 3, false), 12);
+  EXPECT_EQ(count(xml, 4, false), 12);
+  EXPECT_EQ(count(xml, 5, false), 10);
+  EXPECT_EQ(count(json, 2, false), 11);
+  EXPECT_EQ(count(json, 3, false), 11);
+  EXPECT_EQ(count(json, 4, false), 11);
+  EXPECT_EQ(count(json, 5, false), 14);
+  // Solvable per bucket (Table 1 "#Solved").
+  EXPECT_EQ(count(xml, 2, true), 15);
+  EXPECT_EQ(count(xml, 3, true), 12);
+  EXPECT_EQ(count(xml, 4, true), 11);
+  EXPECT_EQ(count(xml, 5, true), 10);
+  EXPECT_EQ(count(json, 2, true), 11);
+  EXPECT_EQ(count(json, 3, true), 11);
+  EXPECT_EQ(count(json, 4, true), 11);
+  EXPECT_EQ(count(json, 5, true), 11);
+}
+
+TEST(CorpusComposition, UniqueIds) {
+  std::set<std::string> ids;
+  for (const CorpusTask& t : FullCorpus()) {
+    EXPECT_TRUE(ids.insert(t.id).second) << "duplicate id " << t.id;
+    EXPECT_EQ(t.num_cols, static_cast<int>(t.output.empty()
+                                               ? 0
+                                               : t.output[0].size()))
+        << t.id;
+  }
+}
+
+class CorpusTaskTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CorpusTaskTest, SynthesisMatchesExpectation) {
+  const CorpusTask task = FullCorpus()[GetParam()];
+  SCOPED_TRACE(task.id);
+  hdt::Hdt tree = ParseTaskDoc(task, task.document);
+  hdt::Table table = test::MakeTable(task.output);
+
+  auto result = core::LearnTransformation(tree, table, CorpusOptions());
+  if (!task.expect_solvable) {
+    EXPECT_FALSE(result.ok())
+        << task.id << " unexpectedly solved: "
+        << dsl::ToString(result->program);
+    return;
+  }
+  ASSERT_TRUE(result.ok()) << task.id << ": " << result.status().ToString();
+  test::ExpectProgramYields(tree, result->program, table);
+
+  if (!task.generalization_document.empty()) {
+    hdt::Hdt other = ParseTaskDoc(task, task.generalization_document);
+    hdt::Table want = test::MakeTable(task.generalization_output);
+    test::ExpectProgramYields(other, result->program, want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTasks, CorpusTaskTest,
+    ::testing::Range<size_t>(0, 98),
+    [](const ::testing::TestParamInfo<size_t>& info) {
+      std::string name = FullCorpus()[info.param].id;
+      for (char& c : name) {
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace mitra::workload

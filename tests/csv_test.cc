@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+
+namespace mitra {
+namespace {
+
+TEST(Csv, SimpleRows) {
+  auto rows = ParseCsv("a,b\nc,d\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(Csv, NoTrailingNewline) {
+  auto rows = ParseCsv("a,b");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+}
+
+TEST(Csv, EmptyInput) {
+  auto rows = ParseCsv("");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST(Csv, QuotedFields) {
+  auto rows = ParseCsv("\"a,b\",\"say \"\"hi\"\"\",\"multi\nline\"\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0], "a,b");
+  EXPECT_EQ((*rows)[0][1], "say \"hi\"");
+  EXPECT_EQ((*rows)[0][2], "multi\nline");
+}
+
+TEST(Csv, CrLfTolerated) {
+  auto rows = ParseCsv("a,b\r\nc,d\r\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][1], "b");
+}
+
+TEST(Csv, EmptyFields) {
+  auto rows = ParseCsv(",x,\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"", "x", ""}));
+}
+
+TEST(Csv, Malformed) {
+  EXPECT_FALSE(ParseCsv("a\"b,c\n").ok());      // quote mid-field
+  EXPECT_FALSE(ParseCsv("\"unterminated").ok());
+}
+
+TEST(Csv, RoundTrip) {
+  std::vector<std::vector<std::string>> rows{
+      {"plain", "with,comma", "with\"quote", "multi\nline", ""},
+      {"1", "2", "3", "4", "5"},
+  };
+  auto back = ParseCsv(WriteCsv(rows));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, rows);
+}
+
+}  // namespace
+}  // namespace mitra

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/column_learner.h"
+#include "core/dfa.h"
+#include "dsl/eval.h"
+#include "test_util.h"
+
+namespace mitra::core {
+namespace {
+
+using test::MakeTable;
+using test::ParseXmlOrDie;
+
+const char* kDoc = R"(
+<r>
+  <p id="1"><n>A</n></p>
+  <p id="2"><n>B</n></p>
+  <q><n>C</n></q>
+</r>
+)";
+
+TEST(ColSymbolPool, InternsByOpTagPos) {
+  ColSymbolPool pool;
+  int a = pool.Intern({dsl::ColOp::kChildren, "x", 0});
+  int b = pool.Intern({dsl::ColOp::kChildren, "x", 7});  // pos ignored
+  int c = pool.Intern({dsl::ColOp::kPChildren, "x", 0});
+  int d = pool.Intern({dsl::ColOp::kPChildren, "x", 1});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(c, d);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ConstructColumnDfa, AcceptsCoveringPrograms) {
+  hdt::Hdt t = ParseXmlOrDie(kDoc);
+  ColSymbolPool pool;
+  auto dfa = ConstructColumnDfa(t, {"A", "B"}, &pool);
+  ASSERT_TRUE(dfa.ok()) << dfa.status().ToString();
+  auto programs = EnumerateAcceptedPrograms(*dfa, pool);
+  ASSERT_FALSE(programs.empty());
+  // Every accepted program overapproximates the column (Theorem 1).
+  for (const auto& pi : programs) {
+    auto nodes = dsl::EvalColumn(t, pi);
+    std::set<std::string> datas;
+    for (auto n : nodes) datas.insert(std::string(t.Data(n)));
+    EXPECT_TRUE(datas.count("A") && datas.count("B"))
+        << dsl::ToString(pi);
+  }
+  // The shortest program is a single construct (descendants(s, n)).
+  EXPECT_EQ(programs[0].steps.size(), 1u) << dsl::ToString(programs[0]);
+}
+
+TEST(ConstructColumnDfa, RejectsUncoverableColumn) {
+  hdt::Hdt t = ParseXmlOrDie(kDoc);
+  ColSymbolPool pool;
+  auto dfa = ConstructColumnDfa(t, {"ZZZ"}, &pool);
+  ASSERT_TRUE(dfa.ok());
+  auto programs = EnumerateAcceptedPrograms(*dfa, pool);
+  EXPECT_TRUE(programs.empty());
+}
+
+TEST(ConstructColumnDfa, ShortestFirstEnumeration) {
+  hdt::Hdt t = ParseXmlOrDie(kDoc);
+  ColSymbolPool pool;
+  auto dfa = ConstructColumnDfa(t, {"A"}, &pool);
+  ASSERT_TRUE(dfa.ok());
+  auto programs = EnumerateAcceptedPrograms(*dfa, pool);
+  for (size_t i = 1; i < programs.size(); ++i) {
+    EXPECT_LE(programs[i - 1].steps.size(), programs[i].steps.size());
+  }
+}
+
+TEST(ConstructColumnDfa, StateCapIsEnforced) {
+  hdt::Hdt t = ParseXmlOrDie(kDoc);
+  ColSymbolPool pool;
+  DfaOptions opts;
+  opts.max_states = 2;
+  auto dfa = ConstructColumnDfa(t, {"A"}, &pool, opts);
+  ASSERT_FALSE(dfa.ok());
+  EXPECT_EQ(dfa.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(IntersectDfa, OnlyCommonProgramsSurvive) {
+  // Two trees with different shapes: in t2 the n values are under `q`
+  // only, so programs via `p` are not consistent with both examples.
+  hdt::Hdt t1 = ParseXmlOrDie(kDoc);
+  hdt::Hdt t2 = ParseXmlOrDie(R"(
+<r>
+  <q><n>X</n></q>
+</r>
+)");
+  ColSymbolPool pool;
+  auto d1 = ConstructColumnDfa(t1, {"C"}, &pool);
+  auto d2 = ConstructColumnDfa(t2, {"X"}, &pool);
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok());
+  auto both = IntersectDfa(*d1, *d2);
+  ASSERT_TRUE(both.ok());
+  auto programs = EnumerateAcceptedPrograms(*both, pool);
+  ASSERT_FALSE(programs.empty());
+  for (const auto& pi : programs) {
+    for (const hdt::Hdt* t : {&t1, &t2}) {
+      auto nodes = dsl::EvalColumn(*t, pi);
+      EXPECT_FALSE(nodes.empty()) << dsl::ToString(pi);
+    }
+    // No program can go through `p` and cover t2.
+    for (const auto& step : pi.steps) EXPECT_NE(step.tag, "p");
+  }
+}
+
+TEST(LearnColumnExtractors, MultiExampleIntersection) {
+  hdt::Hdt t1 = ParseXmlOrDie(kDoc);
+  hdt::Hdt t2 = ParseXmlOrDie("<r><p id=\"9\"><n>Z</n></p></r>");
+  hdt::Table r1 = MakeTable({{"A"}, {"B"}});
+  hdt::Table r2 = MakeTable({{"Z"}});
+  Examples ex{{&t1, &r1}, {&t2, &r2}};
+  ColSymbolPool pool;
+  auto programs = LearnColumnExtractors(ex, 0, &pool);
+  ASSERT_TRUE(programs.ok()) << programs.status().ToString();
+  for (const auto& pi : *programs) {
+    for (const Example& e : ex) {
+      auto nodes = dsl::EvalColumn(*e.tree, pi);
+      std::set<std::string> datas;
+      for (auto n : nodes) datas.insert(std::string(t1.Data(n)));
+    }
+  }
+  // descendants(s, n) is in the language but over-covers C on t1 — still
+  // fine (overapproximation); children(p)/n style also present.
+  EXPECT_FALSE(programs->empty());
+}
+
+TEST(LearnColumnExtractors, FailsWhenNoProgramExists) {
+  hdt::Hdt t = ParseXmlOrDie(kDoc);
+  hdt::Table r = MakeTable({{"NOPE"}});
+  Examples ex{{&t, &r}};
+  ColSymbolPool pool;
+  auto programs = LearnColumnExtractors(ex, 0, &pool);
+  ASSERT_FALSE(programs.ok());
+  EXPECT_EQ(programs.status().code(), StatusCode::kSynthesisFailure);
+}
+
+TEST(LearnColumnExtractors, ColumnIndexValidated) {
+  hdt::Hdt t = ParseXmlOrDie(kDoc);
+  hdt::Table r = MakeTable({{"A"}});
+  Examples ex{{&t, &r}};
+  ColSymbolPool pool;
+  EXPECT_FALSE(LearnColumnExtractors(ex, 2, &pool).ok());
+  EXPECT_FALSE(LearnColumnExtractors(ex, -1, &pool).ok());
+}
+
+}  // namespace
+}  // namespace mitra::core

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "core/synthesizer.h"
+#include "dsl/parser.h"
+#include "test_util.h"
+
+namespace mitra::dsl {
+namespace {
+
+TEST(DslParser, ColumnExtractorRoundTrip) {
+  const char* texts[] = {
+      "s",
+      "children(s, a)",
+      "pchildren(children(s, Person), name, 0)",
+      "descendants(pchildren(s, b, 2), c)",
+  };
+  for (const char* text : texts) {
+    auto pi = ParseColumnExtractor(text);
+    ASSERT_TRUE(pi.ok()) << text << ": " << pi.status().ToString();
+    EXPECT_EQ(ToString(*pi), text);
+  }
+}
+
+TEST(DslParser, NodeExtractorRoundTrip) {
+  const char* texts[] = {
+      "n",
+      "parent(n)",
+      "child(parent(parent(n)), id, 0)",
+  };
+  for (const char* text : texts) {
+    auto phi = ParseNodeExtractor(text);
+    ASSERT_TRUE(phi.ok()) << text;
+    EXPECT_EQ(ToString(*phi), text);
+  }
+}
+
+TEST(DslParser, RejectsMalformed) {
+  EXPECT_FALSE(ParseColumnExtractor("children(s)").ok());
+  EXPECT_FALSE(ParseColumnExtractor("pchildren(s, a)").ok());
+  EXPECT_FALSE(ParseColumnExtractor("nonsense(s, a)").ok());
+  EXPECT_FALSE(ParseColumnExtractor("children(s, a) extra").ok());
+  EXPECT_FALSE(ParseNodeExtractor("child(n, a)").ok());
+  EXPECT_FALSE(ParseProgram("filter()").ok());
+}
+
+Program BuildProgram(std::vector<ColumnExtractor> cols,
+                     std::vector<Atom> atoms, Dnf formula) {
+  Program p;
+  p.columns = std::move(cols);
+  p.atoms = std::move(atoms);
+  p.formula = std::move(formula);
+  return p;
+}
+
+void ExpectRoundTrip(const Program& p) {
+  std::string text = ToString(p);
+  auto back = ParseProgram(text);
+  ASSERT_TRUE(back.ok()) << text << "\n" << back.status().ToString();
+  EXPECT_EQ(ToString(*back), text);
+  EXPECT_EQ(back->columns, p.columns);
+  EXPECT_EQ(back->formula.clauses.size(), p.formula.clauses.size());
+}
+
+TEST(DslParser, ProgramRoundTripTrueFormula) {
+  ExpectRoundTrip(BuildProgram(
+      {ColumnExtractor{{{ColOp::kChildren, "a", 0}}}}, {}, Dnf::True()));
+}
+
+TEST(DslParser, ProgramRoundTripConstAtom) {
+  Atom a;
+  a.lhs_col = 0;
+  a.lhs_path = NodeExtractor{{{NodeOp::kParent, "", 0}}};
+  a.op = CmpOp::kLt;
+  a.rhs_is_const = true;
+  a.rhs_const = "20";
+  ExpectRoundTrip(BuildProgram(
+      {ColumnExtractor{{{ColOp::kDescendants, "x", 0}}}}, {a},
+      Dnf{{{Literal{0, false}}}}));
+}
+
+TEST(DslParser, ProgramRoundTripMultiClauseWithNegation) {
+  Atom a;
+  a.lhs_col = 0;
+  a.op = CmpOp::kEq;
+  a.rhs_is_const = true;
+  a.rhs_const = "v";
+  Atom b;
+  b.lhs_col = 0;
+  b.op = CmpOp::kEq;
+  b.rhs_is_const = false;
+  b.rhs_col = 1;
+  b.rhs_path = NodeExtractor{{{NodeOp::kParent, "", 0}}};
+  Dnf f{{{Literal{0, false}, Literal{1, true}}, {Literal{1, false}}}};
+  ExpectRoundTrip(BuildProgram(
+      {ColumnExtractor{{{ColOp::kChildren, "p", 0}}},
+       ColumnExtractor{{{ColOp::kChildren, "q", 0}}}},
+      {a, b}, f));
+}
+
+TEST(DslParser, SynthesizedProgramsRoundTrip) {
+  // Round-trip whatever the synthesizer actually produces, including
+  // program semantics: the reparsed program evaluates identically.
+  hdt::Hdt tree = test::ParseXmlOrDie(R"(
+<company>
+  <emp name="Ann" dept="d1"/>
+  <emp name="Bo" dept="d2"/>
+  <dept id="d1"><dname>Eng</dname></dept>
+  <dept id="d2"><dname>Ops</dname></dept>
+</company>)");
+  hdt::Table table = test::MakeTable({{"Ann", "Eng"}, {"Bo", "Ops"}});
+  auto result = test::SynthesizeOrDie(tree, table);
+  std::string text = ToString(result.program);
+  auto back = ParseProgram(text);
+  ASSERT_TRUE(back.ok()) << text;
+  test::ExpectProgramYields(tree, *back, table);
+}
+
+TEST(DslParser, AsciiSpellingsAccepted) {
+  auto p = ParseProgram(
+      "\\lambda\\tau. filter((\\lambda s.children(s, a)){root(\\tau)}, "
+      "\\lambda t. true)");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->columns.size(), 1u);
+  EXPECT_TRUE(p->formula.IsTrue());
+}
+
+}  // namespace
+}  // namespace mitra::dsl

@@ -1,0 +1,330 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/executor.h"
+#include "dsl/eval.h"
+#include "test_util.h"
+
+namespace mitra::core {
+namespace {
+
+using dsl::Atom;
+using dsl::CmpOp;
+using dsl::ColOp;
+using dsl::ColumnExtractor;
+using dsl::Dnf;
+using dsl::Literal;
+using dsl::NodeOp;
+using dsl::Program;
+
+using test::ParseXmlOrDie;
+
+const char* kDoc = R"(
+<r>
+  <p id="1"><n>A</n><f fid="2" w="3"/></p>
+  <p id="2"><n>B</n><f fid="1" w="3"/><f fid="3" w="9"/></p>
+  <p id="3"><n>C</n><f fid="2" w="9"/></p>
+</r>
+)";
+
+void ExpectAgreesWithNaive(const hdt::Hdt& tree, const Program& p) {
+  auto naive = dsl::EvalProgram(tree, p);
+  auto fast = ExecuteOptimized(tree, p);
+  ASSERT_TRUE(naive.ok()) << naive.status().ToString();
+  ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+  hdt::Table a = std::move(naive).value(), b = std::move(fast).value();
+  a.Dedup();
+  a.SortRows();
+  b.Dedup();
+  b.SortRows();
+  EXPECT_EQ(a.rows(), b.rows())
+      << dsl::ToString(p) << "\nnaive:\n"
+      << a.ToString() << "optimized:\n"
+      << b.ToString();
+}
+
+ColumnExtractor Names() {
+  return ColumnExtractor{
+      {{ColOp::kChildren, "p", 0}, {ColOp::kPChildren, "n", 0}}};
+}
+ColumnExtractor Fids() {
+  return ColumnExtractor{{{ColOp::kDescendants, "fid", 0}}};
+}
+
+Atom JoinIdFid() {
+  Atom a;
+  a.lhs_col = 0;
+  a.lhs_path = dsl::NodeExtractor{
+      {{NodeOp::kParent, "", 0}, {NodeOp::kChild, "id", 0}}};
+  a.op = CmpOp::kEq;
+  a.rhs_is_const = false;
+  a.rhs_col = 1;
+  return a;
+}
+
+TEST(OptimizedExecutor, HashJoinEquality) {
+  hdt::Hdt t = ParseXmlOrDie(kDoc);
+  Program p;
+  p.columns = {Names(), Fids()};
+  p.atoms = {JoinIdFid()};
+  p.formula = Dnf{{{Literal{0, false}}}};
+  ExpectAgreesWithNaive(t, p);
+  // The plan must actually contain a hash join.
+  OptimizedExecutor exec(p);
+  EXPECT_NE(exec.DescribePlan().find("hash-join"), std::string::npos);
+}
+
+TEST(OptimizedExecutor, NegatedLiteralNotJoined) {
+  hdt::Hdt t = ParseXmlOrDie(kDoc);
+  Program p;
+  p.columns = {Names(), Fids()};
+  p.atoms = {JoinIdFid()};
+  p.formula = Dnf{{{Literal{0, true}}}};
+  ExpectAgreesWithNaive(t, p);
+  OptimizedExecutor exec(p);
+  EXPECT_EQ(exec.DescribePlan().find("hash-join"), std::string::npos);
+}
+
+TEST(OptimizedExecutor, TrueAndFalseFormulas) {
+  hdt::Hdt t = ParseXmlOrDie(kDoc);
+  Program p;
+  p.columns = {Names(), Fids()};
+  p.formula = Dnf::True();
+  ExpectAgreesWithNaive(t, p);
+  p.formula = Dnf::False();
+  ExpectAgreesWithNaive(t, p);
+}
+
+TEST(OptimizedExecutor, MultiClauseDnfDeduplicates) {
+  hdt::Hdt t = ParseXmlOrDie(kDoc);
+  Program p;
+  p.columns = {Names(), Fids()};
+  Atom fid_is_2;
+  fid_is_2.lhs_col = 1;
+  fid_is_2.rhs_is_const = true;
+  fid_is_2.rhs_const = "2";
+  fid_is_2.op = CmpOp::kEq;
+  p.atoms = {JoinIdFid(), fid_is_2};
+  // Overlapping clauses: tuples satisfying both must appear once.
+  p.formula = Dnf{{{Literal{0, false}}, {Literal{1, false}}}};
+  ExpectAgreesWithNaive(t, p);
+}
+
+TEST(OptimizedExecutor, UnaryConstFilters) {
+  hdt::Hdt t = ParseXmlOrDie(kDoc);
+  Program p;
+  p.columns = {Fids()};
+  Atom lt;
+  lt.lhs_col = 0;
+  lt.rhs_is_const = true;
+  lt.rhs_const = "3";
+  lt.op = CmpOp::kLt;
+  p.atoms = {lt};
+  p.formula = Dnf{{{Literal{0, false}}}};
+  ExpectAgreesWithNaive(t, p);
+}
+
+TEST(OptimizedExecutor, MemoizesIdenticalColumns) {
+  hdt::Hdt t = ParseXmlOrDie(kDoc);
+  Program p;
+  p.columns = {Fids(), Fids(), Fids()};
+  p.formula = Dnf::True();
+  ExpectAgreesWithNaive(t, p);
+}
+
+TEST(OptimizedExecutor, NumericKeyCanonicalization) {
+  // "03" and "3" are numerically equal — the hash join must agree with
+  // CompareData's numeric-aware equality.
+  hdt::Hdt t = ParseXmlOrDie(R"(
+<r>
+  <a><k>03</k></a>
+  <b><k>3</k></b>
+</r>
+)");
+  Program p;
+  ColumnExtractor ak{{{ColOp::kChildren, "a", 0}, {ColOp::kChildren, "k", 0}}};
+  ColumnExtractor bk{{{ColOp::kChildren, "b", 0}, {ColOp::kChildren, "k", 0}}};
+  p.columns = {ak, bk};
+  Atom eq;
+  eq.lhs_col = 0;
+  eq.op = CmpOp::kEq;
+  eq.rhs_is_const = false;
+  eq.rhs_col = 1;
+  p.atoms = {eq};
+  p.formula = Dnf{{{Literal{0, false}}}};
+  auto fast = ExecuteOptimized(t, p);
+  ASSERT_TRUE(fast.ok());
+  EXPECT_EQ(fast->NumRows(), 1u);
+  ExpectAgreesWithNaive(t, p);
+}
+
+TEST(OptimizedExecutor, IdentityJoinOnInternalNodes) {
+  hdt::Hdt t = ParseXmlOrDie(kDoc);
+  Program p;
+  ColumnExtractor ps{{{ColOp::kChildren, "p", 0}}};
+  p.columns = {ps, Names()};
+  Atom same_p;  // t[0] = parent(t[1])
+  same_p.lhs_col = 0;
+  same_p.op = CmpOp::kEq;
+  same_p.rhs_is_const = false;
+  same_p.rhs_col = 1;
+  same_p.rhs_path = dsl::NodeExtractor{{{NodeOp::kParent, "", 0}}};
+  p.atoms = {same_p};
+  p.formula = Dnf{{{Literal{0, false}}}};
+  auto fast = ExecuteOptimized(t, p);
+  ASSERT_TRUE(fast.ok());
+  EXPECT_EQ(fast->NumRows(), 3u);  // each name with its own p
+  ExpectAgreesWithNaive(t, p);
+}
+
+// Property test: random programs over random trees — the optimized
+// executor must agree with the Fig. 7 reference semantics everywhere.
+class ExecutorPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExecutorPropertyTest, RandomProgramsAgree) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  auto pick = [&](int n) {
+    return static_cast<int>(rng() % static_cast<unsigned>(n));
+  };
+
+  // Random tree over a small tag vocabulary.
+  const char* tags[] = {"a", "b", "c"};
+  hdt::Hdt t;
+  hdt::NodeId root = t.AddRoot("r");
+  std::vector<hdt::NodeId> nodes{root};
+  int num_nodes = 5 + pick(20);
+  for (int i = 0; i < num_nodes; ++i) {
+    hdt::NodeId parent = nodes[static_cast<size_t>(pick(
+        static_cast<int>(nodes.size())))];
+    if (t.HasData(parent)) continue;  // leaves with data stay leaves
+    const char* tag = tags[pick(3)];
+    if (pick(2)) {
+      t.AddChild(parent, tag, std::to_string(pick(5)));
+    } else {
+      nodes.push_back(t.AddChild(parent, tag));
+    }
+  }
+
+  // Random program: 1-3 columns, 0-2 atoms, 1-2 clauses.
+  auto random_column = [&]() {
+    ColumnExtractor pi;
+    int len = pick(3);
+    for (int s = 0; s < len; ++s) {
+      int op = pick(3);
+      pi.steps.push_back(dsl::ColStep{static_cast<ColOp>(op), tags[pick(3)],
+                                      pick(2)});
+    }
+    return pi;
+  };
+  auto random_node_path = [&]() {
+    dsl::NodeExtractor phi;
+    int len = pick(3);
+    for (int s = 0; s < len; ++s) {
+      if (pick(2)) {
+        phi.steps.push_back(dsl::NodeStep{NodeOp::kParent, "", 0});
+      } else {
+        phi.steps.push_back(dsl::NodeStep{NodeOp::kChild, tags[pick(3)],
+                                          pick(2)});
+      }
+    }
+    return phi;
+  };
+
+  Program p;
+  int k = 1 + pick(3);
+  for (int i = 0; i < k; ++i) p.columns.push_back(random_column());
+  int num_atoms = pick(3);
+  for (int i = 0; i < num_atoms; ++i) {
+    Atom a;
+    a.lhs_col = pick(k);
+    a.lhs_path = random_node_path();
+    a.op = static_cast<CmpOp>(pick(6));
+    if (pick(2)) {
+      a.rhs_is_const = true;
+      a.rhs_const = std::to_string(pick(5));
+    } else {
+      a.rhs_is_const = false;
+      a.rhs_col = pick(k);
+      a.rhs_path = random_node_path();
+    }
+    p.atoms.push_back(a);
+  }
+  if (!p.atoms.empty()) {
+    Dnf f;
+    int clauses = 1 + pick(2);
+    for (int c = 0; c < clauses; ++c) {
+      std::vector<Literal> clause;
+      int lits = 1 + pick(static_cast<int>(p.atoms.size()));
+      for (int l = 0; l < lits; ++l) {
+        clause.push_back(
+            Literal{pick(static_cast<int>(p.atoms.size())), pick(2) == 0});
+      }
+      f.clauses.push_back(clause);
+    }
+    p.formula = f;
+  }
+  ExpectAgreesWithNaive(t, p);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorPropertyTest,
+                         ::testing::Range(0, 120));
+
+}  // namespace
+}  // namespace mitra::core
+
+namespace mitra::core {
+namespace {
+
+TEST(OptimizedExecutor, JoinGraphOrderingAvoidsCrossProduct) {
+  // Motivating-example shape: both equalities involve column 2, so the
+  // planner must bind column 2 right after column 0 — otherwise levels
+  // 0×1 enumerate a full cross product.
+  hdt::Hdt t = test::ParseXmlOrDie(kDoc);
+  Program p;
+  p.columns = {Names(), Names(), Fids()};
+  Atom a02;  // parent(t[0]) vs parent^3-ish: use data join id=fid
+  a02.lhs_col = 0;
+  a02.lhs_path = dsl::NodeExtractor{
+      {{NodeOp::kParent, "", 0}, {NodeOp::kChild, "id", 0}}};
+  a02.op = CmpOp::kEq;
+  a02.rhs_is_const = false;
+  a02.rhs_col = 2;
+  Atom a12 = a02;
+  a12.lhs_col = 1;
+  p.atoms = {a02, a12};
+  p.formula = Dnf{{{Literal{0, false}, Literal{1, false}}}};
+
+  OptimizedExecutor exec(p);
+  std::string plan = exec.DescribePlan();
+  // Level 1 must bind column 2 (not column 1).
+  EXPECT_NE(plan.find("level 1: column 2"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("level 2: column 1"), std::string::npos) << plan;
+  ExpectAgreesWithNaive(t, p);
+}
+
+TEST(ColumnCacheTest, SharesExtractionsAcrossPrograms) {
+  hdt::Hdt t = test::ParseXmlOrDie(kDoc);
+  Program p1, p2;
+  p1.columns = {Fids()};
+  p2.columns = {Fids(), Names()};
+  ColumnCache cache;
+  ExecuteOptions opts;
+  opts.column_cache = &cache;
+  OptimizedExecutor e1(p1), e2(p2);
+  ASSERT_TRUE(e1.Execute(t, opts).ok());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  ASSERT_TRUE(e2.Execute(t, opts).ok());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.hits(), 1u);  // Fids() reused
+  // Results with and without the cache agree.
+  auto with = e2.Execute(t, opts);
+  auto without = e2.Execute(t);
+  ASSERT_TRUE(with.ok());
+  ASSERT_TRUE(without.ok());
+  EXPECT_TRUE(with->BagEquals(*without));
+}
+
+}  // namespace
+}  // namespace mitra::core

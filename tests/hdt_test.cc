@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "hdt/hdt.h"
+
+namespace mitra::hdt {
+namespace {
+
+Hdt BuildSample() {
+  // root
+  //   a[0] (leaf, "1")
+  //   b[0]
+  //     a[0] "2"
+  //     a[1] "3"
+  //   b[1]
+  //     c[0] "4"
+  Hdt t;
+  NodeId root = t.AddRoot("root");
+  t.AddChild(root, "a", "1");
+  NodeId b0 = t.AddChild(root, "b");
+  t.AddChild(b0, "a", "2");
+  t.AddChild(b0, "a", "3");
+  NodeId b1 = t.AddChild(root, "b");
+  t.AddChild(b1, "c", "4");
+  return t;
+}
+
+TEST(Hdt, PositionsAreComputedPerTag) {
+  Hdt t = BuildSample();
+  NodeId root = t.root();
+  const auto& kids = t.node(root).children;
+  ASSERT_EQ(kids.size(), 3u);
+  EXPECT_EQ(t.node(kids[0]).pos, 0);  // a[0]
+  EXPECT_EQ(t.node(kids[1]).pos, 0);  // b[0]
+  EXPECT_EQ(t.node(kids[2]).pos, 1);  // b[1]
+}
+
+TEST(Hdt, ChildrenWithTag) {
+  Hdt t = BuildSample();
+  auto tag_b = t.LookupTag("b");
+  ASSERT_TRUE(tag_b.has_value());
+  std::vector<NodeId> out;
+  t.ChildrenWithTag(t.root(), *tag_b, &out);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(Hdt, ChildWithTagPos) {
+  Hdt t = BuildSample();
+  auto tag_b = t.LookupTag("b");
+  NodeId b1 = t.ChildWithTagPos(t.root(), *tag_b, 1);
+  ASSERT_NE(b1, kInvalidNode);
+  EXPECT_EQ(t.node(b1).pos, 1);
+  EXPECT_EQ(t.ChildWithTagPos(t.root(), *tag_b, 5), kInvalidNode);
+}
+
+TEST(Hdt, DescendantsWithTagPreorder) {
+  Hdt t = BuildSample();
+  auto tag_a = t.LookupTag("a");
+  std::vector<NodeId> out;
+  t.DescendantsWithTag(t.root(), tag_a.value(), &out);
+  ASSERT_EQ(out.size(), 3u);
+  // Preorder: document order.
+  EXPECT_EQ(t.Data(out[0]), "1");
+  EXPECT_EQ(t.Data(out[1]), "2");
+  EXPECT_EQ(t.Data(out[2]), "3");
+}
+
+TEST(Hdt, ParentAndDepth) {
+  Hdt t = BuildSample();
+  auto tag_c = t.LookupTag("c");
+  std::vector<NodeId> out;
+  t.DescendantsWithTag(t.root(), *tag_c, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(t.Depth(out[0]), 2);
+  EXPECT_EQ(t.Parent(t.root()), kInvalidNode);
+  EXPECT_EQ(t.Parent(out[0]), t.node(out[0]).parent);
+}
+
+TEST(Hdt, LeafAndData) {
+  Hdt t = BuildSample();
+  EXPECT_FALSE(t.IsLeaf(t.root()));
+  EXPECT_FALSE(t.HasData(t.root()));
+  EXPECT_EQ(t.Data(t.root()), "");
+  auto tag_a = t.LookupTag("a");
+  std::vector<NodeId> out;
+  t.ChildrenWithTag(t.root(), *tag_a, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(t.IsLeaf(out[0]));
+  EXPECT_TRUE(t.HasData(out[0]));
+  EXPECT_EQ(t.Data(out[0]), "1");
+}
+
+TEST(Hdt, SetLeafData) {
+  Hdt t;
+  NodeId root = t.AddRoot("r");
+  NodeId x = t.AddChild(root, "x");
+  EXPECT_FALSE(t.HasData(x));
+  t.SetLeafData(x, "v");
+  EXPECT_TRUE(t.HasData(x));
+  EXPECT_EQ(t.Data(x), "v");
+}
+
+TEST(Hdt, AllTagsAndPairs) {
+  Hdt t = BuildSample();
+  EXPECT_EQ(t.AllTags().size(), 4u);  // root, a, b, c
+  auto pairs = t.AllTagPosPairs();
+  // a@0 (two parents share it), a@1, b@0, b@1, c@0.
+  EXPECT_EQ(pairs.size(), 5u);
+}
+
+TEST(Hdt, AllDataValuesDeduplicated) {
+  Hdt t;
+  NodeId root = t.AddRoot("r");
+  t.AddChild(root, "x", "v");
+  t.AddChild(root, "x", "v");
+  t.AddChild(root, "x", "w");
+  EXPECT_EQ(t.AllDataValues(), (std::vector<std::string>{"v", "w"}));
+}
+
+TEST(Hdt, LookupMissingTag) {
+  Hdt t = BuildSample();
+  EXPECT_FALSE(t.LookupTag("nope").has_value());
+}
+
+TEST(Hdt, DebugStringShape) {
+  Hdt t;
+  NodeId root = t.AddRoot("r");
+  t.AddChild(root, "x", "v");
+  std::string s = t.ToDebugString();
+  EXPECT_NE(s.find("r[0]"), std::string::npos);
+  EXPECT_NE(s.find("x[0] = \"v\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mitra::hdt

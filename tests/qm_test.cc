@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "core/qm.h"
+
+namespace mitra::core {
+namespace {
+
+/// Checks that the DNF agrees with the required outputs.
+void ExpectConsistent(const VarDnf& dnf, const std::vector<uint32_t>& on,
+                      const std::vector<uint32_t>& off) {
+  for (uint32_t r : on) EXPECT_TRUE(EvalVarDnf(dnf, r)) << "on row " << r;
+  for (uint32_t r : off) EXPECT_FALSE(EvalVarDnf(dnf, r)) << "off row " << r;
+}
+
+size_t TotalLiterals(const VarDnf& dnf) {
+  size_t n = 0;
+  for (const auto& c : dnf) n += c.size();
+  return n;
+}
+
+TEST(Qm, ConstantTrueAndFalse) {
+  auto t = MinimizeDnf(2, {0b00, 0b01}, {});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->size(), 1u);
+  EXPECT_TRUE((*t)[0].empty());  // empty clause = true
+
+  auto f = MinimizeDnf(2, {}, {0b00});
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(f->empty());  // no clauses = false
+}
+
+TEST(Qm, SingleVariable) {
+  auto r = MinimizeDnf(1, {0b1}, {0b0});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0], (std::vector<VarLiteral>{{0, false}}));
+
+  auto rn = MinimizeDnf(1, {0b0}, {0b1});
+  ASSERT_TRUE(rn.ok());
+  EXPECT_EQ((*rn)[0], (std::vector<VarLiteral>{{0, true}}));
+}
+
+TEST(Qm, Conjunction) {
+  // on: 11; off: 00, 01, 10 → x0 ∧ x1.
+  auto r = MinimizeDnf(2, {0b11}, {0b00, 0b01, 0b10});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].size(), 2u);
+  ExpectConsistent(*r, {0b11}, {0b00, 0b01, 0b10});
+}
+
+TEST(Qm, Disjunction) {
+  // on: 01, 10, 11; off: 00 → x0 ∨ x1.
+  auto r = MinimizeDnf(2, {0b01, 0b10, 0b11}, {0b00});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+  EXPECT_EQ(TotalLiterals(*r), 2u);
+  ExpectConsistent(*r, {0b01, 0b10, 0b11}, {0b00});
+}
+
+TEST(Qm, XorNeedsTwoTerms) {
+  auto r = MinimizeDnf(2, {0b01, 0b10}, {0b00, 0b11});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+  EXPECT_EQ(TotalLiterals(*r), 4u);
+  ExpectConsistent(*r, {0b01, 0b10}, {0b00, 0b11});
+}
+
+TEST(Qm, DontCaresEnableCollapse) {
+  // on: 00; off: 11. Rows 01 and 10 are don't-care, so a single literal
+  // suffices (¬x0 or ¬x1).
+  auto r = MinimizeDnf(2, {0b00}, {0b11});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].size(), 1u);
+  ExpectConsistent(*r, {0b00}, {0b11});
+}
+
+TEST(Qm, PaperExample5Shape) {
+  // Example 5 of the paper: after FindMinCover picks Φ* = {φ2, φ5, φ7},
+  // the minimized classifier is φ5 ∨ (φ2 ∧ ¬φ7). Variables: 0=φ2, 1=φ5,
+  // 2=φ7. Truth table from Fig. 13:
+  //   e1+: 110 → (x0=1, x1=1, x2=0) = 0b011
+  //   e2+: 111 → 0b111
+  //   e3+: 100 → 0b001
+  //   e1-: 000 → 0b000
+  //   e2-: 101 → 0b101
+  //   e3-: 001 → 0b100
+  std::vector<uint32_t> on{0b011, 0b111, 0b001};
+  std::vector<uint32_t> off{0b000, 0b101, 0b100};
+  auto r = MinimizeDnf(3, on, off);
+  ASSERT_TRUE(r.ok());
+  ExpectConsistent(*r, on, off);
+  // Minimal: 2 terms, 3 literals — matching φ5 ∨ (φ2 ∧ ¬φ7).
+  EXPECT_EQ(r->size(), 2u);
+  EXPECT_EQ(TotalLiterals(*r), 3u);
+}
+
+TEST(Qm, ContradictionRejected) {
+  auto r = MinimizeDnf(2, {0b01}, {0b01});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kSynthesisFailure);
+}
+
+TEST(Qm, TooManyVariablesRejected) {
+  auto r = MinimizeDnf(31, {0}, {1});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Qm, MinimalityOnKnownFunction) {
+  // f = x0∧x1 ∨ x2 over full truth table of 3 vars.
+  std::vector<uint32_t> on, off;
+  for (uint32_t m = 0; m < 8; ++m) {
+    bool v = ((m & 1) && (m & 2)) || (m & 4);
+    (v ? on : off).push_back(m);
+  }
+  auto r = MinimizeDnf(3, on, off);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+  EXPECT_EQ(TotalLiterals(*r), 3u);
+  ExpectConsistent(*r, on, off);
+}
+
+TEST(Qm, SixVariableSweep) {
+  // Randomized-ish partial tables must always yield consistent DNFs.
+  for (uint32_t seed = 1; seed <= 20; ++seed) {
+    std::vector<uint32_t> on, off;
+    uint32_t x = seed * 2654435761u;
+    for (int i = 0; i < 12; ++i) {
+      x = x * 1664525u + 1013904223u;
+      uint32_t row = (x >> 10) & 63u;
+      bool is_on = (x >> 20) & 1u;
+      // Avoid contradictions.
+      bool seen = false;
+      for (uint32_t r : on) seen = seen || r == row;
+      for (uint32_t r : off) seen = seen || r == row;
+      if (seen) continue;
+      (is_on ? on : off).push_back(row);
+    }
+    auto r = MinimizeDnf(6, on, off);
+    ASSERT_TRUE(r.ok()) << "seed " << seed;
+    ExpectConsistent(*r, on, off);
+  }
+}
+
+}  // namespace
+}  // namespace mitra::core

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "core/set_cover.h"
+
+namespace mitra::core {
+namespace {
+
+DynBitset Bits(size_t n, std::initializer_list<size_t> set) {
+  DynBitset b(n);
+  for (size_t i : set) b.Set(i);
+  return b;
+}
+
+TEST(DynBitset, Basics) {
+  DynBitset b(130);
+  EXPECT_TRUE(b.None());
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_EQ(b.Count(), 3u);
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_FALSE(b.Test(63));
+  b.Reset(64);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_TRUE(b.Any());
+}
+
+TEST(DynBitset, SetOps) {
+  DynBitset a = Bits(70, {1, 2, 3});
+  DynBitset b = Bits(70, {3, 4});
+  DynBitset c = a;
+  c |= b;
+  EXPECT_EQ(c.Count(), 4u);
+  DynBitset d = a;
+  d &= b;
+  EXPECT_EQ(d.Count(), 1u);
+  EXPECT_TRUE(d.IsSubsetOf(a));
+  EXPECT_FALSE(a.IsSubsetOf(b));
+  EXPECT_EQ(a.CountAndNot(b), 2u);
+}
+
+TEST(MinSetCover, TrivialSingleSet) {
+  std::vector<DynBitset> sets{Bits(3, {0, 1, 2})};
+  auto r = MinSetCover(sets, 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->chosen, (std::vector<int>{0}));
+  EXPECT_TRUE(r->optimal);
+}
+
+TEST(MinSetCover, ExactBeatsGreedy) {
+  // Classic instance where greedy picks 3 sets but optimum is 2:
+  // greedy takes the size-4 set first, then needs two more for {4},{5}.
+  std::vector<DynBitset> sets{
+      Bits(6, {0, 1, 2, 3}),  // greedy picks this first
+      Bits(6, {0, 2, 4}),
+      Bits(6, {1, 3, 5}),
+  };
+  SetCoverOptions exact;
+  auto r = MinSetCover(sets, 6, exact);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->chosen.size(), 2u);
+  EXPECT_EQ(r->chosen, (std::vector<int>{1, 2}));
+
+  SetCoverOptions greedy;
+  greedy.exact = false;
+  auto g = MinSetCover(sets, 6, greedy);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->chosen.size(), 3u);
+  EXPECT_FALSE(g->optimal);
+}
+
+TEST(MinSetCover, InfeasibleWhenElementUncovered) {
+  std::vector<DynBitset> sets{Bits(3, {0, 1})};
+  auto r = MinSetCover(sets, 3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kSynthesisFailure);
+}
+
+TEST(MinSetCover, EmptyUniverseNeedsNothing) {
+  auto r = MinSetCover({}, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->chosen.empty());
+  EXPECT_TRUE(r->optimal);
+}
+
+TEST(MinSetCover, PrefersLowerIndicesOnTies) {
+  std::vector<DynBitset> sets{Bits(2, {0, 1}), Bits(2, {0, 1})};
+  auto r = MinSetCover(sets, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->chosen, (std::vector<int>{0}));
+}
+
+TEST(MinSetCover, MediumRandomInstanceIsOptimal) {
+  // 24 elements, sets of size 3 in a ring: optimum = 8 disjoint sets.
+  std::vector<DynBitset> sets;
+  for (size_t s = 0; s < 24; ++s) {
+    sets.push_back(Bits(24, {s, (s + 1) % 24, (s + 2) % 24}));
+  }
+  auto r = MinSetCover(sets, 24);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->chosen.size(), 8u);
+  EXPECT_TRUE(r->optimal);
+}
+
+TEST(MinSetCover, BudgetExhaustionStillReturnsCover) {
+  std::vector<DynBitset> sets;
+  for (size_t s = 0; s < 30; ++s) {
+    sets.push_back(Bits(30, {s, (s + 7) % 30, (s + 13) % 30}));
+  }
+  SetCoverOptions opts;
+  opts.max_nodes = 5;  // force early exhaustion
+  auto r = MinSetCover(sets, 30, opts);
+  ASSERT_TRUE(r.ok());
+  // The greedy incumbent is still a valid cover.
+  DynBitset covered(30);
+  for (int i : r->chosen) covered |= sets[static_cast<size_t>(i)];
+  EXPECT_EQ(covered.Count(), 30u);
+}
+
+}  // namespace
+}  // namespace mitra::core

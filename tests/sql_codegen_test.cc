@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "db/migrator.h"
+#include "db/sql_codegen.h"
+#include "test_util.h"
+
+namespace mitra::db {
+namespace {
+
+DatabaseSchema TwoTableSchema() {
+  DatabaseSchema schema;
+  schema.tables.push_back(TableDef{
+      "child",
+      {{"cid", ColumnKind::kPrimaryKey, ""},
+       {"val", ColumnKind::kData, ""},
+       {"parent", ColumnKind::kForeignKey, "parents"}}});
+  schema.tables.push_back(TableDef{
+      "parents",
+      {{"pid", ColumnKind::kPrimaryKey, ""},
+       {"name", ColumnKind::kData, ""}}});
+  return schema;
+}
+
+TEST(SqlQuoteTest, EscapesQuotes) {
+  EXPECT_EQ(SqlQuote("plain"), "'plain'");
+  EXPECT_EQ(SqlQuote("O'Brien"), "'O''Brien'");
+  EXPECT_EQ(SqlQuote(""), "''");
+}
+
+TEST(SqlSchema, EmitsTablesInDependencyOrder) {
+  auto sql = GenerateSqlSchema(TwoTableSchema());
+  ASSERT_TRUE(sql.ok()) << sql.status().ToString();
+  size_t parents_at = sql->find("CREATE TABLE \"parents\"");
+  size_t child_at = sql->find("CREATE TABLE \"child\"");
+  ASSERT_NE(parents_at, std::string::npos);
+  ASSERT_NE(child_at, std::string::npos);
+  EXPECT_LT(parents_at, child_at) << *sql;
+  EXPECT_NE(sql->find("\"cid\" TEXT PRIMARY KEY"), std::string::npos);
+  EXPECT_NE(sql->find(
+                "FOREIGN KEY (\"parent\") REFERENCES \"parents\"(\"pid\")"),
+            std::string::npos);
+}
+
+TEST(SqlSchema, SelfReferenceAllowed) {
+  DatabaseSchema schema;
+  schema.tables.push_back(TableDef{
+      "node",
+      {{"id", ColumnKind::kPrimaryKey, ""},
+       {"label", ColumnKind::kData, ""},
+       {"up", ColumnKind::kForeignKey, "node"}}});
+  auto sql = GenerateSqlSchema(schema);
+  ASSERT_TRUE(sql.ok()) << sql.status().ToString();
+  EXPECT_NE(sql->find("REFERENCES \"node\"(\"id\")"), std::string::npos);
+}
+
+TEST(SqlSchema, CrossTableCycleRejected) {
+  DatabaseSchema schema;
+  schema.tables.push_back(TableDef{
+      "a",
+      {{"aid", ColumnKind::kPrimaryKey, ""},
+       {"x", ColumnKind::kData, ""},
+       {"to_b", ColumnKind::kForeignKey, "b"}}});
+  schema.tables.push_back(TableDef{
+      "b",
+      {{"bid", ColumnKind::kPrimaryKey, ""},
+       {"y", ColumnKind::kData, ""},
+       {"to_a", ColumnKind::kForeignKey, "a"}}});
+  auto sql = GenerateSqlSchema(schema);
+  EXPECT_FALSE(sql.ok());
+}
+
+TEST(SqlInserts, EmitsBatchedRowsInOrder) {
+  Database db;
+  hdt::Table parents({"pid", "name"});
+  ASSERT_TRUE(parents.AppendRow({"p1", "Acme"}).ok());
+  ASSERT_TRUE(parents.AppendRow({"p2", "Bit's"}).ok());
+  hdt::Table child({"cid", "val", "parent"});
+  ASSERT_TRUE(child.AppendRow({"c1", "x", "p1"}).ok());
+  db.tables.emplace("parents", std::move(parents));
+  db.tables.emplace("child", std::move(child));
+
+  auto sql = GenerateSqlInserts(TwoTableSchema(), db);
+  ASSERT_TRUE(sql.ok()) << sql.status().ToString();
+  EXPECT_NE(sql->find("BEGIN;"), std::string::npos);
+  EXPECT_NE(sql->find("COMMIT;"), std::string::npos);
+  size_t parents_at = sql->find("INSERT INTO \"parents\"");
+  size_t child_at = sql->find("INSERT INTO \"child\"");
+  EXPECT_LT(parents_at, child_at);
+  EXPECT_NE(sql->find("('p2', 'Bit''s')"), std::string::npos) << *sql;
+}
+
+TEST(SqlInserts, SingleRowBatches) {
+  Database db;
+  hdt::Table parents({"pid", "name"});
+  ASSERT_TRUE(parents.AppendRow({"p1", "A"}).ok());
+  ASSERT_TRUE(parents.AppendRow({"p2", "B"}).ok());
+  hdt::Table child({"cid", "val", "parent"});
+  db.tables.emplace("parents", std::move(parents));
+  db.tables.emplace("child", std::move(child));
+  SqlOptions opts;
+  opts.insert_batch_rows = 0;
+  opts.transaction = false;
+  auto sql = GenerateSqlInserts(TwoTableSchema(), db, opts);
+  ASSERT_TRUE(sql.ok());
+  // Two INSERT statements for parents, none for the empty child table.
+  size_t count = 0, at = 0;
+  while ((at = sql->find("INSERT INTO", at)) != std::string::npos) {
+    ++count;
+    ++at;
+  }
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(sql->find("BEGIN;"), std::string::npos);
+}
+
+TEST(SqlEndToEnd, MigratedDatabaseRendersCompletely) {
+  // Migrate the mini publications example and render it as SQL.
+  hdt::Hdt example = test::ParseXmlOrDie(R"(
+<corpus>
+  <paper><title>T1</title>
+    <author><aname>A</aname></author>
+    <author><aname>B</aname></author>
+  </paper>
+  <paper><title>T2</title>
+    <author><aname>C</aname></author>
+  </paper>
+</corpus>)");
+  DatabaseSchema schema;
+  schema.tables.push_back(TableDef{
+      "papers",
+      {{"pid", ColumnKind::kPrimaryKey, ""},
+       {"title", ColumnKind::kData, ""}}});
+  schema.tables.push_back(TableDef{
+      "authors",
+      {{"aid", ColumnKind::kPrimaryKey, ""},
+       {"aname", ColumnKind::kData, ""},
+       {"paper", ColumnKind::kForeignKey, "papers"}}});
+  std::map<std::string, hdt::Table> examples;
+  examples["papers"] = test::MakeTable({{"T1"}, {"T2"}});
+  examples["authors"] = test::MakeTable({{"A"}, {"B"}, {"C"}});
+
+  Migrator migrator(schema);
+  ASSERT_TRUE(migrator.Learn(example, examples).ok());
+  auto db = migrator.Execute(example);
+  ASSERT_TRUE(db.ok());
+
+  auto ddl = GenerateSqlSchema(schema);
+  auto dml = GenerateSqlInserts(schema, *db);
+  ASSERT_TRUE(ddl.ok());
+  ASSERT_TRUE(dml.ok());
+  // Every author row appears in the DML.
+  for (const char* name : {"'A'", "'B'", "'C'"}) {
+    EXPECT_NE(dml->find(name), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace mitra::db

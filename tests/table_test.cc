@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "hdt/table.h"
+
+namespace mitra::hdt {
+namespace {
+
+TEST(Table, FromRows) {
+  auto t = Table::FromRows({{"a", "1"}, {"b", "2"}});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->NumRows(), 2u);
+  EXPECT_EQ(t->NumCols(), 2u);
+}
+
+TEST(Table, RejectsRaggedRows) {
+  auto t = Table::FromRows({{"a", "1"}, {"b"}});
+  EXPECT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Table, ColumnExtraction) {
+  auto t = Table::FromRows({{"a", "1"}, {"b", "2"}, {"a", "3"}});
+  EXPECT_EQ(t->Column(0), (std::vector<std::string>{"a", "b", "a"}));
+  EXPECT_EQ(t->DistinctColumn(0), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Table, BagEqualsIgnoresOrder) {
+  auto a = Table::FromRows({{"x"}, {"y"}, {"x"}});
+  auto b = Table::FromRows({{"y"}, {"x"}, {"x"}});
+  auto c = Table::FromRows({{"y"}, {"x"}});
+  EXPECT_TRUE(a->BagEquals(*b));
+  EXPECT_FALSE(a->BagEquals(*c));
+}
+
+TEST(Table, BagSubsetRespectsMultiplicity) {
+  auto a = Table::FromRows({{"x"}, {"x"}});
+  auto b = Table::FromRows({{"x"}, {"x"}, {"y"}});
+  auto c = Table::FromRows({{"x"}, {"y"}});
+  EXPECT_TRUE(a->BagSubsetOf(*b));
+  EXPECT_FALSE(a->BagSubsetOf(*c));  // only one "x" in c
+}
+
+TEST(Table, ContainsRow) {
+  auto t = Table::FromRows({{"a", "1"}});
+  EXPECT_TRUE(t->ContainsRow({"a", "1"}));
+  EXPECT_FALSE(t->ContainsRow({"a", "2"}));
+}
+
+TEST(Table, DedupKeepsFirst) {
+  auto t = Table::FromRows({{"a"}, {"b"}, {"a"}});
+  t->Dedup();
+  EXPECT_EQ(t->NumRows(), 2u);
+  EXPECT_EQ(t->row(0), (Row{"a"}));
+  EXPECT_EQ(t->row(1), (Row{"b"}));
+}
+
+TEST(Table, SortRows) {
+  auto t = Table::FromRows({{"b"}, {"a"}});
+  t->SortRows();
+  EXPECT_EQ(t->row(0), (Row{"a"}));
+}
+
+TEST(Table, ColumnNamesFixWidth) {
+  Table t({"id", "name"});
+  EXPECT_EQ(t.NumCols(), 2u);
+  EXPECT_TRUE(t.AppendRow({"1", "x"}).ok());
+  EXPECT_FALSE(t.AppendRow({"1"}).ok());
+}
+
+TEST(Table, ToStringAligns) {
+  auto t = Table::FromRows({"id", "name"}, {{"1", "Alice"}});
+  std::string s = t->ToString();
+  EXPECT_NE(s.find("| id | name  |"), std::string::npos);
+  EXPECT_NE(s.find("| 1  | Alice |"), std::string::npos);
+}
+
+TEST(Table, EmptyTableWidthFromFirstRow) {
+  Table t;
+  EXPECT_TRUE(t.AppendRow({"a", "b", "c"}).ok());
+  EXPECT_EQ(t.NumCols(), 3u);
+}
+
+}  // namespace
+}  // namespace mitra::hdt

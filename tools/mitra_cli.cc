@@ -1,0 +1,188 @@
+/// `mitra` — command-line front end for the synthesizer.
+///
+///   mitra synth --doc example.xml --table example.csv
+///               [--save prog.mitra] [--xslt out.xsl] [--js out.js]
+///   mitra apply --program prog.mitra --doc big.xml [--out result.csv]
+///
+/// `synth` learns a program from one input-output example (document +
+/// CSV of the desired rows, no header) and prints it in the paper's
+/// λ-syntax; `apply` loads a saved program and migrates a document,
+/// writing CSV. Documents ending in `.json` are parsed as JSON,
+/// everything else as XML.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "common/csv.h"
+#include "core/executor.h"
+#include "core/synthesizer.h"
+#include "dsl/parser.h"
+#include "json/js_codegen.h"
+#include "json/json_parser.h"
+#include "xml/xml_parser.h"
+#include "xml/xslt_codegen.h"
+
+namespace mitra {
+namespace {
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::InvalidArgument("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::InvalidArgument("cannot write " + path);
+  out << content;
+  return Status::OK();
+}
+
+bool IsJsonPath(const std::string& path) {
+  return path.size() >= 5 && path.substr(path.size() - 5) == ".json";
+}
+
+Result<hdt::Hdt> ParseDoc(const std::string& path) {
+  MITRA_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  if (IsJsonPath(path)) return json::ParseJson(text);
+  return xml::ParseXml(text);
+}
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int start) {
+  std::map<std::string, std::string> flags;
+  for (int i = start; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      flags[argv[i] + 2] = argv[i + 1];
+    }
+  }
+  return flags;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  mitra synth --doc example.{xml,json} --table example.csv\n"
+      "              [--save prog.mitra] [--xslt out.xsl] [--js out.js]\n"
+      "  mitra apply --program prog.mitra --doc big.{xml,json}\n"
+      "              [--out result.csv]\n");
+  return 2;
+}
+
+int Synth(const std::map<std::string, std::string>& flags) {
+  auto doc_it = flags.find("doc");
+  auto table_it = flags.find("table");
+  if (doc_it == flags.end() || table_it == flags.end()) return Usage();
+
+  auto tree = ParseDoc(doc_it->second);
+  if (!tree.ok()) {
+    std::fprintf(stderr, "error: %s\n", tree.status().ToString().c_str());
+    return 1;
+  }
+  auto csv_text = ReadFile(table_it->second);
+  if (!csv_text.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 csv_text.status().ToString().c_str());
+    return 1;
+  }
+  auto rows = ParseCsv(*csv_text);
+  if (!rows.ok()) {
+    std::fprintf(stderr, "error: %s\n", rows.status().ToString().c_str());
+    return 1;
+  }
+  auto table = hdt::Table::FromRows(std::move(rows).value());
+  if (!table.ok()) {
+    std::fprintf(stderr, "error: %s\n", table.status().ToString().c_str());
+    return 1;
+  }
+
+  auto result = core::LearnTransformation(*tree, *table);
+  if (!result.ok()) {
+    std::fprintf(stderr, "synthesis failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::string text = dsl::ToString(result->program);
+  std::printf("%s\n", text.c_str());
+  std::fprintf(stderr, "synthesized in %.2f s (%zu candidate tables, %zu "
+               "consistent)\n",
+               result->stats.seconds, result->stats.table_extractors_tried,
+               result->stats.table_extractors_consistent);
+
+  auto save = [&](const char* flag, const std::string& content) {
+    auto it = flags.find(flag);
+    if (it == flags.end()) return true;
+    Status s = WriteFile(it->second, content);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return false;
+    }
+    return true;
+  };
+  if (!save("save", text + "\n")) return 1;
+  if (!save("xslt", xml::GenerateXslt(result->program))) return 1;
+  if (!save("js", json::GenerateJavaScript(result->program))) return 1;
+  return 0;
+}
+
+int Apply(const std::map<std::string, std::string>& flags) {
+  auto prog_it = flags.find("program");
+  auto doc_it = flags.find("doc");
+  if (prog_it == flags.end() || doc_it == flags.end()) return Usage();
+
+  auto prog_text = ReadFile(prog_it->second);
+  if (!prog_text.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 prog_text.status().ToString().c_str());
+    return 1;
+  }
+  auto program = dsl::ParseProgram(*prog_text);
+  if (!program.ok()) {
+    std::fprintf(stderr, "program parse failed: %s\n",
+                 program.status().ToString().c_str());
+    return 1;
+  }
+  auto tree = ParseDoc(doc_it->second);
+  if (!tree.ok()) {
+    std::fprintf(stderr, "error: %s\n", tree.status().ToString().c_str());
+    return 1;
+  }
+  auto out = core::ExecuteOptimized(*tree, *program);
+  if (!out.ok()) {
+    std::fprintf(stderr, "execution failed: %s\n",
+                 out.status().ToString().c_str());
+    return 1;
+  }
+  std::string csv = WriteCsv(out->rows());
+  auto out_it = flags.find("out");
+  if (out_it != flags.end()) {
+    Status s = WriteFile(out_it->second, csv);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %zu rows to %s\n", out->NumRows(),
+                 out_it->second.c_str());
+  } else {
+    std::fputs(csv.c_str(), stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mitra
+
+int main(int argc, char** argv) {
+  if (argc < 2) return mitra::Usage();
+  auto flags = mitra::ParseFlags(argc, argv, 2);
+  if (std::strcmp(argv[1], "synth") == 0) return mitra::Synth(flags);
+  if (std::strcmp(argv[1], "apply") == 0) return mitra::Apply(flags);
+  return mitra::Usage();
+}
