@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dblp_to_database.dir/dblp_to_database.cpp.o"
+  "CMakeFiles/dblp_to_database.dir/dblp_to_database.cpp.o.d"
+  "dblp_to_database"
+  "dblp_to_database.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dblp_to_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/html_scrape.dir/html_scrape.cpp.o"
+  "CMakeFiles/html_scrape.dir/html_scrape.cpp.o.d"
+  "html_scrape"
+  "html_scrape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/html_scrape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

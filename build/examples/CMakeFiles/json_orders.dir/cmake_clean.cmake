@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/json_orders.dir/json_orders.cpp.o"
+  "CMakeFiles/json_orders.dir/json_orders.cpp.o.d"
+  "json_orders"
+  "json_orders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/json_orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/mitra_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/mitra_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/mitra_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mitra_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/mitra_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/mitra_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/mitra_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdt/CMakeFiles/mitra_hdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mitra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

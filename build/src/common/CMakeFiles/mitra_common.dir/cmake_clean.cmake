@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitra_common.dir/csv.cc.o"
+  "CMakeFiles/mitra_common.dir/csv.cc.o.d"
+  "CMakeFiles/mitra_common.dir/status.cc.o"
+  "CMakeFiles/mitra_common.dir/status.cc.o.d"
+  "CMakeFiles/mitra_common.dir/strings.cc.o"
+  "CMakeFiles/mitra_common.dir/strings.cc.o.d"
+  "libmitra_common.a"
+  "libmitra_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitra_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/column_learner.cc" "src/core/CMakeFiles/mitra_core.dir/column_learner.cc.o" "gcc" "src/core/CMakeFiles/mitra_core.dir/column_learner.cc.o.d"
+  "/root/repo/src/core/dfa.cc" "src/core/CMakeFiles/mitra_core.dir/dfa.cc.o" "gcc" "src/core/CMakeFiles/mitra_core.dir/dfa.cc.o.d"
+  "/root/repo/src/core/executor.cc" "src/core/CMakeFiles/mitra_core.dir/executor.cc.o" "gcc" "src/core/CMakeFiles/mitra_core.dir/executor.cc.o.d"
+  "/root/repo/src/core/node_extractor_enum.cc" "src/core/CMakeFiles/mitra_core.dir/node_extractor_enum.cc.o" "gcc" "src/core/CMakeFiles/mitra_core.dir/node_extractor_enum.cc.o.d"
+  "/root/repo/src/core/predicate_learner.cc" "src/core/CMakeFiles/mitra_core.dir/predicate_learner.cc.o" "gcc" "src/core/CMakeFiles/mitra_core.dir/predicate_learner.cc.o.d"
+  "/root/repo/src/core/predicate_universe.cc" "src/core/CMakeFiles/mitra_core.dir/predicate_universe.cc.o" "gcc" "src/core/CMakeFiles/mitra_core.dir/predicate_universe.cc.o.d"
+  "/root/repo/src/core/qm.cc" "src/core/CMakeFiles/mitra_core.dir/qm.cc.o" "gcc" "src/core/CMakeFiles/mitra_core.dir/qm.cc.o.d"
+  "/root/repo/src/core/set_cover.cc" "src/core/CMakeFiles/mitra_core.dir/set_cover.cc.o" "gcc" "src/core/CMakeFiles/mitra_core.dir/set_cover.cc.o.d"
+  "/root/repo/src/core/synthesizer.cc" "src/core/CMakeFiles/mitra_core.dir/synthesizer.cc.o" "gcc" "src/core/CMakeFiles/mitra_core.dir/synthesizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mitra_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdt/CMakeFiles/mitra_hdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/mitra_dsl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitra_core.dir/column_learner.cc.o"
+  "CMakeFiles/mitra_core.dir/column_learner.cc.o.d"
+  "CMakeFiles/mitra_core.dir/dfa.cc.o"
+  "CMakeFiles/mitra_core.dir/dfa.cc.o.d"
+  "CMakeFiles/mitra_core.dir/executor.cc.o"
+  "CMakeFiles/mitra_core.dir/executor.cc.o.d"
+  "CMakeFiles/mitra_core.dir/node_extractor_enum.cc.o"
+  "CMakeFiles/mitra_core.dir/node_extractor_enum.cc.o.d"
+  "CMakeFiles/mitra_core.dir/predicate_learner.cc.o"
+  "CMakeFiles/mitra_core.dir/predicate_learner.cc.o.d"
+  "CMakeFiles/mitra_core.dir/predicate_universe.cc.o"
+  "CMakeFiles/mitra_core.dir/predicate_universe.cc.o.d"
+  "CMakeFiles/mitra_core.dir/qm.cc.o"
+  "CMakeFiles/mitra_core.dir/qm.cc.o.d"
+  "CMakeFiles/mitra_core.dir/set_cover.cc.o"
+  "CMakeFiles/mitra_core.dir/set_cover.cc.o.d"
+  "CMakeFiles/mitra_core.dir/synthesizer.cc.o"
+  "CMakeFiles/mitra_core.dir/synthesizer.cc.o.d"
+  "libmitra_core.a"
+  "libmitra_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitra_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

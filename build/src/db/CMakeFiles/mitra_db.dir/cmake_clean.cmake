@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitra_db.dir/migrator.cc.o"
+  "CMakeFiles/mitra_db.dir/migrator.cc.o.d"
+  "CMakeFiles/mitra_db.dir/schema.cc.o"
+  "CMakeFiles/mitra_db.dir/schema.cc.o.d"
+  "CMakeFiles/mitra_db.dir/sql_codegen.cc.o"
+  "CMakeFiles/mitra_db.dir/sql_codegen.cc.o.d"
+  "libmitra_db.a"
+  "libmitra_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitra_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsl/ast.cc" "src/dsl/CMakeFiles/mitra_dsl.dir/ast.cc.o" "gcc" "src/dsl/CMakeFiles/mitra_dsl.dir/ast.cc.o.d"
+  "/root/repo/src/dsl/eval.cc" "src/dsl/CMakeFiles/mitra_dsl.dir/eval.cc.o" "gcc" "src/dsl/CMakeFiles/mitra_dsl.dir/eval.cc.o.d"
+  "/root/repo/src/dsl/parser.cc" "src/dsl/CMakeFiles/mitra_dsl.dir/parser.cc.o" "gcc" "src/dsl/CMakeFiles/mitra_dsl.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mitra_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdt/CMakeFiles/mitra_hdt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

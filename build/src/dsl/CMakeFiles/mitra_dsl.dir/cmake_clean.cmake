@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitra_dsl.dir/ast.cc.o"
+  "CMakeFiles/mitra_dsl.dir/ast.cc.o.d"
+  "CMakeFiles/mitra_dsl.dir/eval.cc.o"
+  "CMakeFiles/mitra_dsl.dir/eval.cc.o.d"
+  "CMakeFiles/mitra_dsl.dir/parser.cc.o"
+  "CMakeFiles/mitra_dsl.dir/parser.cc.o.d"
+  "libmitra_dsl.a"
+  "libmitra_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitra_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmitra_dsl.a"
+)

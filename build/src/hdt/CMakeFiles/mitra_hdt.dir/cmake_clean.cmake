@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitra_hdt.dir/hdt.cc.o"
+  "CMakeFiles/mitra_hdt.dir/hdt.cc.o.d"
+  "CMakeFiles/mitra_hdt.dir/table.cc.o"
+  "CMakeFiles/mitra_hdt.dir/table.cc.o.d"
+  "libmitra_hdt.a"
+  "libmitra_hdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitra_hdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

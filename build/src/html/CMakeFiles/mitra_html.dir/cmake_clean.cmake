@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitra_html.dir/html_parser.cc.o"
+  "CMakeFiles/mitra_html.dir/html_parser.cc.o.d"
+  "libmitra_html.a"
+  "libmitra_html.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitra_html.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/json/js_codegen.cc" "src/json/CMakeFiles/mitra_json.dir/js_codegen.cc.o" "gcc" "src/json/CMakeFiles/mitra_json.dir/js_codegen.cc.o.d"
+  "/root/repo/src/json/json_parser.cc" "src/json/CMakeFiles/mitra_json.dir/json_parser.cc.o" "gcc" "src/json/CMakeFiles/mitra_json.dir/json_parser.cc.o.d"
+  "/root/repo/src/json/json_writer.cc" "src/json/CMakeFiles/mitra_json.dir/json_writer.cc.o" "gcc" "src/json/CMakeFiles/mitra_json.dir/json_writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mitra_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdt/CMakeFiles/mitra_hdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/mitra_dsl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitra_json.dir/js_codegen.cc.o"
+  "CMakeFiles/mitra_json.dir/js_codegen.cc.o.d"
+  "CMakeFiles/mitra_json.dir/json_parser.cc.o"
+  "CMakeFiles/mitra_json.dir/json_parser.cc.o.d"
+  "CMakeFiles/mitra_json.dir/json_writer.cc.o"
+  "CMakeFiles/mitra_json.dir/json_writer.cc.o.d"
+  "libmitra_json.a"
+  "libmitra_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitra_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

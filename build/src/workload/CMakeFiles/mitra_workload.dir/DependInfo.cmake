@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/corpus_json.cc" "src/workload/CMakeFiles/mitra_workload.dir/corpus_json.cc.o" "gcc" "src/workload/CMakeFiles/mitra_workload.dir/corpus_json.cc.o.d"
+  "/root/repo/src/workload/corpus_xml.cc" "src/workload/CMakeFiles/mitra_workload.dir/corpus_xml.cc.o" "gcc" "src/workload/CMakeFiles/mitra_workload.dir/corpus_xml.cc.o.d"
+  "/root/repo/src/workload/dataset_dblp.cc" "src/workload/CMakeFiles/mitra_workload.dir/dataset_dblp.cc.o" "gcc" "src/workload/CMakeFiles/mitra_workload.dir/dataset_dblp.cc.o.d"
+  "/root/repo/src/workload/dataset_imdb.cc" "src/workload/CMakeFiles/mitra_workload.dir/dataset_imdb.cc.o" "gcc" "src/workload/CMakeFiles/mitra_workload.dir/dataset_imdb.cc.o.d"
+  "/root/repo/src/workload/dataset_mondial.cc" "src/workload/CMakeFiles/mitra_workload.dir/dataset_mondial.cc.o" "gcc" "src/workload/CMakeFiles/mitra_workload.dir/dataset_mondial.cc.o.d"
+  "/root/repo/src/workload/dataset_yelp.cc" "src/workload/CMakeFiles/mitra_workload.dir/dataset_yelp.cc.o" "gcc" "src/workload/CMakeFiles/mitra_workload.dir/dataset_yelp.cc.o.d"
+  "/root/repo/src/workload/datasets.cc" "src/workload/CMakeFiles/mitra_workload.dir/datasets.cc.o" "gcc" "src/workload/CMakeFiles/mitra_workload.dir/datasets.cc.o.d"
+  "/root/repo/src/workload/docgen.cc" "src/workload/CMakeFiles/mitra_workload.dir/docgen.cc.o" "gcc" "src/workload/CMakeFiles/mitra_workload.dir/docgen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/mitra_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mitra_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/mitra_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/mitra_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/mitra_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdt/CMakeFiles/mitra_hdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mitra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

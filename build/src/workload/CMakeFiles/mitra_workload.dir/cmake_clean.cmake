@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitra_workload.dir/corpus_json.cc.o"
+  "CMakeFiles/mitra_workload.dir/corpus_json.cc.o.d"
+  "CMakeFiles/mitra_workload.dir/corpus_xml.cc.o"
+  "CMakeFiles/mitra_workload.dir/corpus_xml.cc.o.d"
+  "CMakeFiles/mitra_workload.dir/dataset_dblp.cc.o"
+  "CMakeFiles/mitra_workload.dir/dataset_dblp.cc.o.d"
+  "CMakeFiles/mitra_workload.dir/dataset_imdb.cc.o"
+  "CMakeFiles/mitra_workload.dir/dataset_imdb.cc.o.d"
+  "CMakeFiles/mitra_workload.dir/dataset_mondial.cc.o"
+  "CMakeFiles/mitra_workload.dir/dataset_mondial.cc.o.d"
+  "CMakeFiles/mitra_workload.dir/dataset_yelp.cc.o"
+  "CMakeFiles/mitra_workload.dir/dataset_yelp.cc.o.d"
+  "CMakeFiles/mitra_workload.dir/datasets.cc.o"
+  "CMakeFiles/mitra_workload.dir/datasets.cc.o.d"
+  "CMakeFiles/mitra_workload.dir/docgen.cc.o"
+  "CMakeFiles/mitra_workload.dir/docgen.cc.o.d"
+  "libmitra_workload.a"
+  "libmitra_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitra_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xml/xml_parser.cc" "src/xml/CMakeFiles/mitra_xml.dir/xml_parser.cc.o" "gcc" "src/xml/CMakeFiles/mitra_xml.dir/xml_parser.cc.o.d"
+  "/root/repo/src/xml/xml_writer.cc" "src/xml/CMakeFiles/mitra_xml.dir/xml_writer.cc.o" "gcc" "src/xml/CMakeFiles/mitra_xml.dir/xml_writer.cc.o.d"
+  "/root/repo/src/xml/xslt_codegen.cc" "src/xml/CMakeFiles/mitra_xml.dir/xslt_codegen.cc.o" "gcc" "src/xml/CMakeFiles/mitra_xml.dir/xslt_codegen.cc.o.d"
+  "/root/repo/src/xml/xslt_interpreter.cc" "src/xml/CMakeFiles/mitra_xml.dir/xslt_interpreter.cc.o" "gcc" "src/xml/CMakeFiles/mitra_xml.dir/xslt_interpreter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mitra_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdt/CMakeFiles/mitra_hdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/mitra_dsl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitra_xml.dir/xml_parser.cc.o"
+  "CMakeFiles/mitra_xml.dir/xml_parser.cc.o.d"
+  "CMakeFiles/mitra_xml.dir/xml_writer.cc.o"
+  "CMakeFiles/mitra_xml.dir/xml_writer.cc.o.d"
+  "CMakeFiles/mitra_xml.dir/xslt_codegen.cc.o"
+  "CMakeFiles/mitra_xml.dir/xslt_codegen.cc.o.d"
+  "CMakeFiles/mitra_xml.dir/xslt_interpreter.cc.o"
+  "CMakeFiles/mitra_xml.dir/xslt_interpreter.cc.o.d"
+  "libmitra_xml.a"
+  "libmitra_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitra_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/docgen_test.dir/docgen_test.cc.o"
+  "CMakeFiles/docgen_test.dir/docgen_test.cc.o.d"
+  "docgen_test"
+  "docgen_test.pdb"
+  "docgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/docgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdt_test.dir/hdt_test.cc.o"
+  "CMakeFiles/hdt_test.dir/hdt_test.cc.o.d"
+  "hdt_test"
+  "hdt_test.pdb"
+  "hdt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

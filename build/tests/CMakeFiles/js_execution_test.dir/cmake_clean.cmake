@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/js_execution_test.dir/js_execution_test.cc.o"
+  "CMakeFiles/js_execution_test.dir/js_execution_test.cc.o.d"
+  "js_execution_test"
+  "js_execution_test.pdb"
+  "js_execution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/js_execution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_extractor_test.dir/node_extractor_test.cc.o"
+  "CMakeFiles/node_extractor_test.dir/node_extractor_test.cc.o.d"
+  "node_extractor_test"
+  "node_extractor_test.pdb"
+  "node_extractor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_extractor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predicate_learner_test.dir/predicate_learner_test.cc.o"
+  "CMakeFiles/predicate_learner_test.dir/predicate_learner_test.cc.o.d"
+  "predicate_learner_test"
+  "predicate_learner_test.pdb"
+  "predicate_learner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predicate_learner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

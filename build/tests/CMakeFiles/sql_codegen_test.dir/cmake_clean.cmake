@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_codegen_test.dir/sql_codegen_test.cc.o"
+  "CMakeFiles/sql_codegen_test.dir/sql_codegen_test.cc.o.d"
+  "sql_codegen_test"
+  "sql_codegen_test.pdb"
+  "sql_codegen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_codegen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xslt_execution_test.dir/xslt_execution_test.cc.o"
+  "CMakeFiles/xslt_execution_test.dir/xslt_execution_test.cc.o.d"
+  "xslt_execution_test"
+  "xslt_execution_test.pdb"
+  "xslt_execution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xslt_execution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/hdt_test[1]_include.cmake")
+include("/root/repo/build/tests/table_test[1]_include.cmake")
+include("/root/repo/build/tests/xml_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/json_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/dsl_eval_test[1]_include.cmake")
+include("/root/repo/build/tests/set_cover_test[1]_include.cmake")
+include("/root/repo/build/tests/qm_test[1]_include.cmake")
+include("/root/repo/build/tests/dfa_test[1]_include.cmake")
+include("/root/repo/build/tests/node_extractor_test[1]_include.cmake")
+include("/root/repo/build/tests/predicate_learner_test[1]_include.cmake")
+include("/root/repo/build/tests/synthesizer_test[1]_include.cmake")
+include("/root/repo/build/tests/executor_test[1]_include.cmake")
+include("/root/repo/build/tests/codegen_test[1]_include.cmake")
+include("/root/repo/build/tests/e2e_paper_examples_test[1]_include.cmake")
+include("/root/repo/build/tests/db_test[1]_include.cmake")
+include("/root/repo/build/tests/corpus_test[1]_include.cmake")
+include("/root/repo/build/tests/datasets_test[1]_include.cmake")
+include("/root/repo/build/tests/docgen_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/dsl_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_codegen_test[1]_include.cmake")
+include("/root/repo/build/tests/csv_test[1]_include.cmake")
+include("/root/repo/build/tests/html_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/js_execution_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/xslt_execution_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitra.dir/mitra_cli.cc.o"
+  "CMakeFiles/mitra.dir/mitra_cli.cc.o.d"
+  "mitra"
+  "mitra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
