@@ -14,19 +14,85 @@
 ///    two one-hour timeouts; see bench_ablation_optimizer for how the
 ///    optimized execution strategy tames exactly those).
 
+#include <algorithm>
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/thread_pool.h"
 #include "core/executor.h"
 #include "core/synthesizer.h"
+#include "json/json_parser.h"
 #include "workload/corpus.h"
 #include "workload/docgen.h"
 #include "xml/xml_parser.h"
 
 namespace mitra {
 namespace {
+
+/// JSON case objects accumulated for BENCH_perf_scaling.json.
+struct Report {
+  std::vector<std::string> synthesis_cases;
+  std::vector<std::string> execution_cases;
+  double synth_t1_total = 0.0;
+  double synth_tn_total = 0.0;
+};
+
+/// Parallel synthesis scaling: every corpus task synthesized at 1 thread
+/// and at `threads`, verifying the programs are identical (the engine's
+/// determinism contract) and recording per-case wall times + speedup.
+void SynthesisScalingRun(int threads, Report* report) {
+  std::printf(
+      "== Parallel synthesis: corpus at 1 vs %d thread(s) ==\n", threads);
+  std::printf("%-28s %10s %10s %9s\n", "task", "t1(s)", "tN(s)", "speedup");
+  double total1 = 0.0, totaln = 0.0;
+  int mismatches = 0;
+  for (const workload::CorpusTask& task : workload::FullCorpus()) {
+    if (!task.expect_solvable) continue;
+    bool is_json = task.format == workload::DocFormat::kJson;
+    auto tree = is_json ? json::ParseJson(task.document)
+                        : xml::ParseXml(task.document);
+    auto table = hdt::Table::FromRows(task.output);
+    if (!tree.ok() || !table.ok()) continue;
+
+    core::SynthesisOptions o1;
+    o1.num_threads = 1;
+    bench::Timer t1;
+    auto r1 = core::LearnTransformation(*tree, *table, o1);
+    double s1 = t1.Seconds();
+    core::SynthesisOptions on;
+    on.num_threads = threads;
+    bench::Timer tn;
+    auto rn = core::LearnTransformation(*tree, *table, on);
+    double sn = tn.Seconds();
+    if (!r1.ok() || !rn.ok()) continue;
+    if (dsl::ToString(r1->program) != dsl::ToString(rn->program)) {
+      std::fprintf(stderr, "  %-28s PROGRAM MISMATCH (determinism bug!)\n",
+                   task.id.c_str());
+      ++mismatches;
+      continue;
+    }
+    total1 += s1;
+    totaln += sn;
+    double speedup = sn > 0 ? s1 / sn : 0.0;
+    std::printf("%-28s %10.3f %10.3f %8.2fx\n", task.id.c_str(), s1, sn,
+                speedup);
+    report->synthesis_cases.push_back(bench::Json()
+                                          .Str("id", task.id)
+                                          .Int("threads", threads)
+                                          .Num("t1_seconds", s1)
+                                          .Num("tn_seconds", sn)
+                                          .Num("speedup", speedup)
+                                          .Build());
+  }
+  report->synth_t1_total = total1;
+  report->synth_tn_total = totaln;
+  std::printf("total: %.2f s at 1 thread, %.2f s at %d -> %.2fx%s\n\n",
+              total1, totaln, threads, totaln > 0 ? total1 / totaln : 0.0,
+              mismatches > 0 ? "  [MISMATCHES!]" : "");
+}
 
 void MillionElementRun(int max_persons) {
   std::printf("== §2 claim: motivating-example program at scale ==\n");
@@ -88,11 +154,11 @@ void MillionElementRun(int max_persons) {
               "MacBook; same program shape, same optimized evaluation)\n\n");
 }
 
-void CorpusScalingRun(int factor) {
+void CorpusScalingRun(int factor, common::ThreadPool* pool, Report* report) {
   std::printf(
       "== §7.1 Performance: synthesized XML programs on replicated "
-      "documents (factor %d) ==\n",
-      factor);
+      "documents (factor %d, %u executor thread(s)) ==\n",
+      factor, pool != nullptr ? pool->size() : 1);
   std::vector<double> times;
   std::vector<std::pair<std::string, double>> per_task;
   int failures = 0;
@@ -118,6 +184,7 @@ void CorpusScalingRun(int factor) {
     core::OptimizedExecutor exec(result->program);
     core::ExecuteOptions exec_opts;
     exec_opts.max_output_rows = 5'000'000;
+    exec_opts.pool = pool;
     bench::Timer timer;
     auto rows = exec.ExecuteNodes(big, exec_opts);
     double secs = timer.Seconds();
@@ -129,6 +196,13 @@ void CorpusScalingRun(int factor) {
     }
     times.push_back(secs);
     per_task.emplace_back(task.id, secs);
+    report->execution_cases.push_back(
+        bench::Json()
+            .Str("id", task.id)
+            .Int("threads", pool != nullptr ? pool->size() : 1)
+            .Num("seconds", secs)
+            .Int("rows", static_cast<long long>(rows->size()))
+            .Build());
   }
   std::sort(per_task.begin(), per_task.end(),
             [](const auto& a, const auto& b) { return a.second > b.second; });
@@ -151,8 +225,34 @@ void CorpusScalingRun(int factor) {
 
 int Run(int argc, char** argv) {
   bench::Args args(argc, argv);
+  long threads_flag = args.Int("threads", 0);
+  const unsigned threads =
+      threads_flag == 0 ? common::ThreadPool::HardwareThreads()
+                        : static_cast<unsigned>(std::max(1L, threads_flag));
+  std::optional<common::ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
+
+  Report report;
+  SynthesisScalingRun(static_cast<int>(threads), &report);
   MillionElementRun(static_cast<int>(args.Int("persons", 125000)));
-  CorpusScalingRun(static_cast<int>(args.Int("factor", 4000)));
+  CorpusScalingRun(static_cast<int>(args.Int("factor", 4000)),
+                   pool ? &*pool : nullptr, &report);
+
+  double speedup = report.synth_tn_total > 0
+                       ? report.synth_t1_total / report.synth_tn_total
+                       : 0.0;
+  std::string json =
+      bench::Json()
+          .Int("threads", threads)
+          .Int("hardware_concurrency", common::ThreadPool::HardwareThreads())
+          .Num("synthesis_total_t1_seconds", report.synth_t1_total)
+          .Num("synthesis_total_tn_seconds", report.synth_tn_total)
+          .Num("synthesis_speedup", speedup)
+          .Raw("synthesis", bench::JsonArray(report.synthesis_cases))
+          .Raw("execution", bench::JsonArray(report.execution_cases))
+          .Build();
+  bench::WriteFileOrWarn(args.Str("json", "BENCH_perf_scaling.json"),
+                         json + "\n");
   return 0;
 }
 

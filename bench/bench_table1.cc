@@ -103,7 +103,11 @@ void Accumulate(BucketStats* dst, const BucketStats& src) {
 
 }  // namespace
 
-int Run() {
+int Run(int argc, char** argv) {
+  bench::Args args(argc, argv);
+  // --threads 0 (default) = hardware concurrency; any value yields the
+  // same synthesized programs, so Table 1's shape is thread-invariant.
+  const int num_threads = static_cast<int>(args.Int("threads", 0));
   std::map<std::pair<bool, int>, BucketStats> buckets;  // (is_json, bucket)
 
   for (const workload::CorpusTask& task : workload::FullCorpus()) {
@@ -126,6 +130,7 @@ int Run() {
 
     core::SynthesisOptions opts;
     opts.time_limit_seconds = 60.0;
+    opts.num_threads = num_threads;
     bench::Timer timer;
     auto result = core::LearnTransformation(*tree, *table, opts);
     double secs = timer.Seconds();
@@ -183,4 +188,4 @@ int Run() {
 
 }  // namespace mitra
 
-int main() { return mitra::Run(); }
+int main(int argc, char** argv) { return mitra::Run(argc, argv); }

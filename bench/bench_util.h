@@ -51,10 +51,88 @@ class Args {
     }
     return fallback;
   }
+  std::string Str(const std::string& flag, const std::string& fallback) const {
+    for (const auto& [k, v] : args_) {
+      if (k == "--" + flag) return v;
+    }
+    return fallback;
+  }
 
  private:
   std::vector<std::pair<std::string, std::string>> args_;
 };
+
+/// Minimal JSON object builder for machine-readable benchmark reports
+/// (no external dependency). Strings are escaped; `Raw` splices a
+/// pre-built JSON value (e.g. an array from JsonArray).
+class Json {
+ public:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
+  Json& Num(const std::string& key, double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return Raw(key, buf);
+  }
+  Json& Int(const std::string& key, long long v) {
+    return Raw(key, std::to_string(v));
+  }
+  Json& Str(const std::string& key, const std::string& v) {
+    return Raw(key, "\"" + Escape(v) + "\"");
+  }
+  Json& Raw(const std::string& key, const std::string& raw) {
+    if (!body_.empty()) body_ += ",";
+    body_ += "\"" + Escape(key) + "\":" + raw;
+    return *this;
+  }
+  std::string Build() const { return "{" + body_ + "}"; }
+
+ private:
+  std::string body_;
+};
+
+inline std::string JsonArray(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ",";
+    out += items[i];
+  }
+  return out + "]";
+}
+
+/// Writes `content` to `path`; warns on stderr instead of failing the run.
+inline void WriteFileOrWarn(const std::string& path,
+                            const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+}
 
 }  // namespace mitra::bench
 

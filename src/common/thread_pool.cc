@@ -1,0 +1,133 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+
+namespace mitra::common {
+
+namespace {
+
+/// Set while a thread is executing pool work; consulted by ParallelFor to
+/// run nested loops inline instead of deadlocking a fixed-size pool.
+thread_local const ThreadPool* g_current_pool = nullptr;
+
+}  // namespace
+
+unsigned ThreadPool::HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = HardwareThreads();
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  // std::jthread joins on destruction.
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::OnWorkerThread() const { return g_current_pool == this; }
+
+void ThreadPool::WorkerLoop() {
+  g_current_pool = this;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->size() <= 1 || n == 1 ||
+      pool->OnWorkerThread()) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  struct Shared {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    size_t total;
+    const std::function<void(size_t)>* body;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::exception_ptr error;  // first failure, guarded by mu
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->total = n;
+  shared->body = &body;
+
+  // Every claimed index is counted as done even after a failure (the body
+  // is just skipped), so `done` always reaches `total` and the caller's
+  // wait below cannot hang.
+  auto drain = [](const std::shared_ptr<Shared>& s) {
+    size_t finished = 0;
+    for (;;) {
+      size_t i = s->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= s->total) break;
+      bool skip;
+      {
+        std::lock_guard<std::mutex> lock(s->mu);
+        skip = s->error != nullptr;
+      }
+      if (!skip) {
+        try {
+          (*s->body)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(s->mu);
+          if (!s->error) s->error = std::current_exception();
+        }
+      }
+      ++finished;
+    }
+    if (finished > 0 &&
+        s->done.fetch_add(finished, std::memory_order_acq_rel) + finished ==
+            s->total) {
+      std::lock_guard<std::mutex> lock(s->mu);
+      s->cv.notify_all();
+    }
+  };
+
+  // One helper task per worker beyond the calling thread; helpers that
+  // find nothing left to claim exit immediately.
+  size_t helpers = std::min<size_t>(pool->size(), n) - 1;
+  for (size_t h = 0; h < helpers; ++h) {
+    pool->Submit([shared, drain] { drain(shared); });
+  }
+  drain(shared);
+
+  {
+    std::unique_lock<std::mutex> lock(shared->mu);
+    shared->cv.wait(lock, [&] {
+      return shared->done.load(std::memory_order_acquire) >= shared->total;
+    });
+    if (shared->error) std::rethrow_exception(shared->error);
+  }
+}
+
+}  // namespace mitra::common

@@ -1,0 +1,73 @@
+#ifndef MITRA_COMMON_THREAD_POOL_H_
+#define MITRA_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file thread_pool.h
+/// A minimal fixed-size worker pool (C++20 std::jthread, no external
+/// dependencies) plus a blocking ParallelFor. Built for the synthesizer's
+/// wave-based candidate evaluation and the executor's chunked scans:
+///
+///  - tasks are claimed dynamically (one shared index), so wildly uneven
+///    per-item costs (LearnPredicate on different ψ) still load-balance;
+///  - the calling thread participates in the loop instead of idling, so
+///    `ParallelFor` over a pool of size 1 degenerates to the plain loop;
+///  - a ParallelFor issued from inside a pool worker runs inline on that
+///    worker (nested parallelism cannot deadlock the fixed-size pool);
+///  - the first exception thrown by the body is rethrown on the caller
+///    after all items finish or are abandoned.
+///
+/// Determinism contract: ParallelFor guarantees nothing about execution
+/// order — callers that need the sequential result must write into
+/// per-index slots and merge in index order afterwards.
+
+namespace mitra::common {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means HardwareThreads().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (≥ 1).
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues a task. Tasks must not block on other tasks' completion
+  /// (the pool is fixed-size); ParallelFor's inline-when-nested rule
+  /// exists precisely to honor this.
+  void Submit(std::function<void()> task);
+
+  /// std::thread::hardware_concurrency(), clamped to ≥ 1.
+  static unsigned HardwareThreads();
+
+  /// True when the current thread is one of this pool's workers.
+  bool OnWorkerThread() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::jthread> workers_;
+};
+
+/// Invokes `body(i)` for every i in [0, n), blocking until all complete.
+/// Runs inline (sequentially, in index order) when `pool` is null, has a
+/// single worker, n ≤ 1, or the caller is itself a pool worker. The
+/// parallel path claims indices dynamically; the caller participates.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& body);
+
+}  // namespace mitra::common
+
+#endif  // MITRA_COMMON_THREAD_POOL_H_

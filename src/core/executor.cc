@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace mitra::core {
 
@@ -43,6 +44,7 @@ std::string JoinKey(const hdt::Hdt& tree, hdt::NodeId n) {
 
 const std::vector<hdt::NodeId>* ColumnCache::Lookup(
     const dsl::ColumnExtractor& pi) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(dsl::ToString(pi));
   if (it == cache_.end()) return nullptr;
   ++hits_;
@@ -51,9 +53,21 @@ const std::vector<hdt::NodeId>* ColumnCache::Lookup(
 
 const std::vector<hdt::NodeId>* ColumnCache::Insert(
     const dsl::ColumnExtractor& pi, std::vector<hdt::NodeId> nodes) {
-  auto [it, inserted] =
-      cache_.insert_or_assign(dsl::ToString(pi), std::move(nodes));
+  std::lock_guard<std::mutex> lock(mu_);
+  // First-wins: never overwrite, so pointers handed out earlier (possibly
+  // held by a concurrent executor) stay valid and bound to the same value.
+  auto [it, inserted] = cache_.try_emplace(dsl::ToString(pi), std::move(nodes));
   return &it->second;
+}
+
+size_t ColumnCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+size_t ColumnCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
 }
 
 OptimizedExecutor::OptimizedExecutor(const dsl::Program& program)
@@ -228,59 +242,134 @@ Result<std::vector<dsl::NodeTuple>> OptimizedExecutor::ExecuteNodes(
       }
     }
 
-    // Nested-loop enumeration with early checks.
-    dsl::NodeTuple tuple(k, hdt::kInvalidNode);
-    uint64_t emitted = 0;
-    Status overflow = Status::OK();
-
-    std::function<void(size_t)> rec = [&](size_t level) {
-      if (!overflow.ok()) return;
-      if (level == k) {
-        if (multi_clause) {
-          if (!seen.insert(tuple).second) return;
+    // Nested-loop enumeration with early checks. `enumerate_range` runs
+    // the loop nest with the outermost level restricted to candidates
+    // [first, last); `emit` receives each surviving tuple and returns
+    // false to stop the enumeration. Returns true when the range was
+    // enumerated to completion. Reads only immutable clause state, so
+    // disjoint ranges are safe to enumerate concurrently.
+    auto enumerate_range =
+        [&](size_t first, size_t last,
+            const std::function<bool(const dsl::NodeTuple&)>& emit) {
+      dsl::NodeTuple tuple(k, hdt::kInvalidNode);
+      bool stopped = false;
+      std::function<void(size_t)> rec = [&](size_t level) {
+        if (stopped) return;
+        if (level == k) {
+          if (!emit(tuple)) stopped = true;
+          return;
         }
-        out.push_back(tuple);
-        if (++emitted > opts.max_output_rows) {
-          overflow = Status::ResourceExhausted(
-              "output exceeds max_output_rows");
+        const LevelPlan& lp = plan.levels[level];
+        const std::vector<hdt::NodeId>* cands =
+            &filtered[static_cast<size_t>(lp.column)];
+        if (lp.has_driver) {
+          const Literal& lit =
+              plan.literals[static_cast<size_t>(lp.driver.literal_index)];
+          const Atom& a = program_.atoms[lit.atom];
+          const dsl::NodeExtractor& probe_path =
+              lp.driver.probe_is_lhs ? a.lhs_path : a.rhs_path;
+          hdt::NodeId bound = tuple[static_cast<size_t>(lp.driver.probe_col)];
+          hdt::NodeId m = dsl::EvalNodeExtractor(tree, probe_path, bound);
+          if (m == hdt::kInvalidNode) return;  // equality cannot hold
+          auto it = index[level].find(JoinKey(tree, m));
+          if (it == index[level].end()) return;
+          cands = &it->second;
         }
-        return;
-      }
-      const LevelPlan& lp = plan.levels[level];
-      const std::vector<hdt::NodeId>* cands =
-          &filtered[static_cast<size_t>(lp.column)];
-      if (lp.has_driver) {
-        const Literal& lit =
-            plan.literals[static_cast<size_t>(lp.driver.literal_index)];
-        const Atom& a = program_.atoms[lit.atom];
-        const dsl::NodeExtractor& probe_path =
-            lp.driver.probe_is_lhs ? a.lhs_path : a.rhs_path;
-        hdt::NodeId bound = tuple[static_cast<size_t>(lp.driver.probe_col)];
-        hdt::NodeId m = dsl::EvalNodeExtractor(tree, probe_path, bound);
-        if (m == hdt::kInvalidNode) return;  // equality cannot hold
-        auto it = index[level].find(JoinKey(tree, m));
-        if (it == index[level].end()) return;
-        cands = &it->second;
-      }
-      for (hdt::NodeId n : *cands) {
-        tuple[static_cast<size_t>(lp.column)] = n;
-        bool pass = true;
-        for (int li : lp.check_literals) {
-          const Literal& lit = plan.literals[static_cast<size_t>(li)];
-          bool v = dsl::EvalAtom(tree, program_.atoms[lit.atom], tuple);
-          if (lit.negated) v = !v;
-          if (!v) {
-            pass = false;
-            break;
+        // Drivers are never planned at level 0 (a join resolves where its
+        // *later* column binds, level ≥ 1), so the range restriction below
+        // always applies to the full filtered candidate list.
+        const size_t begin = level == 0 ? first : 0;
+        const size_t end = level == 0 ? last : cands->size();
+        for (size_t ci = begin; ci < end; ++ci) {
+          tuple[static_cast<size_t>(lp.column)] = (*cands)[ci];
+          bool pass = true;
+          for (int li : lp.check_literals) {
+            const Literal& lit = plan.literals[static_cast<size_t>(li)];
+            bool v = dsl::EvalAtom(tree, program_.atoms[lit.atom], tuple);
+            if (lit.negated) v = !v;
+            if (!v) {
+              pass = false;
+              break;
+            }
           }
+          if (pass) rec(level + 1);
+          if (stopped) return;
         }
-        if (pass) rec(level + 1);
-        if (!overflow.ok()) return;
-      }
-      tuple[static_cast<size_t>(lp.column)] = hdt::kInvalidNode;
+        tuple[static_cast<size_t>(lp.column)] = hdt::kInvalidNode;
+      };
+      rec(0);
+      return !stopped;
     };
-    rec(0);
-    if (!overflow.ok()) return overflow;
+
+    // Exact sequential semantics: dedup across clauses, overflow when one
+    // clause emits more than max_output_rows (post-dedup) rows.
+    auto run_sequential = [&]() {
+      uint64_t emitted = 0;
+      Status overflow = Status::OK();
+      enumerate_range(
+          0, filtered[static_cast<size_t>(plan.levels[0].column)].size(),
+          [&](const dsl::NodeTuple& t) {
+            if (multi_clause && !seen.insert(t).second) return true;
+            out.push_back(t);
+            if (++emitted > opts.max_output_rows) {
+              overflow =
+                  Status::ResourceExhausted("output exceeds max_output_rows");
+              return false;
+            }
+            return true;
+          });
+      return overflow;
+    };
+
+    const size_t n0 =
+        filtered[static_cast<size_t>(plan.levels[0].column)].size();
+    common::ThreadPool* pool = opts.pool;
+    if (pool == nullptr || pool->size() <= 1 || n0 < 2) {
+      MITRA_RETURN_IF_ERROR(run_sequential());
+      continue;
+    }
+
+    // Parallel path: chunk the outermost level into contiguous candidate
+    // ranges; within a chunk the enumeration order is the sequential
+    // order, so concatenating chunk outputs in range order reproduces the
+    // sequential tuple sequence exactly (dedup and the overflow cap are
+    // applied during the ordered merge below, replaying the sequential
+    // decisions). Each chunk stops at max_output_rows + 1 tuples — enough
+    // to prove overflow without unbounded memory.
+    const size_t num_chunks =
+        std::min(n0, static_cast<size_t>(pool->size()) * 4);
+    const uint64_t chunk_cap = opts.max_output_rows + 1;
+    std::vector<std::vector<dsl::NodeTuple>> chunk_out(num_chunks);
+    std::vector<char> complete(num_chunks, 1);
+    common::ParallelFor(pool, num_chunks, [&](size_t c) {
+      const size_t first = n0 * c / num_chunks;
+      const size_t last = n0 * (c + 1) / num_chunks;
+      complete[c] = enumerate_range(first, last, [&](const dsl::NodeTuple& t) {
+        chunk_out[c].push_back(t);
+        return static_cast<uint64_t>(chunk_out[c].size()) < chunk_cap;
+      });
+    });
+
+    const bool any_truncated =
+        std::find(complete.begin(), complete.end(), 0) != complete.end();
+    if (multi_clause && any_truncated) {
+      // Chunk truncation counts pre-dedup tuples, but the overflow cap is
+      // post-dedup — inconclusive. Re-run this clause sequentially for
+      // the exact answer (pathological case: a single clause enumerating
+      // beyond max_output_rows duplicates).
+      MITRA_RETURN_IF_ERROR(run_sequential());
+      continue;
+    }
+    uint64_t emitted = 0;
+    for (std::vector<dsl::NodeTuple>& chunk : chunk_out) {
+      for (dsl::NodeTuple& t : chunk) {
+        if (multi_clause && !seen.insert(t).second) continue;
+        out.push_back(std::move(t));
+        if (++emitted > opts.max_output_rows) {
+          return Status::ResourceExhausted("output exceeds max_output_rows");
+        }
+      }
+    }
   }
   return out;
 }

@@ -2,6 +2,7 @@
 #define MITRA_CORE_EXECUTOR_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,10 @@
 ///
 /// Equivalence with the naive Fig.-7 evaluator is property-tested.
 
+namespace mitra::common {
+class ThreadPool;
+}  // namespace mitra::common
+
 namespace mitra::core {
 
 /// Cross-program column cache — the paper's §9 future-work optimization:
@@ -38,18 +43,25 @@ namespace mitra::core {
 /// per database table), they share column extractions (e.g. every IMDB
 /// table program scans `descendants(s, movies)`). Scope one cache per
 /// document; it must outlive the executor calls that use it.
+///
+/// Thread-safe: the migrator executes per-table programs concurrently
+/// against one shared cache. Insert is first-wins (extractions are pure
+/// functions of the tree, so concurrent computes yield equal values) and
+/// never invalidates previously returned pointers (std::map nodes are
+/// stable).
 class ColumnCache {
  public:
   /// Returns the cached extraction or nullptr.
   const std::vector<hdt::NodeId>* Lookup(const dsl::ColumnExtractor& pi) const;
-  /// Inserts (or overwrites) an extraction; returns the stored pointer.
+  /// Inserts an extraction (first-wins); returns the stored pointer.
   const std::vector<hdt::NodeId>* Insert(const dsl::ColumnExtractor& pi,
                                          std::vector<hdt::NodeId> nodes);
-  size_t size() const { return cache_.size(); }
+  size_t size() const;
   /// Number of Lookup hits (for the memoization benchmark).
-  size_t hits() const { return hits_; }
+  size_t hits() const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, std::vector<hdt::NodeId>> cache_;
   mutable size_t hits_ = 0;
 };
@@ -59,6 +71,11 @@ struct ExecuteOptions {
   uint64_t max_output_rows = 100'000'000;
   /// Optional cross-program column cache (see ColumnCache).
   ColumnCache* column_cache = nullptr;
+  /// Optional worker pool (not owned): each clause's outermost loop level
+  /// is chunked into contiguous candidate ranges enumerated concurrently
+  /// and merged back in range order, so the emitted tuple sequence is
+  /// identical to the sequential run. nullptr = sequential.
+  common::ThreadPool* pool = nullptr;
 };
 
 /// A compiled execution plan for one program. Reusable across input trees.

@@ -1,0 +1,117 @@
+#include "core/extractor_memo.h"
+
+#include <unordered_set>
+#include <utility>
+
+#include "common/strings.h"
+#include "dsl/eval.h"
+
+namespace mitra::core {
+
+TargetFacts FactsFor(const hdt::Hdt& tree, hdt::NodeId node) {
+  TargetFacts tf;
+  tf.node = node;
+  tf.is_leaf = tree.IsLeaf(node);
+  tf.has_data = tree.HasData(node);
+  tf.data = tree.Data(node);
+  tf.number = tf.has_data ? ParseNumber(tf.data) : std::nullopt;
+  return tf;
+}
+
+template <typename T, typename Fn>
+std::shared_ptr<const T> ExtractorMemoCache::GetOrCompute(
+    std::unordered_map<std::string,
+                       std::shared_future<std::shared_ptr<const T>>>* map,
+    const std::string& key, Fn compute) {
+  std::promise<std::shared_ptr<const T>> promise;
+  std::shared_future<std::shared_ptr<const T>> future;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map->find(key);
+    if (it == map->end()) {
+      future = promise.get_future().share();
+      map->emplace(key, future);
+      owner = true;
+    } else {
+      future = it->second;
+    }
+  }
+  if (owner) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    try {
+      promise.set_value(std::make_shared<const T>(compute()));
+    } catch (...) {
+      // Library code is Status-based and should not throw, but a stuck
+      // future would deadlock every other requester of this key.
+      promise.set_exception(std::current_exception());
+    }
+  } else {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return future.get();
+}
+
+std::shared_ptr<const ColumnEvalEntry> ExtractorMemoCache::Columns(
+    const Examples& examples, const dsl::ColumnExtractor& pi) {
+  return GetOrCompute(&columns_, dsl::ToString(pi), [&] {
+    ColumnEvalEntry entry;
+    entry.values.reserve(examples.size());
+    for (const Example& e : examples) {
+      entry.values.push_back(dsl::EvalColumn(*e.tree, pi));
+    }
+    return entry;
+  });
+}
+
+std::shared_ptr<const EnumeratedEntry> ExtractorMemoCache::Extractors(
+    const Examples& examples, const dsl::ColumnExtractor& pi,
+    const NodeExtractorEnumOptions& opts) {
+  return GetOrCompute(&extractors_, dsl::ToString(pi), [&] {
+    EnumeratedEntry entry;
+    auto columns = Columns(examples, pi);
+    std::vector<const hdt::Hdt*> trees;
+    trees.reserve(examples.size());
+    for (const Example& e : examples) trees.push_back(e.tree);
+    auto enumerated =
+        EnumerateNodeExtractorsFromSources(trees, columns->values, opts);
+    if (!enumerated.ok()) {
+      entry.status = enumerated.status();
+      return entry;
+    }
+    entry.extractors.reserve(enumerated->size());
+    for (EnumeratedExtractor& ee : *enumerated) {
+      ExtractorWithFacts ef;
+      ef.extractor = std::move(ee.extractor);
+      ef.facts.resize(examples.size());
+      for (size_t e = 0; e < examples.size(); ++e) {
+        const hdt::Hdt& tree = *examples[e].tree;
+        ef.facts[e].reserve(ee.targets[e].size());
+        for (hdt::NodeId m : ee.targets[e]) {
+          ef.facts[e].push_back(FactsFor(tree, m));
+        }
+      }
+      entry.extractors.push_back(std::move(ef));
+    }
+    return entry;
+  });
+}
+
+std::shared_ptr<const std::vector<std::string>> ExtractorMemoCache::Constants(
+    const Examples& examples, size_t max_constants) {
+  return GetOrCompute(&constants_, "$constants", [&] {
+    // First-seen order over all example trees, exactly mirroring the
+    // original in-line construction in ConstructPredicateUniverse.
+    std::vector<std::string> constants;
+    std::unordered_set<std::string> seen;
+    for (const Example& e : examples) {
+      for (std::string& v : e.tree->AllDataValues()) {
+        if (constants.size() >= max_constants) break;
+        if (seen.insert(v).second) constants.push_back(std::move(v));
+      }
+    }
+    return constants;
+  });
+}
+
+}  // namespace mitra::core

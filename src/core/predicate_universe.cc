@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <memory>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/strings.h"
+#include "core/extractor_memo.h"
 
 namespace mitra::core {
 
@@ -14,21 +17,12 @@ namespace {
 using dsl::Atom;
 using dsl::CmpOp;
 
-/// Pre-extracted facts about one target node (result of applying a node
-/// extractor to one column value): everything atom evaluation needs.
-struct TargetFacts {
-  hdt::NodeId node = hdt::kInvalidNode;
-  bool is_leaf = false;
-  bool has_data = false;
-  std::string_view data;
-  std::optional<double> number;
-};
-
 /// Per (column, node extractor): facts for each column value of each
-/// example, aligned with the column's EvalColumn order.
-struct ExtractorFacts {
+/// example, aligned with the column's EvalColumn order. A non-owning view
+/// into either the memo cache or locally computed storage.
+struct ExtractorFactsView {
   const dsl::NodeExtractor* extractor = nullptr;
-  std::vector<std::vector<TargetFacts>> facts;  // [example][value index]
+  const std::vector<std::vector<TargetFacts>>* facts = nullptr;
 };
 
 int CompareFacts(const TargetFacts& a, const TargetFacts& b) {
@@ -116,6 +110,39 @@ class AtomCollector {
   std::unordered_map<uint64_t, std::vector<int>> index_;
 };
 
+/// Pre-broadcast dedup key: an atom's row truth is fully determined by
+/// its per-value (rule 4) or per-value-pair (rule 5) truth pattern, which
+/// is tiny compared to the cross product. The pattern is stored packed —
+/// building an O(values) character string per candidate atom was a
+/// measurable cost on large universes — tagged with the rule and column
+/// indices (patterns of different (rule, i, j) never collide: within one
+/// tag the bit count is fixed by the columns' value counts).
+class PatternDedup {
+ public:
+  bool IsNew(uint32_t tag, DynBitset pattern) {
+    uint64_t h = HashCombine(pattern.Hash(), tag);
+    auto& bucket = seen_[h];
+    for (const Key& key : bucket) {
+      if (key.tag == tag && key.pattern == pattern) return false;
+    }
+    bucket.push_back(Key{tag, std::move(pattern)});
+    return true;
+  }
+
+  static uint32_t UnaryTag(size_t i) { return static_cast<uint32_t>(i); }
+  static uint32_t BinaryTag(size_t i, size_t j) {
+    return (uint32_t{1} << 31) | (static_cast<uint32_t>(i) << 15) |
+           static_cast<uint32_t>(j);
+  }
+
+ private:
+  struct Key {
+    uint32_t tag;
+    DynBitset pattern;
+  };
+  std::unordered_map<uint64_t, std::vector<Key>> seen_;
+};
+
 }  // namespace
 
 Result<PredicateUniverse> ConstructPredicateUniverse(
@@ -130,18 +157,33 @@ Result<PredicateUniverse> ConstructPredicateUniverse(
   }
 
   // Column domains and per-row column-value indices.
-  // col_values[i][e] = EvalColumn(tree_e, psi[i]).
-  std::vector<std::vector<std::vector<hdt::NodeId>>> col_values(k);
-  // value_index[i][e]: NodeId → index into col_values[i][e].
+  // col_values[i][e] = EvalColumn(tree_e, psi[i]). Pointers into either
+  // the memo cache (kept alive by column_entries) or local storage.
+  std::vector<std::shared_ptr<const ColumnEvalEntry>> column_entries(k);
+  std::vector<std::vector<std::vector<hdt::NodeId>>> local_col_values;
+  std::vector<const std::vector<std::vector<hdt::NodeId>>*> col_values(k);
+  if (opts.memo == nullptr) local_col_values.resize(k);
+  for (size_t i = 0; i < k; ++i) {
+    if (opts.memo != nullptr) {
+      column_entries[i] = opts.memo->Columns(examples, psi[i]);
+      col_values[i] = &column_entries[i]->values;
+    } else {
+      local_col_values[i].resize(num_examples);
+      for (size_t e = 0; e < num_examples; ++e) {
+        local_col_values[i][e] = dsl::EvalColumn(*examples[e].tree, psi[i]);
+      }
+      col_values[i] = &local_col_values[i];
+    }
+  }
+  // value_index[i][e]: NodeId → index into (*col_values[i])[e].
   std::vector<std::vector<std::unordered_map<hdt::NodeId, int>>> value_index(
       k);
   for (size_t i = 0; i < k; ++i) {
-    col_values[i].resize(num_examples);
     value_index[i].resize(num_examples);
     for (size_t e = 0; e < num_examples; ++e) {
-      col_values[i][e] = dsl::EvalColumn(*examples[e].tree, psi[i]);
-      for (size_t v = 0; v < col_values[i][e].size(); ++v) {
-        value_index[i][e].emplace(col_values[i][e][v], static_cast<int>(v));
+      const auto& values = (*col_values[i])[e];
+      for (size_t v = 0; v < values.size(); ++v) {
+        value_index[i][e].emplace(values[v], static_cast<int>(v));
       }
     }
   }
@@ -175,48 +217,65 @@ Result<PredicateUniverse> ConstructPredicateUniverse(
   }
 
   // χi: valid node extractors per column, with pre-extracted facts.
-  std::vector<std::vector<ExtractorFacts>> chi(k);
-  std::vector<std::vector<EnumeratedExtractor>> enumerated(k);
+  NodeExtractorEnumOptions ne = opts.node_enum;
+  ne.max_extractors = opts.max_extractors_per_column;
+  std::vector<std::shared_ptr<const EnumeratedEntry>> enum_entries(k);
+  std::vector<std::vector<ExtractorWithFacts>> local_chi;
+  std::vector<std::vector<ExtractorFactsView>> chi(k);
+  if (opts.memo == nullptr) local_chi.resize(k);
   for (size_t i = 0; i < k; ++i) {
-    NodeExtractorEnumOptions ne = opts.node_enum;
-    ne.max_extractors = opts.max_extractors_per_column;
-    MITRA_ASSIGN_OR_RETURN(enumerated[i],
-                           EnumerateNodeExtractors(examples, psi[i], ne));
-    for (const EnumeratedExtractor& ee : enumerated[i]) {
-      ExtractorFacts ef;
-      ef.extractor = &ee.extractor;
-      ef.facts.resize(num_examples);
-      for (size_t e = 0; e < num_examples; ++e) {
-        const hdt::Hdt& tree = *examples[e].tree;
-        ef.facts[e].reserve(ee.targets[e].size());
-        for (hdt::NodeId m : ee.targets[e]) {
-          TargetFacts tf;
-          tf.node = m;
-          tf.is_leaf = tree.IsLeaf(m);
-          tf.has_data = tree.HasData(m);
-          tf.data = tree.Data(m);
-          tf.number = tf.has_data ? ParseNumber(tf.data) : std::nullopt;
-          ef.facts[e].push_back(tf);
+    const std::vector<ExtractorWithFacts>* source = nullptr;
+    if (opts.memo != nullptr) {
+      enum_entries[i] = opts.memo->Extractors(examples, psi[i], ne);
+      if (!enum_entries[i]->status.ok()) return enum_entries[i]->status;
+      source = &enum_entries[i]->extractors;
+    } else {
+      MITRA_ASSIGN_OR_RETURN(std::vector<EnumeratedExtractor> enumerated,
+                             EnumerateNodeExtractors(examples, psi[i], ne));
+      local_chi[i].reserve(enumerated.size());
+      for (EnumeratedExtractor& ee : enumerated) {
+        ExtractorWithFacts ef;
+        ef.extractor = std::move(ee.extractor);
+        ef.facts.resize(num_examples);
+        for (size_t e = 0; e < num_examples; ++e) {
+          const hdt::Hdt& tree = *examples[e].tree;
+          ef.facts[e].reserve(ee.targets[e].size());
+          for (hdt::NodeId m : ee.targets[e]) {
+            ef.facts[e].push_back(FactsFor(tree, m));
+          }
         }
+        local_chi[i].push_back(std::move(ef));
       }
-      chi[i].push_back(std::move(ef));
+      source = &local_chi[i];
+    }
+    chi[i].reserve(source->size());
+    for (const ExtractorWithFacts& ef : *source) {
+      chi[i].push_back(ExtractorFactsView{&ef.extractor, &ef.facts});
     }
   }
 
   // Constant pool (rule 4): data values of the input trees.
-  std::vector<std::string> constants;
-  {
-    std::unordered_map<std::string, bool> seen;
+  std::shared_ptr<const std::vector<std::string>> constants_entry;
+  std::vector<std::string> local_constants;
+  const std::vector<std::string>* constants = nullptr;
+  if (opts.memo != nullptr) {
+    constants_entry = opts.memo->Constants(examples, opts.max_constants);
+    constants = constants_entry.get();
+  } else {
+    std::unordered_set<std::string> seen;
     for (const Example& e : examples) {
       for (std::string& v : e.tree->AllDataValues()) {
-        if (constants.size() >= opts.max_constants) break;
-        if (seen.emplace(v, true).second) constants.push_back(std::move(v));
+        if (local_constants.size() >= opts.max_constants) break;
+        if (seen.insert(v).second) local_constants.push_back(std::move(v));
       }
     }
+    constants = &local_constants;
   }
   std::vector<std::optional<double>> constant_nums;
-  constant_nums.reserve(constants.size());
-  for (const std::string& c : constants) constant_nums.push_back(ParseNumber(c));
+  constant_nums.reserve(constants->size());
+  for (const std::string& c : *constants) {
+    constant_nums.push_back(ParseNumber(c));
+  }
 
   std::vector<CmpOp> ops{CmpOp::kEq};
   if (opts.use_inequalities) {
@@ -225,21 +284,15 @@ Result<PredicateUniverse> ConstructPredicateUniverse(
   }
 
   AtomCollector collector(num_rows, opts.max_atoms);
+  PatternDedup pattern_dedup;
 
-  // Pre-broadcast deduplication: an atom's row truth is fully determined
-  // by its per-value (rule 4) or per-value-pair (rule 5) truth pattern,
-  // which is tiny compared to the cross product. Deduplicating on that
-  // pattern first avoids materializing row-length bitsets for the many
-  // syntactically-different but semantically-equal atoms.
-  std::unordered_map<uint64_t, std::vector<std::string>> pattern_seen;
-  auto pattern_is_new = [&](std::string pattern) {
-    uint64_t h = Fnv1a64(pattern.data(), pattern.size());
-    auto& bucket = pattern_seen[h];
-    for (const std::string& p : bucket) {
-      if (p == pattern) return false;
+  // Total column-value count per column (the unary pattern length).
+  auto total_values = [&](size_t i) {
+    size_t n = 0;
+    for (size_t e = 0; e < num_examples; ++e) {
+      n += (*col_values[i])[e].size();
     }
-    bucket.push_back(std::move(pattern));
-    return true;
+    return n;
   };
 
   // Broadcast helper: truth over column-i values → truth over rows.
@@ -258,35 +311,38 @@ Result<PredicateUniverse> ConstructPredicateUniverse(
 
   // Rule (4): ((λn.ϕ) t[i]) ⋈ c.
   for (size_t i = 0; i < k && !collector.Full(); ++i) {
-    for (const ExtractorFacts& ef : chi[i]) {
-      for (size_t ci = 0; ci < constants.size(); ++ci) {
+    const size_t pattern_bits = total_values(i);
+    for (const ExtractorFactsView& ef : chi[i]) {
+      for (size_t ci = 0; ci < constants->size(); ++ci) {
         for (CmpOp op : ops) {
           if (collector.Full()) break;
           std::vector<std::vector<bool>> per_value(num_examples);
+          DynBitset pattern(pattern_bits);
+          size_t bit = 0;
           bool any_true = false, any_false = false;
           for (size_t e = 0; e < num_examples; ++e) {
-            per_value[e].reserve(ef.facts[e].size());
-            for (const TargetFacts& tf : ef.facts[e]) {
-              bool v =
-                  EvalNodeConst(op, tf, constants[ci], constant_nums[ci]);
+            per_value[e].reserve((*ef.facts)[e].size());
+            for (const TargetFacts& tf : (*ef.facts)[e]) {
+              bool v = EvalNodeConst(op, tf, (*constants)[ci],
+                                     constant_nums[ci]);
               per_value[e].push_back(v);
+              if (v) pattern.Set(bit);
+              ++bit;
               (v ? any_true : any_false) = true;
             }
           }
           if (!any_true || !any_false) continue;  // constant per value ⇒
                                                   // constant per row
-          std::string pattern = "u" + std::to_string(i) + ":";
-          for (const auto& pv : per_value) {
-            for (bool b : pv) pattern.push_back(b ? '1' : '0');
-            pattern.push_back('|');
+          if (!pattern_dedup.IsNew(PatternDedup::UnaryTag(i),
+                                   std::move(pattern))) {
+            continue;
           }
-          if (!pattern_is_new(std::move(pattern))) continue;
           Atom a;
           a.lhs_path = *ef.extractor;
           a.lhs_col = static_cast<int>(i);
           a.op = op;
           a.rhs_is_const = true;
-          a.rhs_const = constants[ci];
+          a.rhs_const = (*constants)[ci];
           collector.Add(std::move(a), broadcast_unary(i, per_value));
         }
       }
@@ -319,6 +375,11 @@ Result<PredicateUniverse> ConstructPredicateUniverse(
             if (dx1 + dx2 != dy1 + dy2) return dx1 + dx2 < dy1 + dy2;
             return std::abs(dx1 - dx2) < std::abs(dy1 - dy2);
           });
+      size_t pattern_bits = 0;
+      for (size_t e = 0; e < num_examples; ++e) {
+        pattern_bits +=
+            (*col_values[i])[e].size() * (*col_values[j])[e].size();
+      }
       for (const auto& [pi1, pi2] : pairs) {
         {
           if (collector.Full()) break;
@@ -329,33 +390,33 @@ Result<PredicateUniverse> ConstructPredicateUniverse(
               continue;
             }
             if (op != CmpOp::kEq && i == j && pi1 == pi2) continue;
-            const ExtractorFacts& f1 = chi[i][pi1];
-            const ExtractorFacts& f2 = chi[j][pi2];
+            const ExtractorFactsView& f1 = chi[i][pi1];
+            const ExtractorFactsView& f2 = chi[j][pi2];
             // Evaluate per (value_i, value_j) pair, then broadcast.
             std::vector<std::vector<std::vector<bool>>> per_pair(
                 num_examples);
+            DynBitset pattern(pattern_bits);
+            size_t bit = 0;
             bool any_true = false, any_false = false;
             for (size_t e = 0; e < num_examples; ++e) {
-              size_t ni = f1.facts[e].size(), nj = f2.facts[e].size();
+              size_t ni = (*f1.facts)[e].size(), nj = (*f2.facts)[e].size();
               per_pair[e].assign(ni, std::vector<bool>(nj, false));
               for (size_t a = 0; a < ni; ++a) {
                 for (size_t b = 0; b < nj; ++b) {
-                  bool v = EvalNodeNode(op, f1.facts[e][a], f2.facts[e][b]);
+                  bool v = EvalNodeNode(op, (*f1.facts)[e][a],
+                                        (*f2.facts)[e][b]);
                   per_pair[e][a][b] = v;
+                  if (v) pattern.Set(bit);
+                  ++bit;
                   (v ? any_true : any_false) = true;
                 }
               }
             }
             if (!any_true || !any_false) continue;
-            std::string pattern =
-                "b" + std::to_string(i) + "," + std::to_string(j) + ":";
-            for (const auto& pe : per_pair) {
-              for (const auto& pr : pe) {
-                for (bool b : pr) pattern.push_back(b ? '1' : '0');
-              }
-              pattern.push_back('|');
+            if (!pattern_dedup.IsNew(PatternDedup::BinaryTag(i, j),
+                                     std::move(pattern))) {
+              continue;
             }
-            if (!pattern_is_new(std::move(pattern))) continue;
             DynBitset bits(num_rows);
             for (size_t r = 0; r < num_rows; ++r) {
               if (per_pair[static_cast<size_t>(row_example[r])]

@@ -28,6 +28,8 @@
 
 namespace mitra::core {
 
+class ExtractorMemoCache;
+
 struct PredicateUniverseOptions {
   NodeExtractorEnumOptions node_enum;
   /// Node extractors per column actually used to build atoms (shallowest
@@ -41,6 +43,12 @@ struct PredicateUniverseOptions {
   bool use_inequalities = true;
   /// Hard cap on surviving (deduped) atoms.
   size_t max_atoms = 20'000;
+  /// Optional cross-candidate memo cache (see extractor_memo.h): caches
+  /// EvalColumn results, enumerated node extractors, and target facts
+  /// across the ψ candidates of one synthesis run. Purely a performance
+  /// device — the constructed universe is identical with or without it.
+  /// Not owned; must outlive all calls that use these options.
+  ExtractorMemoCache* memo = nullptr;
 };
 
 /// The constructed universe: atoms[a] has truth vector truth[a] whose bit

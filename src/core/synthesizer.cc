@@ -8,6 +8,8 @@
 #include <queue>
 #include <set>
 
+#include "common/thread_pool.h"
+#include "core/extractor_memo.h"
 #include "dsl/eval.h"
 
 namespace mitra::core {
@@ -44,12 +46,18 @@ size_t TreeDistance(const hdt::Hdt& tree, hdt::NodeId a, hdt::NodeId b) {
   return dist;
 }
 
-bool VerifyProgram(const Examples& examples, const dsl::Program& p,
-                   const dsl::EvalOptions& eval, size_t* excess,
-                   size_t* spread) {
+/// `want_norm[i]` must be examples[i].table already Dedup()ed and
+/// SortRows()ed — the normalization is invariant across candidates, so
+/// the caller hoists it out of the Phase-2 loop instead of paying a table
+/// copy + sort per combo.
+bool VerifyProgram(const Examples& examples,
+                   const std::vector<hdt::Table>& want_norm,
+                   const dsl::Program& p, const dsl::EvalOptions& eval,
+                   size_t* excess, size_t* spread) {
   *excess = 0;
   *spread = 0;
-  for (const Example& e : examples) {
+  for (size_t ei = 0; ei < examples.size(); ++ei) {
+    const Example& e = examples[ei];
     auto tuples = dsl::EvalProgramNodeTuples(*e.tree, p, eval);
     if (!tuples.ok()) return false;
     hdt::Table got(p.columns.size());
@@ -67,10 +75,7 @@ bool VerifyProgram(const Examples& examples, const dsl::Program& p,
     got.Dedup();
     got.SortRows();
     *excess += raw_rows - got.NumRows();
-    hdt::Table want = *e.table;
-    want.Dedup();
-    want.SortRows();
-    if (got.rows() != want.rows()) return false;
+    if (got.rows() != want_norm[ei].rows()) return false;
   }
   return true;
 }
@@ -122,14 +127,48 @@ Result<SynthesisResult> LearnTransformation(const Examples& examples,
   bool found = false;
   SynthesisStats stats;
 
-  // Phase 1: column extractors (Alg. 1 lines 4-5).
-  ColSymbolPool pool;
+  const unsigned threads =
+      opts.num_threads == 0
+          ? common::ThreadPool::HardwareThreads()
+          : static_cast<unsigned>(std::max(1, opts.num_threads));
+  std::optional<common::ThreadPool> pool_storage;
+  common::ThreadPool* tpool = nullptr;
+  if (threads > 1) {
+    pool_storage.emplace(threads);
+    tpool = &*pool_storage;
+  }
+
+  // Phase 1: column extractors (Alg. 1 lines 4-5). The k learners are
+  // independent; under the pool each gets its own ColSymbolPool, which is
+  // safe because EnumerateAcceptedPrograms orders symbols by content, not
+  // by interned id, so per-column pools yield the same candidate lists as
+  // the shared pool.
   std::vector<std::vector<dsl::ColumnExtractor>> candidates(k);
+  if (tpool != nullptr && k > 1) {
+    std::vector<Status> column_errors(k);
+    common::ParallelFor(tpool, k, [&](size_t j) {
+      ColSymbolPool col_pool;
+      auto result = LearnColumnExtractors(examples, static_cast<int>(j),
+                                          &col_pool, opts.column);
+      if (result.ok()) {
+        candidates[j] = std::move(*result);
+      } else {
+        column_errors[j] = result.status();
+      }
+    });
+    for (const Status& st : column_errors) {
+      MITRA_RETURN_IF_ERROR(st);
+    }
+  } else {
+    ColSymbolPool pool;
+    for (size_t j = 0; j < k; ++j) {
+      MITRA_ASSIGN_OR_RETURN(
+          candidates[j],
+          LearnColumnExtractors(examples, static_cast<int>(j), &pool,
+                                opts.column));
+    }
+  }
   for (size_t j = 0; j < k; ++j) {
-    MITRA_ASSIGN_OR_RETURN(
-        candidates[j],
-        LearnColumnExtractors(examples, static_cast<int>(j), &pool,
-                              opts.column));
     stats.candidates_per_column.push_back(candidates[j].size());
   }
 
@@ -154,73 +193,163 @@ Result<SynthesisResult> LearnTransformation(const Examples& examples,
   frontier.push(Combo{combo_cost(zero), zero});
   enqueued.insert(zero);
 
-  Status last_failure = Status::SynthesisFailure("no table extractor tried");
-  while (!frontier.empty() &&
-         stats.table_extractors_tried < opts.max_table_extractors) {
-    if (elapsed() > opts.time_limit_seconds) {
-      if (found) break;
-      return Status::ResourceExhausted(
-          "synthesis time limit exceeded (" +
-          std::to_string(opts.time_limit_seconds) + " s)");
-    }
-    Combo combo = frontier.top();
-    frontier.pop();
+  // Cross-candidate memoization: consecutive ψ share almost all column
+  // extractors, so EvalColumn results, enumerated node extractors and
+  // target facts are cached across combos (see extractor_memo.h). Scoped
+  // to this call; purely a performance device.
+  ExtractorMemoCache memo;
+  PredicateLearnOptions popts = opts.predicate;
+  if (opts.memoize_extractors) popts.universe.memo = &memo;
 
-    // Enqueue successors (increment one column's candidate index).
-    for (size_t j = 0; j < k; ++j) {
-      if (combo.idx[j] + 1 < candidates[j].size()) {
-        std::vector<size_t> next = combo.idx;
-        ++next[j];
-        if (enqueued.insert(next).second) {
-          frontier.push(Combo{combo_cost(next), std::move(next)});
+  // The expected tables normalized once (Dedup + SortRows is invariant
+  // across candidates; hoisted out of the per-combo verification).
+  std::vector<hdt::Table> want_norm;
+  want_norm.reserve(examples.size());
+  for (const Example& e : examples) {
+    hdt::Table t = *e.table;
+    t.Dedup();
+    t.SortRows();
+    want_norm.push_back(std::move(t));
+  }
+
+  /// Everything the merge step needs from evaluating one combo.
+  struct Outcome {
+    Status failure;         ///< non-OK when LearnPredicate failed
+    size_t universe_size = 0;
+    bool verified = false;
+    dsl::Program program;   ///< set iff verified
+    size_t excess = 0, spread = 0;
+  };
+
+  Status last_failure = Status::SynthesisFailure("no table extractor tried");
+  const size_t wave_cap = tpool ? static_cast<size_t>(tpool->size()) * 2 : 1;
+  bool done = false;
+  while (!done && !frontier.empty() &&
+         stats.table_extractors_tried < opts.max_table_extractors) {
+    // Pop a wave of combos. Successors are enqueued at pop time and
+    // evaluation never pushes, so the pop/push stream is independent of
+    // evaluation results: waves replay the sequential frontier order
+    // exactly, whatever the wave size. The wave is additionally bounded
+    // by the remaining tried/consistent budgets: each combo yields at
+    // most one consistent program, so popping more than the remaining
+    // consistent budget guarantees discarded work past the stopping
+    // point (costly when predicate learning is expensive).
+    const size_t budget_cap = std::max<size_t>(
+        1, std::min(
+               opts.max_table_extractors - stats.table_extractors_tried,
+               opts.max_consistent_programs -
+                   stats.table_extractors_consistent));
+    std::vector<Combo> wave;
+    std::vector<char> skip_eval;
+    while (wave.size() < std::min(wave_cap, budget_cap) &&
+           !frontier.empty()) {
+      Combo combo = frontier.top();
+      frontier.pop();
+      // Enqueue successors (increment one column's candidate index).
+      for (size_t j = 0; j < k; ++j) {
+        if (combo.idx[j] + 1 < candidates[j].size()) {
+          std::vector<size_t> next = combo.idx;
+          ++next[j];
+          if (enqueued.insert(next).second) {
+            frontier.push(Combo{combo_cost(next), std::move(next)});
+          }
         }
       }
+      // A combo prunable against the pre-wave incumbent stays prunable
+      // at merge time (the prune condition is monotone in best_cost), so
+      // its evaluation can be skipped outright — the merge step below
+      // re-derives the same `continue`.
+      skip_eval.push_back(found && best_cost.atoms == 0 &&
+                          best_cost.excess == 0 &&
+                          combo.total_cost >= best_cost.col_constructs);
+      wave.push_back(std::move(combo));
     }
 
-    // Prune: even a predicate-free program over this ψ cannot beat the
-    // incumbent when its extractor cost alone is not smaller.
-    if (found && best_cost.atoms == 0 && best_cost.excess == 0 &&
-        combo.total_cost >= best_cost.col_constructs) {
-      continue;
-    }
+    // Evaluate the wave on the pool. Evaluation is speculative: pruning
+    // and stopping decisions are re-applied at merge time below, where a
+    // late combo's result may simply be discarded — wasted work under
+    // contention, never a changed result.
+    std::vector<Outcome> outcomes(wave.size());
+    common::ParallelFor(tpool, wave.size(), [&](size_t i) {
+      if (skip_eval[i]) return;
+      Outcome& out = outcomes[i];
+      std::vector<dsl::ColumnExtractor> psi;
+      psi.reserve(k);
+      for (size_t j = 0; j < k; ++j) {
+        psi.push_back(candidates[j][wave[i].idx[j]]);
+      }
+      auto learned = LearnPredicate(examples, psi, popts);
+      if (!learned.ok()) {
+        out.failure = learned.status();
+        return;
+      }
+      out.universe_size = learned->universe_size;
+      dsl::Program p;
+      p.columns = std::move(psi);
+      p.atoms = learned->atoms;
+      p.formula = learned->formula;
+      if (!VerifyProgram(examples, want_norm, p, popts.eval, &out.excess,
+                         &out.spread)) {
+        return;
+      }
+      out.verified = true;
+      out.program = std::move(p);
+    });
 
-    std::vector<dsl::ColumnExtractor> psi;
-    psi.reserve(k);
-    for (size_t j = 0; j < k; ++j) psi.push_back(candidates[j][combo.idx[j]]);
-    ++stats.table_extractors_tried;
+    // Merge in pop order, replaying the sequential loop's decisions
+    // (budget caps, time limit, prune, ranking) combo by combo.
+    for (size_t i = 0; i < wave.size(); ++i) {
+      if (stats.table_extractors_tried >= opts.max_table_extractors) {
+        done = true;
+        break;
+      }
+      if (elapsed() > opts.time_limit_seconds) {
+        if (found) {
+          done = true;
+          break;
+        }
+        return Status::ResourceExhausted(
+            "synthesis time limit exceeded (" +
+            std::to_string(opts.time_limit_seconds) + " s)");
+      }
+      // Prune: even a predicate-free program over this ψ cannot beat the
+      // incumbent when its extractor cost alone is not smaller.
+      if (found && best_cost.atoms == 0 && best_cost.excess == 0 &&
+          wave[i].total_cost >= best_cost.col_constructs) {
+        continue;
+      }
+      ++stats.table_extractors_tried;
 
-    auto learned = LearnPredicate(examples, psi, opts.predicate);
-    if (!learned.ok()) {
-      last_failure = learned.status();
-      continue;
-    }
-    stats.max_universe_size =
-        std::max(stats.max_universe_size, learned->universe_size);
-
-    dsl::Program p;
-    p.columns = std::move(psi);
-    p.atoms = learned->atoms;
-    p.formula = learned->formula;
-    size_t excess = 0, spread = 0;
-    if (!VerifyProgram(examples, p, opts.predicate.eval, &excess, &spread)) {
-      last_failure = Status::SynthesisFailure(
-          "candidate program failed end-to-end verification");
-      continue;
-    }
-    ++stats.table_extractors_consistent;
-    dsl::Cost cost = dsl::ProgramCost(p);
-    RankedCost ranked{cost.atoms, excess, spread, cost.col_constructs,
-                      cost.detail};
-    if (ranked < best_cost) {
-      best_cost = ranked;
-      best.program = std::move(p);
-      found = true;
-    }
-    if (stats.table_extractors_consistent >= opts.max_consistent_programs) {
-      break;
+      Outcome& out = outcomes[i];
+      if (!out.failure.ok()) {
+        last_failure = out.failure;
+        continue;
+      }
+      stats.max_universe_size =
+          std::max(stats.max_universe_size, out.universe_size);
+      if (!out.verified) {
+        last_failure = Status::SynthesisFailure(
+            "candidate program failed end-to-end verification");
+        continue;
+      }
+      ++stats.table_extractors_consistent;
+      dsl::Cost cost = dsl::ProgramCost(out.program);
+      RankedCost ranked{cost.atoms, out.excess, out.spread,
+                        cost.col_constructs, cost.detail};
+      if (ranked < best_cost) {
+        best_cost = ranked;
+        best.program = std::move(out.program);
+        found = true;
+      }
+      if (stats.table_extractors_consistent >= opts.max_consistent_programs) {
+        done = true;
+        break;
+      }
     }
   }
 
+  stats.memo_hits = memo.hits();
+  stats.memo_misses = memo.misses();
   stats.seconds = elapsed();
   if (!found) {
     return Status::SynthesisFailure(

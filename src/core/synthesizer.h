@@ -34,6 +34,20 @@ struct SynthesisOptions {
   size_t max_consistent_programs = 6;
   /// Wall-clock budget; the paper used 120 s for the database experiment.
   double time_limit_seconds = 120.0;
+  /// Worker threads for Phase 1 (the k independent per-column learners)
+  /// and Phase 2 (wave-based evaluation of candidate table extractors).
+  /// 1 = the sequential path; 0 = hardware concurrency. Every value
+  /// synthesizes the *same* program: waves are popped in the sequential
+  /// frontier order and merged back in that order, so ranking, pruning,
+  /// and stopping decisions replay the single-threaded run exactly
+  /// (modulo the wall-clock time limit, which is inherently timing-
+  /// dependent).
+  int num_threads = 1;
+  /// Cross-candidate memoization (extractor_memo.h): EvalColumn results,
+  /// enumerated node extractors, and target facts are cached across the
+  /// ψ candidates of one run. Purely a performance device — results are
+  /// identical; exposed only for A/B benchmarking.
+  bool memoize_extractors = true;
 };
 
 /// Per-synthesis statistics, reported by the evaluation harness.
@@ -42,6 +56,9 @@ struct SynthesisStats {
   size_t table_extractors_tried = 0;
   size_t table_extractors_consistent = 0;
   size_t max_universe_size = 0;
+  /// Cross-candidate memo cache traffic (0/0 when memoization is off).
+  size_t memo_hits = 0;
+  size_t memo_misses = 0;
   double seconds = 0.0;
 };
 

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <functional>
+#include <optional>
 #include <set>
 
+#include "common/thread_pool.h"
 #include "core/node_extractor_enum.h"
 #include "dsl/eval.h"
 
@@ -178,12 +180,18 @@ Result<Database> Migrator::Execute(const hdt::Hdt& doc, int doc_index,
     exec_opts.column_cache = &column_cache;
   }
   for (const TableDef& t : schema_.tables) {
-    auto pit = programs_.find(t.name);
-    if (pit == programs_.end()) {
+    if (programs_.find(t.name) == programs_.end()) {
       return Status::InvalidArgument("Learn() was not run (table " + t.name +
                                      ")");
     }
-    core::OptimizedExecutor exec(pit->second);
+  }
+
+  // Per-table migration: executes the table's program and materializes
+  // rows with generated keys. Independent across tables (the shared
+  // column cache is thread-safe), so tables run on the pool when one is
+  // supplied, merged back in schema order.
+  auto build_table = [&](const TableDef& t) -> Result<hdt::Table> {
+    core::OptimizedExecutor exec(programs_.at(t.name));
     MITRA_ASSIGN_OR_RETURN(std::vector<dsl::NodeTuple> tuples,
                            exec.ExecuteNodes(doc, exec_opts));
 
@@ -228,7 +236,25 @@ Result<Database> Migrator::Execute(const hdt::Hdt& doc, int doc_index,
       }
       MITRA_RETURN_IF_ERROR(out.AppendRow(std::move(row)));
     }
-    db.tables.emplace(t.name, std::move(out));
+    return out;
+  };
+
+  const size_t num_tables = schema_.tables.size();
+  common::ThreadPool* pool = exec_opts.pool;
+  if (pool != nullptr && pool->size() > 1 && num_tables > 1) {
+    std::vector<std::optional<Result<hdt::Table>>> results(num_tables);
+    common::ParallelFor(pool, num_tables, [&](size_t i) {
+      results[i].emplace(build_table(schema_.tables[i]));
+    });
+    for (size_t i = 0; i < num_tables; ++i) {
+      if (!results[i]->ok()) return results[i]->status();
+      db.tables.emplace(schema_.tables[i].name, std::move(**results[i]));
+    }
+  } else {
+    for (const TableDef& t : schema_.tables) {
+      MITRA_ASSIGN_OR_RETURN(hdt::Table out, build_table(t));
+      db.tables.emplace(t.name, std::move(out));
+    }
   }
   return db;
 }

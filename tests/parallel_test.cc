@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/executor.h"
+#include "core/synthesizer.h"
+#include "json/json_parser.h"
+#include "test_util.h"
+#include "workload/corpus.h"
+#include "xml/xml_parser.h"
+
+/// \file parallel_test.cc
+/// The parallel engine's contract is determinism: for every thread count,
+/// synthesis returns the same program and execution the same tuple
+/// sequence as the sequential run. These tests check the ThreadPool
+/// primitive itself, then the contract end-to-end over the full corpus.
+
+namespace mitra {
+namespace {
+
+using test::MakeTable;
+using test::ParseXmlOrDie;
+
+// ---------------------------------------------------------------------------
+// ThreadPool / ParallelFor primitives
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  common::ThreadPool pool(4);
+  constexpr size_t kN = 10'000;
+  std::vector<std::atomic<int>> counts(kN);
+  common::ParallelFor(&pool, kN, [&](size_t i) {
+    counts[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, EmptyRangeDoesNotInvokeBody) {
+  common::ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  common::ParallelFor(&pool, 0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, NullPoolRunsInline) {
+  std::vector<size_t> order;
+  common::ParallelFor(nullptr, 5, [&](size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInlineInOrder) {
+  common::ThreadPool pool(1);
+  std::vector<size_t> order;
+  common::ParallelFor(&pool, 4, [&](size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3}));
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives) {
+  common::ThreadPool pool(4);
+  EXPECT_THROW(
+      common::ParallelFor(&pool, 100,
+                          [&](size_t i) {
+                            if (i == 37) throw std::runtime_error("boom");
+                          }),
+      std::runtime_error);
+  // The pool must still be fully usable after an error.
+  std::atomic<size_t> sum{0};
+  common::ParallelFor(&pool, 100, [&](size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  common::ThreadPool pool(2);
+  std::vector<std::atomic<int>> counts(64);
+  common::ParallelFor(&pool, 8, [&](size_t i) {
+    // From a worker thread, the inner loop must run inline rather than
+    // re-enqueue (which could deadlock a saturated pool).
+    common::ParallelFor(&pool, 8, [&](size_t j) {
+      counts[i * 8 + j].fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  for (size_t i = 0; i < counts.size(); ++i) {
+    ASSERT_EQ(counts[i].load(), 1) << "slot " << i;
+  }
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive) {
+  EXPECT_GE(common::ThreadPool::HardwareThreads(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Synthesis determinism across thread counts
+
+/// Learns every solvable corpus task at the given thread count and
+/// returns the programs keyed by task order.
+std::vector<std::string> SynthesizeCorpus(int threads, bool memoize) {
+  std::vector<std::string> programs;
+  for (const workload::CorpusTask& task : workload::FullCorpus()) {
+    if (!task.expect_solvable) continue;
+    bool is_json = task.format == workload::DocFormat::kJson;
+    auto tree = is_json ? json::ParseJson(task.document)
+                        : xml::ParseXml(task.document);
+    if (!tree.ok()) continue;
+    auto table = hdt::Table::FromRows(task.output);
+    if (!table.ok()) continue;
+    core::SynthesisOptions opts;
+    opts.num_threads = threads;
+    opts.memoize_extractors = memoize;
+    auto r = core::LearnTransformation(*tree, *table, opts);
+    programs.push_back(task.id + "\t" +
+                       (r.ok() ? dsl::ToString(r->program)
+                               : r.status().ToString()));
+  }
+  return programs;
+}
+
+TEST(ParallelSynthesis, CorpusProgramsIdenticalAcrossThreadCounts) {
+  std::vector<std::string> base = SynthesizeCorpus(1, /*memoize=*/true);
+  ASSERT_FALSE(base.empty());
+  for (int threads : {4, 8}) {
+    std::vector<std::string> got = SynthesizeCorpus(threads, true);
+    ASSERT_EQ(got.size(), base.size());
+    for (size_t i = 0; i < base.size(); ++i) {
+      EXPECT_EQ(got[i], base[i]) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelSynthesis, MemoizationDoesNotChangePrograms) {
+  std::vector<std::string> with = SynthesizeCorpus(1, /*memoize=*/true);
+  std::vector<std::string> without = SynthesizeCorpus(1, /*memoize=*/false);
+  ASSERT_EQ(with.size(), without.size());
+  for (size_t i = 0; i < with.size(); ++i) {
+    EXPECT_EQ(with[i], without[i]);
+  }
+}
+
+TEST(ParallelSynthesis, ReportsMemoTraffic) {
+  hdt::Hdt t = ParseXmlOrDie(R"(
+<people>
+  <person><name>A</name><city>X</city></person>
+  <person><name>B</name><city>Y</city></person>
+</people>
+)");
+  hdt::Table r = MakeTable({{"A", "X"}, {"B", "Y"}});
+  auto result = core::LearnTransformation(t, r);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->stats.memo_misses, 0u);
+
+  core::SynthesisOptions off;
+  off.memoize_extractors = false;
+  auto result_off = core::LearnTransformation(t, r, off);
+  ASSERT_TRUE(result_off.ok());
+  EXPECT_EQ(result_off->stats.memo_hits, 0u);
+  EXPECT_EQ(result_off->stats.memo_misses, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Executor determinism: chunked enumeration vs sequential
+
+TEST(ParallelExecutor, CorpusTupleSequencesIdentical) {
+  common::ThreadPool pool(8);
+  size_t programs_checked = 0;
+  for (const workload::CorpusTask& task : workload::FullCorpus()) {
+    if (!task.expect_solvable) continue;
+    bool is_json = task.format == workload::DocFormat::kJson;
+    auto tree = is_json ? json::ParseJson(task.document)
+                        : xml::ParseXml(task.document);
+    if (!tree.ok()) continue;
+    auto table = hdt::Table::FromRows(task.output);
+    if (!table.ok()) continue;
+    auto learned = core::LearnTransformation(*tree, *table);
+    if (!learned.ok()) continue;
+
+    core::OptimizedExecutor exec(learned->program);
+    auto seq = exec.ExecuteNodes(*tree);
+    core::ExecuteOptions popts;
+    popts.pool = &pool;
+    auto par = exec.ExecuteNodes(*tree, popts);
+    ASSERT_TRUE(seq.ok()) << task.id;
+    ASSERT_TRUE(par.ok()) << task.id;
+    // Exact sequence equality — not just set equality: the parallel merge
+    // must reproduce the sequential emission order.
+    ASSERT_EQ(*seq, *par) << task.id;
+    ++programs_checked;
+  }
+  EXPECT_GT(programs_checked, 50u);
+}
+
+TEST(ParallelExecutor, OverflowStatusMatchesSequential) {
+  // A join-free 2-column program over n candidates each emits n^2 rows;
+  // cap below that and both paths must report resource exhaustion.
+  hdt::Hdt t = ParseXmlOrDie(R"(
+<l>
+  <a>1</a><a>2</a><a>3</a><a>4</a><a>5</a><a>6</a><a>7</a><a>8</a>
+</l>
+)");
+  std::vector<hdt::Row> rows;
+  for (int i = 1; i <= 8; ++i) {
+    for (int j = 1; j <= 8; ++j) {
+      rows.push_back({std::to_string(i), std::to_string(j)});
+    }
+  }
+  auto learned = core::LearnTransformation(t, MakeTable(rows));
+  ASSERT_TRUE(learned.ok()) << learned.status().ToString();
+  core::OptimizedExecutor exec(learned->program);
+
+  common::ThreadPool pool(4);
+  core::ExecuteOptions seq_opts, par_opts;
+  seq_opts.max_output_rows = 10;
+  par_opts.max_output_rows = 10;
+  par_opts.pool = &pool;
+  auto seq = exec.ExecuteNodes(t, seq_opts);
+  auto par = exec.ExecuteNodes(t, par_opts);
+  ASSERT_FALSE(seq.ok());
+  ASSERT_FALSE(par.ok());
+  EXPECT_EQ(seq.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(par.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(seq.status().message(), par.status().message());
+}
+
+TEST(ColumnCacheThreadSafety, ConcurrentInsertFirstWins) {
+  hdt::Hdt t = ParseXmlOrDie("<r><a>1</a><a>2</a></r>");
+  dsl::ColumnExtractor pi;  // trivial extractor: whatever default is, key
+                            // only depends on its string form
+  core::ColumnCache cache;
+  common::ThreadPool pool(4);
+  std::vector<const std::vector<hdt::NodeId>*> ptrs(64);
+  common::ParallelFor(&pool, 64, [&](size_t i) {
+    const auto* p = cache.Lookup(pi);
+    if (p == nullptr) {
+      p = cache.Insert(pi, dsl::EvalColumn(t, pi));
+    }
+    ptrs[i] = p;
+  });
+  // Every thread must observe the same stored vector (first-wins).
+  for (size_t i = 1; i < ptrs.size(); ++i) {
+    ASSERT_EQ(ptrs[i], ptrs[0]);
+  }
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+}  // namespace
+}  // namespace mitra

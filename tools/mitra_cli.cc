@@ -2,22 +2,29 @@
 ///
 ///   mitra synth --doc example.xml --table example.csv
 ///               [--save prog.mitra] [--xslt out.xsl] [--js out.js]
+///               [--threads N]
 ///   mitra apply --program prog.mitra --doc big.xml [--out result.csv]
+///               [--threads N]
 ///
 /// `synth` learns a program from one input-output example (document +
 /// CSV of the desired rows, no header) and prints it in the paper's
 /// λ-syntax; `apply` loads a saved program and migrates a document,
 /// writing CSV. Documents ending in `.json` are parsed as JSON,
-/// everything else as XML.
+/// everything else as XML. `--threads 0` (the default) uses hardware
+/// concurrency; results are identical for every thread count.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 
 #include "common/csv.h"
+#include "common/thread_pool.h"
 #include "core/executor.h"
 #include "core/synthesizer.h"
 #include "dsl/parser.h"
@@ -71,9 +78,18 @@ int Usage() {
       "usage:\n"
       "  mitra synth --doc example.{xml,json} --table example.csv\n"
       "              [--save prog.mitra] [--xslt out.xsl] [--js out.js]\n"
+      "              [--threads N]\n"
       "  mitra apply --program prog.mitra --doc big.{xml,json}\n"
-      "              [--out result.csv]\n");
+      "              [--out result.csv] [--threads N]\n");
   return 2;
+}
+
+/// Worker threads requested via --threads (0 = hardware concurrency,
+/// which is also the default).
+int ThreadsFlag(const std::map<std::string, std::string>& flags) {
+  auto it = flags.find("threads");
+  if (it == flags.end()) return 0;
+  return std::atoi(it->second.c_str());
 }
 
 int Synth(const std::map<std::string, std::string>& flags) {
@@ -103,7 +119,9 @@ int Synth(const std::map<std::string, std::string>& flags) {
     return 1;
   }
 
-  auto result = core::LearnTransformation(*tree, *table);
+  core::SynthesisOptions sopts;
+  sopts.num_threads = ThreadsFlag(flags);
+  auto result = core::LearnTransformation(*tree, *table, sopts);
   if (!result.ok()) {
     std::fprintf(stderr, "synthesis failed: %s\n",
                  result.status().ToString().c_str());
@@ -154,7 +172,18 @@ int Apply(const std::map<std::string, std::string>& flags) {
     std::fprintf(stderr, "error: %s\n", tree.status().ToString().c_str());
     return 1;
   }
-  auto out = core::ExecuteOptimized(*tree, *program);
+  const int threads_flag = ThreadsFlag(flags);
+  const unsigned threads =
+      threads_flag == 0
+          ? common::ThreadPool::HardwareThreads()
+          : static_cast<unsigned>(std::max(1, threads_flag));
+  std::optional<common::ThreadPool> pool;
+  core::ExecuteOptions eopts;
+  if (threads > 1) {
+    pool.emplace(threads);
+    eopts.pool = &*pool;
+  }
+  auto out = core::ExecuteOptimized(*tree, *program, eopts);
   if (!out.ok()) {
     std::fprintf(stderr, "execution failed: %s\n",
                  out.status().ToString().c_str());
