@@ -9,11 +9,13 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(
   std::string field;
   bool in_quotes = false;
   bool field_started = false;
+  bool after_quote = false;  // a quoted field just closed
 
   auto end_field = [&]() {
     row.push_back(std::move(field));
     field.clear();
     field_started = false;
+    after_quote = false;
   };
   auto end_row = [&]() {
     end_field();
@@ -30,6 +32,7 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(
           ++i;
         } else {
           in_quotes = false;
+          after_quote = true;
         }
       } else {
         field.push_back(c);
@@ -51,11 +54,23 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(
         end_field();
         break;
       case '\r':
-        break;  // tolerate CRLF
+        // Only as part of a CRLF line break (RFC 4180); a stray CR would
+        // otherwise vanish from the field silently.
+        if (i + 1 >= text.size() || text[i + 1] != '\n') {
+          return Status::ParseError(
+              "CSV: bare CR outside a quoted field at offset " +
+              std::to_string(i));
+        }
+        break;
       case '\n':
         end_row();
         break;
       default:
+        if (after_quote) {
+          return Status::ParseError(
+              "CSV: data after closing quote at offset " +
+              std::to_string(i));
+        }
         field.push_back(c);
         field_started = true;
     }

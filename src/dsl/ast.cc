@@ -126,7 +126,14 @@ std::string ToString(const Atom& a) {
   std::string out = "((\xce\xbbn. " + ToString(a.lhs_path) + ") t[" +
                     std::to_string(a.lhs_col) + "]) " + ToString(a.op) + " ";
   if (a.rhs_is_const) {
-    out += "\"" + a.rhs_const + "\"";
+    // Backslash-escape so constants containing '"' or '\' round-trip
+    // through the concrete-syntax parser.
+    out += '"';
+    for (char c : a.rhs_const) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
   } else {
     out += "((\xce\xbbn. " + ToString(a.rhs_path) + ") t[" +
            std::to_string(a.rhs_col) + "])";

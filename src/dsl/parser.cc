@@ -229,11 +229,25 @@ class Parser {
     SkipWs();
     if (!AtEnd() && in_[pos_] == '"') {
       ++pos_;
-      size_t start = pos_;
-      while (!AtEnd() && in_[pos_] != '"') ++pos_;
+      std::string value;
+      while (!AtEnd() && in_[pos_] != '"') {
+        char c = in_[pos_];
+        if (c == '\\') {
+          ++pos_;
+          if (AtEnd()) return Err("unterminated escape in constant");
+          char e = in_[pos_];
+          if (e != '\\' && e != '"') {
+            return Err(std::string("invalid escape '\\") + e +
+                       "' in constant");
+          }
+          c = e;
+        }
+        value.push_back(c);
+        ++pos_;
+      }
       if (AtEnd()) return Err("unterminated constant");
       a.rhs_is_const = true;
-      a.rhs_const = std::string(in_.substr(start, pos_ - start));
+      a.rhs_const = std::move(value);
       ++pos_;
       return a;
     }

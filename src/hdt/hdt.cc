@@ -64,6 +64,12 @@ NodeId Hdt::AddAttribute(NodeId parent, std::string_view name,
   return id;
 }
 
+NodeId Hdt::AddTextRun(NodeId parent, std::string_view data) {
+  NodeId id = AddChild(parent, "text", data);
+  nodes_[id].is_text_run = true;
+  return id;
+}
+
 void Hdt::SetLeafData(NodeId id, std::string_view data) {
   assert(nodes_[id].children.empty() && "only leaves may carry data");
   nodes_[id].data = std::string(data);

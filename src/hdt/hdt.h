@@ -62,6 +62,12 @@ struct Node {
   /// synthesizer never read this — it exists so the XML writer and the
   /// XSLT backend can distinguish `@name` from element children.
   bool is_attribute = false;
+  /// Provenance: true when this node encodes a character-data run of a
+  /// mixed-content XML/HTML element (§3 encodes such runs as leaf children
+  /// tagged `text`). Like is_attribute, the DSL never reads this; the XML
+  /// writer uses it to tell a text run apart from a real element that
+  /// happens to be named `text`.
+  bool is_text_run = false;
   std::vector<NodeId> children;
 };
 
@@ -89,12 +95,18 @@ class Hdt {
   NodeId AddAttribute(NodeId parent, std::string_view name,
                       std::string_view value);
 
+  /// Appends a text-run leaf child tagged `text` (see Node::is_text_run).
+  NodeId AddTextRun(NodeId parent, std::string_view data);
+
   /// Attaches data to an existing node, making it a data-carrying leaf.
   /// The node must have no children (Definition 1: only leaves hold data).
   void SetLeafData(NodeId id, std::string_view data);
 
   /// True when the node encodes a source-document attribute.
   bool IsAttribute(NodeId id) const { return nodes_[id].is_attribute; }
+
+  /// True when the node encodes a mixed-content character-data run.
+  bool IsTextRun(NodeId id) const { return nodes_[id].is_text_run; }
 
   // --- basic accessors ----------------------------------------------------
 

@@ -326,7 +326,7 @@ class Parser {
     }
     for (const El::Child& c : el.children) {
       if (c.is_text) {
-        tree->AddChild(node, "text", c.text);
+        tree->AddTextRun(node, c.text);
       } else {
         EncodeElement(arena_[c.el], node, tree);
       }

@@ -8,6 +8,10 @@ namespace mitra::json {
 
 namespace {
 
+/// Maximum value nesting the recursive-descent parser accepts. Keeps
+/// worst-case stack usage a few hundred frames regardless of input size.
+constexpr int kMaxNestingDepth = 256;
+
 /// Recursive-descent RFC 8259 parser building the HDT encoding directly.
 class Parser {
  public:
@@ -20,9 +24,9 @@ class Parser {
     if (AtEnd()) return Err("empty document");
     char c = Peek();
     if (c == '{') {
-      MITRA_RETURN_IF_ERROR(ParseObjectMembers(&tree, root));
+      MITRA_RETURN_IF_ERROR(ParseObjectMembers(&tree, root, 0));
     } else if (c == '[') {
-      MITRA_RETURN_IF_ERROR(ParseArray(&tree, root, "item"));
+      MITRA_RETURN_IF_ERROR(ParseArray(&tree, root, "item", 0));
     } else {
       MITRA_ASSIGN_OR_RETURN(std::string lexeme, ParsePrimitive());
       tree.AddChild(root, "value", lexeme);
@@ -64,7 +68,9 @@ class Parser {
 
   /// Parses the members of an object (including braces) and attaches each
   /// key-value pair under `parent`.
-  Status ParseObjectMembers(hdt::Hdt* tree, hdt::NodeId parent) {
+  Status ParseObjectMembers(hdt::Hdt* tree, hdt::NodeId parent,
+                            int depth) {
+    if (depth > kMaxNestingDepth) return Err("value nesting too deep");
     if (!Consume('{')) return Err("expected '{'");
     SkipWs();
     if (Consume('}')) return Status::OK();
@@ -74,7 +80,7 @@ class Parser {
       SkipWs();
       if (!Consume(':')) return Err("expected ':' after object key");
       SkipWs();
-      MITRA_RETURN_IF_ERROR(ParseValue(tree, parent, key));
+      MITRA_RETURN_IF_ERROR(ParseValue(tree, parent, key, depth));
       SkipWs();
       if (Consume(',')) continue;
       if (Consume('}')) return Status::OK();
@@ -84,15 +90,15 @@ class Parser {
 
   /// Parses a value appearing under key `key` and encodes it under `parent`.
   Status ParseValue(hdt::Hdt* tree, hdt::NodeId parent,
-                    const std::string& key) {
+                    const std::string& key, int depth) {
     if (AtEnd()) return Err("unexpected end of input in value");
     char c = Peek();
     if (c == '{') {
       hdt::NodeId n = tree->AddChild(parent, key);
-      return ParseObjectMembers(tree, n);
+      return ParseObjectMembers(tree, n, depth + 1);
     }
     if (c == '[') {
-      return ParseArray(tree, parent, key);
+      return ParseArray(tree, parent, key, depth + 1);
     }
     MITRA_ASSIGN_OR_RETURN(std::string lexeme, ParsePrimitive());
     tree->AddChild(parent, key, lexeme);
@@ -102,7 +108,8 @@ class Parser {
   /// Parses an array; element i becomes the i'th sibling tagged `key`
   /// under `parent` (Example 2's encoding).
   Status ParseArray(hdt::Hdt* tree, hdt::NodeId parent,
-                    const std::string& key) {
+                    const std::string& key, int depth) {
+    if (depth > kMaxNestingDepth) return Err("value nesting too deep");
     if (!Consume('[')) return Err("expected '['");
     SkipWs();
     if (Consume(']')) return Status::OK();
@@ -112,11 +119,11 @@ class Parser {
       char c = Peek();
       if (c == '{') {
         hdt::NodeId n = tree->AddChild(parent, key);
-        MITRA_RETURN_IF_ERROR(ParseObjectMembers(tree, n));
+        MITRA_RETURN_IF_ERROR(ParseObjectMembers(tree, n, depth + 1));
       } else if (c == '[') {
         // Nested array: wrap in a node and reuse the key for elements.
         hdt::NodeId n = tree->AddChild(parent, key);
-        MITRA_RETURN_IF_ERROR(ParseArray(tree, n, key));
+        MITRA_RETURN_IF_ERROR(ParseArray(tree, n, key, depth + 1));
       } else {
         MITRA_ASSIGN_OR_RETURN(std::string lexeme, ParsePrimitive());
         tree->AddChild(parent, key, lexeme);

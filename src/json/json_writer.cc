@@ -9,14 +9,39 @@ namespace mitra::json {
 
 namespace {
 
+/// Strict RFC 8259 number grammar. ParseNumber (strtod-based) is too
+/// lenient here: it accepts "007", "1." or "-.5", and emitting those
+/// unquoted would make the writer produce text our own parser rejects
+/// (surfaced by the JSON round-trip fuzzer on string data "007").
+bool IsJsonNumber(std::string_view s) {
+  size_t i = 0;
+  auto digit = [&](size_t k) {
+    return k < s.size() && s[k] >= '0' && s[k] <= '9';
+  };
+  if (i < s.size() && s[i] == '-') ++i;
+  if (!digit(i)) return false;
+  if (s[i] == '0') {
+    ++i;
+  } else {
+    while (digit(i)) ++i;
+  }
+  if (i < s.size() && s[i] == '.') {
+    ++i;
+    if (!digit(i)) return false;
+    while (digit(i)) ++i;
+  }
+  if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+    if (!digit(i)) return false;
+    while (digit(i)) ++i;
+  }
+  return i == s.size();
+}
+
 bool IsUnquotedPrimitive(std::string_view data) {
   if (data == "true" || data == "false" || data == "null") return true;
-  // Emit unquoted only when the lexeme is valid JSON number syntax; a
-  // leading '+' or stray spaces would not be, so fall back to ParseNumber
-  // plus a syntactic check on the first character.
-  if (data.empty()) return false;
-  if (data[0] != '-' && !(data[0] >= '0' && data[0] <= '9')) return false;
-  return ParseNumber(data).has_value();
+  return IsJsonNumber(data);
 }
 
 struct Writer {

@@ -1,0 +1,162 @@
+#include "testing/fuzz_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+#include "dsl/ast.h"
+#include "dsl/parser.h"
+#include "json/json_parser.h"
+#include "json/json_writer.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace mitra::testing {
+
+namespace {
+
+[[noreturn]] void Violation(const char* what, std::string_view input,
+                            const std::string& detail) {
+  std::fprintf(stderr,
+               "fuzz property violation: %s\n--- input (%zu bytes) ---\n%.*s"
+               "\n--- detail ---\n%s\n",
+               what, input.size(), static_cast<int>(input.size()),
+               input.data(), detail.c_str());
+  std::abort();
+}
+
+void CheckXml(std::string_view text) {
+  auto tree = xml::ParseXml(text);
+  if (!tree.ok()) return;  // rejecting with a Status is fine
+  // Parsed documents must reach write normal form in one step:
+  // write → parse → write must reproduce the first writer output.
+  std::string s1 = xml::WriteXml(*tree);
+  auto t2 = xml::ParseXml(s1);
+  if (!t2.ok()) {
+    Violation("XML writer output does not re-parse", text,
+              s1 + "\n" + t2.status().ToString());
+  }
+  std::string s2 = xml::WriteXml(*t2);
+  if (s2 != s1) {
+    Violation("XML write not idempotent", text,
+              "first:\n" + s1 + "\nsecond:\n" + s2);
+  }
+  if (t2->ToDebugString() != tree->ToDebugString()) {
+    Violation("XML round-trip changed the tree", text,
+              "original:\n" + tree->ToDebugString() + "reparsed:\n" +
+                  t2->ToDebugString());
+  }
+}
+
+void CheckJson(std::string_view text) {
+  auto tree = json::ParseJson(text);
+  if (!tree.ok()) return;
+  std::string s1 = json::WriteJson(*tree);
+  auto t2 = json::ParseJson(s1);
+  if (!t2.ok()) {
+    Violation("JSON writer output does not re-parse", text,
+              s1 + "\n" + t2.status().ToString());
+  }
+  std::string s2 = json::WriteJson(*t2);
+  if (s2 != s1) {
+    Violation("JSON write not idempotent", text,
+              "first:\n" + s1 + "\nsecond:\n" + s2);
+  }
+}
+
+void CheckDsl(std::string_view text) {
+  auto p = dsl::ParseProgram(text);
+  if (!p.ok()) return;
+  std::string s1 = dsl::ToString(*p);
+  auto p2 = dsl::ParseProgram(s1);
+  if (!p2.ok()) {
+    Violation("DSL printer output does not re-parse", text,
+              s1 + "\n" + p2.status().ToString());
+  }
+  if (p2->columns != p->columns || p2->atoms != p->atoms ||
+      !(p2->formula == p->formula)) {
+    Violation("DSL print/parse round-trip changed the program", text,
+              "printed: " + s1 + "\nreprinted: " + dsl::ToString(*p2));
+  }
+}
+
+/// Tokens worth splicing in whole — cheap grammar awareness that lets the
+/// dumb mutator reach interesting parser states.
+const char* const kDictionary[] = {
+    "<a>",        "</a>",     "<a b=\"c\">", "<?xml?>",  "<!--x-->",
+    "<![CDATA[",  "]]>",      "&#x41;",      "&#65;",    "&amp;",
+    "{",          "}",        "[",           "]",        "\"k\":",
+    "\\u0041",    "\\uD83D",  "\\uDE00",     "null",     "1e9",
+    "filter(",    "children", "pchildren",   "descendants",
+    "\\lambda",   "t[0]",     "&&",          "||",       "!",
+    "\xce\xbb",   "\xcf\x84", "x",           "root(",    "(\\lambda s.",
+};
+
+}  // namespace
+
+int RunFuzzInput(FuzzTarget target, const uint8_t* data, size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  // Bound pathological inputs: deep recursion is a real risk at multi-MB
+  // sizes, and corpus/CI runs gain nothing beyond this.
+  if (text.size() > 1 << 20) return 0;
+  switch (target) {
+    case FuzzTarget::kXml:
+      CheckXml(text);
+      break;
+    case FuzzTarget::kJson:
+      CheckJson(text);
+      break;
+    case FuzzTarget::kDsl:
+      CheckDsl(text);
+      break;
+  }
+  return 0;
+}
+
+void MutateBytes(Rng* rng, std::string* buf) {
+  switch (rng->Below(6)) {
+    case 0: {  // bit flip
+      if (buf->empty()) break;
+      size_t i = rng->Below(static_cast<uint32_t>(buf->size()));
+      (*buf)[i] = static_cast<char>((*buf)[i] ^ (1 << rng->Below(8)));
+      break;
+    }
+    case 1: {  // overwrite with random byte
+      if (buf->empty()) break;
+      size_t i = rng->Below(static_cast<uint32_t>(buf->size()));
+      (*buf)[i] = static_cast<char>(rng->Below(256));
+      break;
+    }
+    case 2: {  // insert random byte
+      size_t i = rng->Below(static_cast<uint32_t>(buf->size() + 1));
+      buf->insert(buf->begin() + static_cast<long>(i),
+                  static_cast<char>(rng->Below(256)));
+      break;
+    }
+    case 3: {  // erase a short range
+      if (buf->empty()) break;
+      size_t i = rng->Below(static_cast<uint32_t>(buf->size()));
+      size_t len = 1 + rng->Below(8);
+      buf->erase(i, len);
+      break;
+    }
+    case 4: {  // duplicate a short range
+      if (buf->empty()) break;
+      size_t i = rng->Below(static_cast<uint32_t>(buf->size()));
+      size_t len = 1 + rng->Below(16);
+      std::string chunk = buf->substr(i, len);
+      size_t j = rng->Below(static_cast<uint32_t>(buf->size() + 1));
+      buf->insert(j, chunk);
+      break;
+    }
+    case 5: {  // splice a dictionary token
+      const char* tok =
+          kDictionary[rng->Below(sizeof(kDictionary) / sizeof(char*))];
+      size_t i = rng->Below(static_cast<uint32_t>(buf->size() + 1));
+      buf->insert(i, tok);
+      break;
+    }
+  }
+}
+
+}  // namespace mitra::testing

@@ -1,0 +1,40 @@
+#ifndef MITRA_TESTING_FUZZ_UTIL_H_
+#define MITRA_TESTING_FUZZ_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "testing/rng.h"
+
+/// \file fuzz_util.h
+/// Shared machinery of the parser fuzz drivers (tools/fuzz_*.cc): one
+/// entry point per target with the libFuzzer contract (return 0, abort on
+/// property violation), plus a deterministic byte mutator for the
+/// standalone seed-corpus drivers.
+///
+/// The targets do more than "don't crash": whenever the input parses,
+/// they re-serialize and re-parse, and abort on a round-trip violation —
+/// so the fuzzers exercise the writers and the printers as oracles, not
+/// just the parsers.
+
+namespace mitra::testing {
+
+enum class FuzzTarget {
+  kXml,   ///< xml::ParseXml + WriteXml normal-form idempotence
+  kJson,  ///< json::ParseJson + WriteJson normal-form idempotence
+  kDsl,   ///< dsl::ParseProgram + ToString exact round-trip
+};
+
+/// Runs one fuzz input through the target parser and its round-trip
+/// oracle. Returns 0 (the libFuzzer convention); calls abort() with a
+/// diagnostic on stderr when a property is violated.
+int RunFuzzInput(FuzzTarget target, const uint8_t* data, size_t size);
+
+/// Applies one random byte-level mutation (bit flip, overwrite, insert,
+/// erase, duplicate, or dictionary-token splice) to `buf` in place.
+void MutateBytes(Rng* rng, std::string* buf);
+
+}  // namespace mitra::testing
+
+#endif  // MITRA_TESTING_FUZZ_UTIL_H_

@@ -1,0 +1,68 @@
+#ifndef MITRA_TESTING_GENERATORS_H_
+#define MITRA_TESTING_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "dsl/ast.h"
+#include "hdt/hdt.h"
+#include "testing/rng.h"
+
+/// \file generators.h
+/// Seeded random generators for the differential / property harnesses:
+/// hierarchical documents (XML- and JSON-shaped HDTs) and random
+/// well-typed DSL programs over a given document. Everything is a pure
+/// function of the Rng stream, so a printed seed replays the exact case.
+///
+/// Document generators respect the *encoding invariants* of the matching
+/// parser (the "parser image"), because that is the domain on which the
+/// writers promise exact round-trips:
+///  - XML shape: data leaves are never empty or whitespace-edged (the
+///    parser trims character data); text runs appear only as
+///    mixed-content children; attribute names are unique per element.
+///  - JSON shape: no attributes or text runs; same-tag children are
+///    consecutive (the writer groups same-key siblings into one array).
+
+namespace mitra::testing {
+
+struct DocGenOptions {
+  /// Approximate number of nodes (including the root).
+  int max_nodes = 30;
+  /// Generate XML-shaped trees (attributes + mixed-content text runs);
+  /// false generates JSON-shaped trees.
+  bool xml_shape = true;
+  /// Draw data values from the tricky pool (entity-lookalikes, quotes,
+  /// angle brackets, escapes, unicode, number-lookalike strings) in
+  /// addition to plain identifiers and small numbers.
+  bool tricky_data = true;
+};
+
+/// Generates a random document with the invariants above.
+hdt::Hdt GenerateDocument(Rng* rng, const DocGenOptions& opts = {});
+
+/// Returns a structurally grown copy of `tree`: `extra_subtrees` fresh
+/// random subtrees are appended under the root (with the same shape
+/// conventions), so programs synthesized on `tree` can be re-checked on a
+/// strictly larger document (the generalization half of Theorem 3).
+hdt::Hdt EnlargeDocument(Rng* rng, const hdt::Hdt& tree, int extra_subtrees,
+                         const DocGenOptions& opts = {});
+
+struct ProgGenOptions {
+  int max_columns = 3;
+  int max_col_steps = 3;
+  int max_atoms = 3;
+  int max_node_steps = 2;
+  /// Cap on |π1(τ)| × … × |πk(τ)|; columns are re-drawn while the running
+  /// product would exceed this, keeping naive evaluation cheap.
+  uint64_t max_cross_product = 20'000;
+};
+
+/// Generates a random well-typed program over `tree`: every column
+/// extractor uses tags present in the document, atoms reference valid
+/// tuple indices, and the DNF formula only uses generated atoms.
+dsl::Program GenerateProgram(Rng* rng, const hdt::Hdt& tree,
+                             const ProgGenOptions& opts = {});
+
+}  // namespace mitra::testing
+
+#endif  // MITRA_TESTING_GENERATORS_H_

@@ -1,0 +1,179 @@
+#include "testing/shrink.h"
+
+#include <utility>
+#include <vector>
+
+#include "testing/tree_edit.h"
+#include "xml/xml_writer.h"
+
+namespace mitra::testing {
+
+namespace {
+
+/// Drops atoms not referenced by any literal and renumbers the formula.
+dsl::Program DropUnusedAtoms(const dsl::Program& p) {
+  std::vector<int> remap(p.atoms.size(), -1);
+  dsl::Program out;
+  out.columns = p.columns;
+  for (const auto& clause : p.formula.clauses) {
+    for (const dsl::Literal& lit : clause) {
+      if (lit.atom >= 0 && static_cast<size_t>(lit.atom) < p.atoms.size() &&
+          remap[lit.atom] < 0) {
+        remap[lit.atom] = static_cast<int>(out.atoms.size());
+        out.atoms.push_back(p.atoms[lit.atom]);
+      }
+    }
+  }
+  out.formula = p.formula;
+  for (auto& clause : out.formula.clauses) {
+    for (dsl::Literal& lit : clause) lit.atom = remap[lit.atom];
+  }
+  return out;
+}
+
+/// All single-edit program shrinks, roughly largest-effect first.
+std::vector<dsl::Program> ProgramShrinks(const dsl::Program& p) {
+  std::vector<dsl::Program> out;
+
+  // Replace the whole formula with true.
+  if (!p.formula.IsTrue()) {
+    dsl::Program q = p;
+    q.formula = dsl::Dnf::True();
+    q.atoms.clear();
+    out.push_back(std::move(q));
+  }
+  // Drop one clause.
+  for (size_t c = 0; c < p.formula.clauses.size(); ++c) {
+    dsl::Program q = p;
+    q.formula.clauses.erase(q.formula.clauses.begin() +
+                            static_cast<long>(c));
+    out.push_back(DropUnusedAtoms(q));
+  }
+  // Drop one literal.
+  for (size_t c = 0; c < p.formula.clauses.size(); ++c) {
+    for (size_t l = 0; l < p.formula.clauses[c].size(); ++l) {
+      dsl::Program q = p;
+      q.formula.clauses[c].erase(q.formula.clauses[c].begin() +
+                                 static_cast<long>(l));
+      out.push_back(DropUnusedAtoms(q));
+    }
+  }
+  // Drop one column (only when >1 remain); atoms referencing it — or any
+  // later column, whose index shifts — are dropped with their literals.
+  if (p.columns.size() > 1) {
+    for (size_t col = 0; col < p.columns.size(); ++col) {
+      dsl::Program q;
+      q.columns = p.columns;
+      q.columns.erase(q.columns.begin() + static_cast<long>(col));
+      auto maps = [&](int i) {
+        return i != static_cast<int>(col);
+      };
+      auto shift = [&](int i) {
+        return i > static_cast<int>(col) ? i - 1 : i;
+      };
+      std::vector<int> remap(p.atoms.size(), -1);
+      for (size_t a = 0; a < p.atoms.size(); ++a) {
+        const dsl::Atom& atom = p.atoms[a];
+        if (!maps(atom.lhs_col)) continue;
+        if (!atom.rhs_is_const && !maps(atom.rhs_col)) continue;
+        dsl::Atom moved = atom;
+        moved.lhs_col = shift(moved.lhs_col);
+        if (!moved.rhs_is_const) moved.rhs_col = shift(moved.rhs_col);
+        remap[a] = static_cast<int>(q.atoms.size());
+        q.atoms.push_back(std::move(moved));
+      }
+      for (const auto& clause : p.formula.clauses) {
+        std::vector<dsl::Literal> kept;
+        bool clause_ok = true;
+        for (const dsl::Literal& lit : clause) {
+          if (remap[lit.atom] < 0) {
+            clause_ok = false;
+            break;
+          }
+          kept.push_back({remap[lit.atom], lit.negated});
+        }
+        if (clause_ok) q.formula.clauses.push_back(std::move(kept));
+      }
+      out.push_back(std::move(q));
+    }
+  }
+  // Drop one step from a column extractor.
+  for (size_t col = 0; col < p.columns.size(); ++col) {
+    for (size_t s = 0; s < p.columns[col].steps.size(); ++s) {
+      dsl::Program q = p;
+      q.columns[col].steps.erase(q.columns[col].steps.begin() +
+                                 static_cast<long>(s));
+      out.push_back(std::move(q));
+    }
+  }
+  // Drop one step from an atom's node extractors.
+  for (size_t a = 0; a < p.atoms.size(); ++a) {
+    for (size_t s = 0; s < p.atoms[a].lhs_path.steps.size(); ++s) {
+      dsl::Program q = p;
+      q.atoms[a].lhs_path.steps.erase(q.atoms[a].lhs_path.steps.begin() +
+                                      static_cast<long>(s));
+      out.push_back(std::move(q));
+    }
+    if (!p.atoms[a].rhs_is_const) {
+      for (size_t s = 0; s < p.atoms[a].rhs_path.steps.size(); ++s) {
+        dsl::Program q = p;
+        q.atoms[a].rhs_path.steps.erase(q.atoms[a].rhs_path.steps.begin() +
+                                        static_cast<long>(s));
+        out.push_back(std::move(q));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrunkCase ShrinkCase(const hdt::Hdt& doc, const dsl::Program& program,
+                      const FailurePredicate& still_fails, int max_edits) {
+  ShrunkCase cur{CopyTree(doc), program, 0};
+  int budget = max_edits;
+  bool progress = true;
+  while (progress && budget > 0) {
+    progress = false;
+
+    // Document pass: try dropping each non-root subtree. Node ids are
+    // preorder, so low ids are big subtrees — try those first.
+    for (hdt::NodeId victim = 1;
+         victim < static_cast<hdt::NodeId>(cur.doc.size()) && budget > 0;
+         ++victim) {
+      --budget;
+      hdt::Hdt smaller = CopyWithoutSubtree(cur.doc, victim);
+      if (still_fails(smaller, cur.program)) {
+        cur.doc = std::move(smaller);
+        ++cur.edits;
+        progress = true;
+        victim = 0;  // restart: ids were renumbered
+      }
+    }
+
+    // Program pass.
+    bool shrunk = true;
+    while (shrunk && budget > 0) {
+      shrunk = false;
+      for (dsl::Program& cand : ProgramShrinks(cur.program)) {
+        if (budget-- <= 0) break;
+        if (still_fails(cur.doc, cand)) {
+          cur.program = std::move(cand);
+          ++cur.edits;
+          progress = true;
+          shrunk = true;
+          break;
+        }
+      }
+    }
+  }
+  return cur;
+}
+
+std::string DescribeCase(const hdt::Hdt& doc, const dsl::Program& program) {
+  return "program: " + dsl::ToString(program) + "\ndocument (debug):\n" +
+         doc.ToDebugString() + "document (xml):\n" + xml::WriteXml(doc) +
+         "\n";
+}
+
+}  // namespace mitra::testing

@@ -1,0 +1,46 @@
+#ifndef MITRA_TESTING_SHRINK_H_
+#define MITRA_TESTING_SHRINK_H_
+
+#include <functional>
+#include <string>
+
+#include "dsl/ast.h"
+#include "hdt/hdt.h"
+
+/// \file shrink.h
+/// Greedy shrinker for failing (document, program) cases. Given a
+/// predicate that re-runs the failing oracle, it repeatedly tries
+/// structure-removing edits — drop a document subtree, drop a DNF clause
+/// or literal, drop an atom, drop a column-extractor or node-extractor
+/// step — and keeps any edit under which the case still fails, until a
+/// fixpoint. The result is a small reproducer to embed in a bug report
+/// or regression test.
+
+namespace mitra::testing {
+
+/// Returns true when the (document, program) case still exhibits the
+/// failure being minimized.
+using FailurePredicate =
+    std::function<bool(const hdt::Hdt&, const dsl::Program&)>;
+
+struct ShrunkCase {
+  hdt::Hdt doc;
+  dsl::Program program;
+  /// Number of accepted shrink edits.
+  int edits = 0;
+};
+
+/// Minimizes a failing case. `still_fails(doc, program)` must be true for
+/// the input pair; every returned pair also satisfies it. `max_edits`
+/// bounds the work (each candidate edit costs one predicate evaluation).
+ShrunkCase ShrinkCase(const hdt::Hdt& doc, const dsl::Program& program,
+                      const FailurePredicate& still_fails,
+                      int max_edits = 400);
+
+/// Renders a shrunk case as a replayable report: the document as both a
+/// debug tree and XML text, and the program in concrete syntax.
+std::string DescribeCase(const hdt::Hdt& doc, const dsl::Program& program);
+
+}  // namespace mitra::testing
+
+#endif  // MITRA_TESTING_SHRINK_H_

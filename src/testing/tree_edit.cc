@@ -1,0 +1,70 @@
+#include "testing/tree_edit.h"
+
+#include "common/strings.h"
+
+namespace mitra::testing {
+
+namespace {
+
+void CopyRec(const hdt::Hdt& src, hdt::NodeId src_node, hdt::Hdt* dst,
+             hdt::NodeId dst_parent, hdt::NodeId skip,
+             const std::string& mutate_suffix,
+             const std::set<std::string>* preserve) {
+  if (src_node == skip) return;
+  const hdt::Node& n = src.node(src_node);
+  const std::string& tag = src.NodeTagName(src_node);
+  hdt::NodeId copy;
+  if (n.has_data) {
+    std::string data = n.data;
+    if (!mutate_suffix.empty() && !ParseNumber(data).has_value() &&
+        (preserve == nullptr || preserve->count(data) == 0)) {
+      data += mutate_suffix;
+    }
+    if (n.is_attribute) {
+      copy = dst->AddAttribute(dst_parent, tag, data);
+    } else if (n.is_text_run) {
+      copy = dst->AddTextRun(dst_parent, data);
+    } else {
+      copy = dst->AddChild(dst_parent, tag, data);
+    }
+  } else {
+    copy = dst->AddChild(dst_parent, tag);
+  }
+  for (hdt::NodeId c : n.children) {
+    CopyRec(src, c, dst, copy, skip, mutate_suffix, preserve);
+  }
+}
+
+hdt::Hdt CopyMaybeSkipping(const hdt::Hdt& src, hdt::NodeId skip) {
+  hdt::Hdt out;
+  if (src.empty()) return out;
+  hdt::NodeId root = out.AddRoot(src.NodeTagName(src.root()));
+  if (src.HasData(src.root())) {
+    out.SetLeafData(root, src.Data(src.root()));
+    return out;
+  }
+  for (hdt::NodeId c : src.node(src.root()).children) {
+    CopyRec(src, c, &out, root, skip, "", nullptr);
+  }
+  return out;
+}
+
+}  // namespace
+
+void AppendSubtreeCopy(const hdt::Hdt& src, hdt::NodeId src_node,
+                       hdt::Hdt* dst, hdt::NodeId dst_parent,
+                       const std::string& mutate_suffix,
+                       const std::set<std::string>* preserve) {
+  CopyRec(src, src_node, dst, dst_parent, hdt::kInvalidNode, mutate_suffix,
+          preserve);
+}
+
+hdt::Hdt CopyTree(const hdt::Hdt& src) {
+  return CopyMaybeSkipping(src, hdt::kInvalidNode);
+}
+
+hdt::Hdt CopyWithoutSubtree(const hdt::Hdt& src, hdt::NodeId victim) {
+  return CopyMaybeSkipping(src, victim);
+}
+
+}  // namespace mitra::testing

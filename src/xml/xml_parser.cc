@@ -9,6 +9,10 @@ namespace mitra::xml {
 
 namespace {
 
+/// Maximum element nesting the recursive-descent parser accepts. Keeps
+/// worst-case stack usage a few hundred frames regardless of input size.
+constexpr int kMaxNestingDepth = 256;
+
 bool IsNameStartChar(char c) {
   return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
 }
@@ -138,7 +142,10 @@ class Parser {
   }
 
   /// Parses one element; creates the node under `parent` (or the root).
-  Status ParseElement(hdt::Hdt* tree, hdt::NodeId parent) {
+  Status ParseElement(hdt::Hdt* tree, hdt::NodeId parent, int depth = 0) {
+    // Recursive descent: bound nesting so hostile input degrades to a
+    // ParseError instead of exhausting the stack.
+    if (depth > kMaxNestingDepth) return Err("element nesting too deep");
     if (!Consume('<')) return Err("expected '<'");
     MITRA_ASSIGN_OR_RETURN(std::string name, ParseName());
 
@@ -216,10 +223,10 @@ class Parser {
         saw_child_element = true;
         // Emit text runs seen so far in document order before the child.
         for (std::string& run : text_runs) {
-          tree->AddChild(node, "text", run);
+          tree->AddTextRun(node, run);
         }
         text_runs.clear();
-        MITRA_RETURN_IF_ERROR(ParseElement(tree, node));
+        MITRA_RETURN_IF_ERROR(ParseElement(tree, node, depth + 1));
       } else if (Peek() == '&') {
         size_t start = pos_;
         while (!AtEnd() && Peek() != ';') Advance();
@@ -241,7 +248,7 @@ class Parser {
       // Pure text content: store as the element's own data (Fig. 4a).
       tree->SetLeafData(node, text_runs[0]);
     } else {
-      for (std::string& run : text_runs) tree->AddChild(node, "text", run);
+      for (std::string& run : text_runs) tree->AddTextRun(node, run);
     }
     return Status::OK();
   }
@@ -303,6 +310,12 @@ Result<std::string> DecodeEntities(std::string_view s) {
         if (code > 0x10FFFF) {
           return Status::ParseError("numeric entity out of range");
         }
+      }
+      if (code >= 0xD800 && code <= 0xDFFF) {
+        // UTF-16 surrogate halves are not XML Chars; encoding them would
+        // produce ill-formed UTF-8 (CESU-8) that cannot round-trip.
+        return Status::ParseError("numeric entity &" + std::string(ent) +
+                                  "; is a surrogate code point");
       }
       // UTF-8 encode.
       if (code < 0x80) {

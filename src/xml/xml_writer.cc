@@ -18,7 +18,11 @@ void WriteNode(const hdt::Hdt& t, hdt::NodeId id, const WriteOptions& opts,
   const hdt::Node& n = t.node(id);
   const std::string& tag = t.NodeTagName(id);
 
-  if (tag == "text" && n.has_data) {
+  // Only provenance-marked text runs render as character data; an element
+  // that merely happens to be *named* `text` renders as a normal element
+  // (otherwise `<text>x</text>` would collapse into its parent's data on
+  // re-parse — a round-trip asymmetry the doc fuzzer surfaced).
+  if (n.is_text_run && n.has_data) {
     indent();
     out->append(EscapeText(n.data));
     newline();

@@ -50,6 +50,65 @@ TEST(Csv, EmptyFields) {
 TEST(Csv, Malformed) {
   EXPECT_FALSE(ParseCsv("a\"b,c\n").ok());      // quote mid-field
   EXPECT_FALSE(ParseCsv("\"unterminated").ok());
+  EXPECT_FALSE(ParseCsv("\"a\"b,c\n").ok());    // data after closing quote
+  EXPECT_FALSE(ParseCsv("\"\"x\n").ok());       // data after empty quoted
+  EXPECT_FALSE(ParseCsv("a\rb\n").ok());        // bare CR mid-field
+  EXPECT_FALSE(ParseCsv("a,b\r").ok());         // CR without LF at EOF
+}
+
+TEST(Csv, QuotedDelimitersAndNewlines) {
+  auto rows = ParseCsv("\"a,b\",\"c\nd\",\"e\r\nf\"\n\"x\",y\n");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0],
+            (std::vector<std::string>{"a,b", "c\nd", "e\r\nf"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(Csv, CrLfRowBreaksMixedWithLf) {
+  auto rows = ParseCsv("a,b\r\nc,d\ne,f\r\n");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"c", "d"}));
+  EXPECT_EQ((*rows)[2], (std::vector<std::string>{"e", "f"}));
+}
+
+TEST(Csv, TrailingEmptyColumns) {
+  auto rows = ParseCsv("a,b,\nc,,\n,,\n");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b", ""}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"c", "", ""}));
+  EXPECT_EQ((*rows)[2], (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(Csv, TrailingEmptyColumnWithoutNewline) {
+  auto rows = ParseCsv("a,b,");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b", ""}));
+}
+
+TEST(Csv, EmptyQuotedFieldIsAField) {
+  auto rows = ParseCsv("\"\",\"\"\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"", ""}));
+}
+
+TEST(Csv, QuotedFieldFollowedDirectlyByDelimiter) {
+  auto rows = ParseCsv("\"a\",b\n\"c\"\n");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"c"}));
+}
+
+TEST(Csv, RoundTripWithCrInField) {
+  std::vector<std::vector<std::string>> rows{{"cr\rhere", "crlf\r\nthere"}};
+  auto back = ParseCsv(WriteCsv(rows));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, rows);
 }
 
 TEST(Csv, RoundTrip) {

@@ -1,0 +1,214 @@
+// Fuzz regression suite (ISSUE satellites 1 and 2):
+//  - replays the committed seed corpora through the fuzz entry points
+//    (any property violation aborts the test binary);
+//  - asserts Status error propagation on truncated/malformed XML, JSON,
+//    and DSL inputs — errors, never crashes;
+//  - pins minimized regressions for the defects the round-trip fuzzers
+//    surfaced: the <text> element/text-run writer ambiguity, unquoted
+//    number-lookalike JSON strings, surrogate numeric character
+//    references, DSL constants containing quotes or backslashes, and
+//    unbounded parser recursion.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "dsl/ast.h"
+#include "dsl/parser.h"
+#include "json/json_parser.h"
+#include "json/json_writer.h"
+#include "testing/fuzz_util.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace mitra::testing {
+namespace {
+
+std::string CorpusDir(const std::string& target) {
+  return std::string(MITRA_TEST_SRCDIR) + "/fuzz_corpus/" + target;
+}
+
+void ReplayCorpus(FuzzTarget target, const std::string& dir) {
+  int replayed = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    if (!e.is_regular_file()) continue;
+    std::ifstream in(e.path(), std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string data = ss.str();
+    // RunFuzzInput aborts the process on a property violation, which
+    // fails the test run loudly with the input on stderr.
+    RunFuzzInput(target, reinterpret_cast<const uint8_t*>(data.data()),
+                 data.size());
+    ++replayed;
+  }
+  EXPECT_GE(replayed, 10) << "seed corpus " << dir << " looks truncated";
+}
+
+TEST(FuzzCorpus, XmlSeedsReplayClean) {
+  ReplayCorpus(FuzzTarget::kXml, CorpusDir("xml"));
+}
+TEST(FuzzCorpus, JsonSeedsReplayClean) {
+  ReplayCorpus(FuzzTarget::kJson, CorpusDir("json"));
+}
+TEST(FuzzCorpus, DslSeedsReplayClean) {
+  ReplayCorpus(FuzzTarget::kDsl, CorpusDir("dsl"));
+}
+
+// --- negative paths: malformed input must yield a Status, not a crash ---
+
+TEST(XmlNegative, MalformedInputsReturnParseError) {
+  const char* cases[] = {
+      "",                        // empty
+      "<r><a>unclosed",          // truncated
+      "<a><b></a></b>",          // mismatched end tags
+      "<r a=novalue/>",          // unquoted attribute
+      "<r a=\"x>",               // unterminated attribute value
+      "<r>&unknown;</r>",        // unknown entity
+      "<r>&#xD800;</r>",         // surrogate numeric reference
+      "<r>&#x110000;</r>",       // beyond U+10FFFF
+      "<r/><r/>",                // two roots
+      "< r/>",                   // space before name
+      "<r><![CDATA[x</r>",       // unterminated CDATA
+  };
+  for (const char* c : cases) {
+    auto t = xml::ParseXml(c);
+    EXPECT_FALSE(t.ok()) << "accepted malformed XML: " << c;
+  }
+}
+
+TEST(XmlNegative, DeepNestingIsAnErrorNotAStackOverflow) {
+  std::string deep;
+  for (int i = 0; i < 100000; ++i) deep += "<a>";
+  auto t = xml::ParseXml(deep);
+  ASSERT_FALSE(t.ok());
+  EXPECT_NE(t.status().ToString().find("nesting too deep"),
+            std::string::npos)
+      << t.status().ToString();
+}
+
+TEST(JsonNegative, MalformedInputsReturnParseError) {
+  const char* cases[] = {
+      "",                    // empty
+      "{\"a\": [1, 2",       // truncated
+      "[1,2,]",              // trailing comma
+      "{\"a\":1,}",          // trailing comma in object
+      "{a:1}",               // unquoted key
+      "[007]",               // leading zero
+      "[1.]",                // digitless fraction
+      "[1e]",                // digitless exponent
+      "\"\\uD800\"",         // lone high surrogate
+      "\"\\uDC00\"",         // lone low surrogate
+      "\"\\x41\"",           // invalid escape
+      "\"tab\tin string\"",  // raw control character
+      "[1] [2]",             // trailing content
+  };
+  for (const char* c : cases) {
+    auto t = json::ParseJson(c);
+    EXPECT_FALSE(t.ok()) << "accepted malformed JSON: " << c;
+  }
+}
+
+TEST(JsonNegative, DeepNestingIsAnErrorNotAStackOverflow) {
+  std::string deep(100000, '[');
+  auto t = json::ParseJson(deep);
+  ASSERT_FALSE(t.ok());
+  EXPECT_NE(t.status().ToString().find("nesting too deep"),
+            std::string::npos)
+      << t.status().ToString();
+}
+
+TEST(DslNegative, MalformedInputsReturnParseError) {
+  const char* cases[] = {
+      "",
+      "filter()",
+      "\\lambda\\tau. filter((\\lambda s.children(s, a)){root(\\tau)}",
+      "\\lambda\\tau. filter((\\lambda s.children(s, a)){root(\\tau)}, "
+      "\\lambda t. ((\\lambda n. n) t[0]) = \"oops)",  // unterminated const
+      "\\lambda\\tau. filter((\\lambda s.children(s, a)){root(\\tau)}, "
+      "\\lambda t. ((\\lambda n. n) t[0]) = \"bad\\qesc\")",  // bad escape
+  };
+  for (const char* c : cases) {
+    auto p = dsl::ParseProgram(c);
+    EXPECT_FALSE(p.ok()) << "accepted malformed DSL: " << c;
+  }
+}
+
+// --- minimized regressions for fuzzer-surfaced defects ------------------
+
+// The writer used to render ANY node tagged `text` as bare character
+// data, so the element <text>x</text> collapsed into its parent's data on
+// re-parse. Only parser-created text runs (is_text_run) may do that.
+TEST(FuzzRegression, TextTagElementSurvivesRoundTrip) {
+  auto t = xml::ParseXml("<r><text>x</text><y>z</y></r>");
+  ASSERT_TRUE(t.ok());
+  std::string s = xml::WriteXml(*t);
+  EXPECT_NE(s.find("<text>"), std::string::npos) << s;
+  auto t2 = xml::ParseXml(s);
+  ASSERT_TRUE(t2.ok()) << s;
+  EXPECT_EQ(t2->ToDebugString(), t->ToDebugString());
+}
+
+TEST(FuzzRegression, MixedContentTextRunsStillInline) {
+  auto t = xml::ParseXml("<p>hello <b>x</b> tail</p>");
+  ASSERT_TRUE(t.ok());
+  std::string s = xml::WriteXml(*t);
+  // Genuine text runs keep rendering as character data, not <text> tags.
+  EXPECT_EQ(s.find("<text>"), std::string::npos) << s;
+  auto t2 = xml::ParseXml(s);
+  ASSERT_TRUE(t2.ok()) << s;
+  EXPECT_EQ(t2->ToDebugString(), t->ToDebugString());
+}
+
+// The JSON writer used strtod-style number sniffing, so string data like
+// "007" or "1." was emitted unquoted — invalid JSON ("007") or a value
+// that re-parses differently. Only RFC 8259 number lexemes stay bare.
+TEST(FuzzRegression, NumberLookalikeStringsStayQuoted) {
+  auto t = json::ParseJson(R"({"zip":"007","v":"1.","w":"-.5","n":42})");
+  ASSERT_TRUE(t.ok());
+  std::string s = json::WriteJson(*t);
+  EXPECT_NE(s.find("\"007\""), std::string::npos) << s;
+  EXPECT_NE(s.find("\"1.\""), std::string::npos) << s;
+  EXPECT_NE(s.find("\"-.5\""), std::string::npos) << s;
+  EXPECT_EQ(s.find("\"42\""), std::string::npos) << s;  // real number: bare
+  auto t2 = json::ParseJson(s);
+  ASSERT_TRUE(t2.ok()) << s;
+  EXPECT_EQ(t2->ToDebugString(), t->ToDebugString());
+}
+
+// Numeric character references used to accept surrogate code points and
+// emit ill-formed UTF-8 that the writer then reproduced verbatim.
+TEST(FuzzRegression, SurrogateNumericReferenceRejected) {
+  auto t = xml::ParseXml("<r>&#xD800;</r>");
+  ASSERT_FALSE(t.ok());
+  EXPECT_NE(t.status().ToString().find("surrogate"), std::string::npos)
+      << t.status().ToString();
+}
+
+// DSL string constants containing '"' or '\' did not survive
+// print → parse until the printer learned to escape them.
+TEST(FuzzRegression, DslConstantWithQuoteAndBackslashRoundTrips) {
+  dsl::Program p;
+  dsl::ColumnExtractor col;
+  col.steps.push_back({dsl::ColOp::kChildren, "a", 0});
+  p.columns.push_back(col);
+  dsl::Atom a;
+  a.lhs_col = 0;
+  a.op = dsl::CmpOp::kEq;
+  a.rhs_is_const = true;
+  a.rhs_const = "q\"uo\\te";
+  p.atoms.push_back(a);
+  p.formula.clauses = {{{0, false}}};  // replace the default-true formula
+
+  std::string text = dsl::ToString(p);
+  auto back = dsl::ParseProgram(text);
+  ASSERT_TRUE(back.ok()) << text << "\n" << back.status().ToString();
+  ASSERT_EQ(back->atoms.size(), 1u);
+  EXPECT_EQ(back->atoms[0].rhs_const, "q\"uo\\te");
+}
+
+}  // namespace
+}  // namespace mitra::testing

@@ -1,0 +1,9 @@
+BEGIN;
+INSERT INTO "papers" ("pid", "title", "year") VALUES
+  ('p1', 'Programming-by-Example', '2018'),
+  ('p2', 'It''s a "title"', '2019');
+INSERT INTO "authors" ("aid", "name", "paper") VALUES
+  ('a1', 'Ann', 'p1'),
+  ('a2', 'Bo', 'p1'),
+  ('a3', 'Cyd', 'p2');
+COMMIT;

@@ -1,0 +1,7 @@
+INSERT INTO "papers" ("pid", "title", "year") VALUES
+  ('p1', 'A', '2001'),
+  ('p2', 'B', '2002');
+INSERT INTO "papers" ("pid", "title", "year") VALUES
+  ('p3', 'C', '2003');
+INSERT INTO "authors" ("aid", "name", "paper") VALUES
+  ('a1', 'Ann', 'p1');

@@ -1,0 +1,13 @@
+CREATE TABLE "papers" (
+  "pid" TEXT PRIMARY KEY,
+  "title" TEXT,
+  "year" TEXT
+);
+
+CREATE TABLE "authors" (
+  "aid" TEXT PRIMARY KEY,
+  "name" TEXT,
+  "paper" TEXT NOT NULL,
+  FOREIGN KEY ("paper") REFERENCES "papers"("pid")
+);
+

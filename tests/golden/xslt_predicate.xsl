@@ -1,0 +1,21 @@
+<?xml version="1.0" encoding="UTF-8"?>
+<xsl:stylesheet version="1.0"
+    xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+  <xsl:output method="xml" indent="yes"/>
+  <xsl:template match="/">
+    <table>
+      <xsl:for-each select="/*/row[1] | /*/@row">
+        <xsl:variable name="c0" select="."/>
+        <xsl:for-each select="/*/row | /*/@row">
+          <xsl:variable name="c1" select="."/>
+          <xsl:if test="(generate-id($c0/..) = generate-id($c1/..) or $c0/.. = $c1/..) and not(($c1/id[1] | $c1/@id) = 'x')">
+            <row>
+              <col><xsl:value-of select="$c0"/></col>
+              <col><xsl:value-of select="$c1"/></col>
+            </row>
+          </xsl:if>
+        </xsl:for-each>
+      </xsl:for-each>
+    </table>
+  </xsl:template>
+</xsl:stylesheet>

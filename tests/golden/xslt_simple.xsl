@@ -1,0 +1,19 @@
+<?xml version="1.0" encoding="UTF-8"?>
+<xsl:stylesheet version="1.0"
+    xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+  <xsl:output method="xml" indent="yes"/>
+  <xsl:template match="/">
+    <table>
+      <xsl:for-each select="/*/book/title | /*/book/@title">
+        <xsl:variable name="c0" select="."/>
+        <xsl:for-each select="/*/descendant::author | /*/descendant-or-self::*/@author">
+          <xsl:variable name="c1" select="."/>
+          <row>
+            <col><xsl:value-of select="$c0"/></col>
+            <col><xsl:value-of select="$c1"/></col>
+          </row>
+        </xsl:for-each>
+      </xsl:for-each>
+    </table>
+  </xsl:template>
+</xsl:stylesheet>

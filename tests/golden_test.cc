@@ -1,0 +1,141 @@
+// Golden-output tests (ISSUE satellite 4): byte-exact snapshots of the
+// SQL and XSLT code generators under tests/golden/. Any intentional
+// output change is refreshed with
+//
+//   UPDATE_GOLDEN=1 ctest -R Golden
+//
+// which rewrites the files in the source tree; the diff then documents
+// the change in review.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "db/sql_codegen.h"
+#include "dsl/ast.h"
+#include "test_util.h"
+#include "xml/xslt_codegen.h"
+
+namespace mitra {
+namespace {
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(MITRA_TEST_SRCDIR) + "/golden/" + name;
+}
+
+void CompareOrUpdateGolden(const std::string& name,
+                           const std::string& actual) {
+  const std::string path = GoldenPath(name);
+  if (std::getenv("UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "updated " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << path
+      << " — run with UPDATE_GOLDEN=1 to create it";
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(actual, ss.str())
+      << "output of " << name
+      << " changed; if intentional, refresh with UPDATE_GOLDEN=1";
+}
+
+db::DatabaseSchema GoldenSchema() {
+  db::DatabaseSchema schema;
+  schema.tables.push_back(db::TableDef{
+      "papers",
+      {{"pid", db::ColumnKind::kPrimaryKey, ""},
+       {"title", db::ColumnKind::kData, ""},
+       {"year", db::ColumnKind::kData, ""}}});
+  schema.tables.push_back(db::TableDef{
+      "authors",
+      {{"aid", db::ColumnKind::kPrimaryKey, ""},
+       {"name", db::ColumnKind::kData, ""},
+       {"paper", db::ColumnKind::kForeignKey, "papers"}}});
+  return schema;
+}
+
+TEST(Golden, SqlSchema) {
+  auto sql = db::GenerateSqlSchema(GoldenSchema());
+  ASSERT_TRUE(sql.ok()) << sql.status().ToString();
+  CompareOrUpdateGolden("sql_schema.sql", *sql);
+}
+
+TEST(Golden, SqlInserts) {
+  db::Database database;
+  database.tables["papers"] = test::MakeTable({
+      {"p1", "Programming-by-Example", "2018"},
+      {"p2", "It's a \"title\"", "2019"},
+  });
+  database.tables["authors"] = test::MakeTable({
+      {"a1", "Ann", "p1"},
+      {"a2", "Bo", "p1"},
+      {"a3", "Cyd", "p2"},
+  });
+  auto sql = db::GenerateSqlInserts(GoldenSchema(), database);
+  ASSERT_TRUE(sql.ok()) << sql.status().ToString();
+  CompareOrUpdateGolden("sql_inserts.sql", *sql);
+}
+
+TEST(Golden, SqlInsertsSmallBatches) {
+  db::Database database;
+  database.tables["papers"] = test::MakeTable({
+      {"p1", "A", "2001"},
+      {"p2", "B", "2002"},
+      {"p3", "C", "2003"},
+  });
+  database.tables["authors"] = test::MakeTable({{"a1", "Ann", "p1"}});
+  db::SqlOptions opts;
+  opts.insert_batch_rows = 2;
+  opts.transaction = false;
+  auto sql = db::GenerateSqlInserts(GoldenSchema(), database, opts);
+  ASSERT_TRUE(sql.ok()) << sql.status().ToString();
+  CompareOrUpdateGolden("sql_inserts_batched.sql", *sql);
+}
+
+TEST(Golden, XsltSimpleColumns) {
+  dsl::Program p;
+  dsl::ColumnExtractor titles;
+  titles.steps.push_back({dsl::ColOp::kChildren, "book", 0});
+  titles.steps.push_back({dsl::ColOp::kChildren, "title", 0});
+  dsl::ColumnExtractor authors;
+  authors.steps.push_back({dsl::ColOp::kDescendants, "author", 0});
+  p.columns = {titles, authors};
+  CompareOrUpdateGolden("xslt_simple.xsl", xml::GenerateXslt(p));
+}
+
+TEST(Golden, XsltWithPredicate) {
+  dsl::Program p;
+  dsl::ColumnExtractor first;
+  first.steps.push_back({dsl::ColOp::kPChildren, "row", 0});
+  dsl::ColumnExtractor all;
+  all.steps.push_back({dsl::ColOp::kChildren, "row", 0});
+  p.columns = {first, all};
+
+  dsl::Atom same_parent;
+  same_parent.lhs_path.steps.push_back({dsl::NodeOp::kParent, "", 0});
+  same_parent.lhs_col = 0;
+  same_parent.op = dsl::CmpOp::kEq;
+  same_parent.rhs_path.steps.push_back({dsl::NodeOp::kParent, "", 0});
+  same_parent.rhs_col = 1;
+
+  dsl::Atom id_not_x;
+  id_not_x.lhs_path.steps.push_back({dsl::NodeOp::kChild, "id", 0});
+  id_not_x.lhs_col = 1;
+  id_not_x.op = dsl::CmpOp::kEq;
+  id_not_x.rhs_is_const = true;
+  id_not_x.rhs_const = "x";
+
+  p.atoms = {same_parent, id_not_x};
+  p.formula.clauses = {{{0, false}, {1, true}}};  // replace default-true
+  CompareOrUpdateGolden("xslt_predicate.xsl", xml::GenerateXslt(p));
+}
+
+}  // namespace
+}  // namespace mitra

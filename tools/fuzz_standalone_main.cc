@@ -1,0 +1,113 @@
+// Standalone driver main shared by the fuzz_* binaries when they are NOT
+// linked against libFuzzer (the default). Each binary provides
+// LLVMFuzzerTestOneInput; this main replays corpus files and can run a
+// bounded deterministic mutation loop on top of them:
+//
+//   fuzz_xml CORPUS_DIR_OR_FILE...              # replay inputs once
+//   fuzz_xml --rand N --seed S DIR_OR_FILE...   # N extra mutated inputs
+//
+// With -DMITRA_LIBFUZZER=ON the same target sources link with
+// -fsanitize=fuzzer, libFuzzer supplies main, and this file is omitted.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "testing/rng.h"
+#include "testing/fuzz_util.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+bool ReadFile(const std::filesystem::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+void RunOnce(const std::string& input) {
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(input.data()),
+                         input.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long long rand_iters = 0;
+  uint64_t seed = 1;
+  std::vector<std::filesystem::path> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rand") == 0 && i + 1 < argc) {
+      rand_iters = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = static_cast<uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::fprintf(stderr,
+                   "usage: %s [--rand N] [--seed S] [corpus file or dir]...\n",
+                   argv[0]);
+      return 2;
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+
+  // Collect the corpus: every regular file under each argument.
+  std::vector<std::string> corpus;
+  for (const auto& p : paths) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(p, ec)) {
+      std::vector<std::filesystem::path> files;
+      for (const auto& e : std::filesystem::directory_iterator(p)) {
+        if (e.is_regular_file()) files.push_back(e.path());
+      }
+      std::sort(files.begin(), files.end());  // deterministic order
+      for (const auto& f : files) {
+        std::string data;
+        if (ReadFile(f, &data)) corpus.push_back(std::move(data));
+      }
+    } else {
+      std::string data;
+      if (!ReadFile(p, &data)) {
+        std::fprintf(stderr, "cannot read %s\n", p.string().c_str());
+        return 2;
+      }
+      corpus.push_back(std::move(data));
+    }
+  }
+
+  for (const std::string& input : corpus) RunOnce(input);
+  std::fprintf(stderr, "replayed %zu corpus inputs\n", corpus.size());
+
+  if (rand_iters > 0) {
+    mitra::testing::Rng rng(seed);
+    std::string buf;
+    for (long long i = 0; i < rand_iters; ++i) {
+      // Restart from a corpus input periodically so mutations stay close
+      // to the grammar; otherwise keep stacking mutations.
+      if (buf.empty() || rng.Chance(1, 4)) {
+        buf = corpus.empty()
+                  ? std::string()
+                  : corpus[rng.Below(static_cast<uint32_t>(corpus.size()))];
+      }
+      uint32_t n = 1 + rng.Below(4);
+      for (uint32_t m = 0; m < n; ++m) {
+        mitra::testing::MutateBytes(&rng, &buf);
+      }
+      RunOnce(buf);
+    }
+    std::fprintf(stderr, "ran %lld mutated inputs (seed %llu)\n", rand_iters,
+                 static_cast<unsigned long long>(seed));
+  }
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Fuzz target: XML parse → write → re-parse round-trip oracle.
+#include <cstdint>
+
+#include "testing/fuzz_util.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return mitra::testing::RunFuzzInput(mitra::testing::FuzzTarget::kXml, data,
+                                      size);
+}
