@@ -81,7 +81,7 @@ BENCHMARK(BM_ParseJson)->Arg(50)->Arg(500);
 void BM_WriteXml(benchmark::State& state) {
   auto tree = xml::ParseXml(SocialDoc(1000));
   for (auto _ : state) {
-    std::string out = xml::WriteXml(*tree);
+    std::string out = *xml::WriteXml(*tree);
     benchmark::DoNotOptimize(out);
   }
 }

@@ -1,0 +1,72 @@
+#include "common/fs.h"
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+
+namespace mitra::common {
+
+namespace {
+
+class DiskFileSystem : public FileSystem {
+ public:
+  Result<std::string> ReadFile(const std::string& path) override {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::InvalidArgument("cannot open " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    if (in.bad()) return Status::InvalidArgument("read failed: " + path);
+    return ss.str();
+  }
+
+  Status WriteFile(const std::string& path,
+                   const std::string& content) override {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) return Status::InvalidArgument("cannot write " + path);
+    out << content;
+    out.flush();
+    if (!out) return Status::InvalidArgument("write failed: " + path);
+    return Status::OK();
+  }
+};
+
+std::atomic<FileSystem*> g_fs_override{nullptr};
+
+}  // namespace
+
+FileSystem* RealFileSystem() {
+  static DiskFileSystem* fs = new DiskFileSystem();
+  return fs;
+}
+
+FileSystem* GetFileSystem() {
+  FileSystem* fs = g_fs_override.load(std::memory_order_acquire);
+  return fs != nullptr ? fs : RealFileSystem();
+}
+
+void SetFileSystemForTest(FileSystem* fs) {
+  g_fs_override.store(fs, std::memory_order_release);
+}
+
+Result<std::string> MemoryFileSystem::ReadFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::InvalidArgument("cannot open " + path);
+  }
+  return it->second;
+}
+
+Status MemoryFileSystem::WriteFile(const std::string& path,
+                                   const std::string& content) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_[path] = content;
+  return Status::OK();
+}
+
+bool MemoryFileSystem::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) != 0;
+}
+
+}  // namespace mitra::common

@@ -1,0 +1,57 @@
+#ifndef MITRA_COMMON_FS_H_
+#define MITRA_COMMON_FS_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+/// \file fs.h
+/// A minimal filesystem shim. The CLI and the corpus/fuzz loaders do all
+/// file I/O through the process-global FileSystem returned by
+/// GetFileSystem(), so tests can interpose an in-memory or fault-injecting
+/// implementation (SetFileSystemForTest) and drive the "simulated I/O
+/// error" arm of the fault-injection harness without touching the real
+/// disk.
+
+namespace mitra::common {
+
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+  /// Reads the whole file; InvalidArgument when it cannot be opened.
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+  /// Creates/truncates and writes the whole file.
+  virtual Status WriteFile(const std::string& path,
+                           const std::string& content) = 0;
+};
+
+/// The real (disk-backed) filesystem; a process-wide singleton.
+FileSystem* RealFileSystem();
+
+/// The filesystem all mitra tools use. RealFileSystem() unless a test has
+/// interposed one.
+FileSystem* GetFileSystem();
+
+/// Interposes `fs` (nullptr restores the real one). Test-only; not
+/// synchronized with in-flight I/O.
+void SetFileSystemForTest(FileSystem* fs);
+
+/// An in-memory FileSystem for tests: a path→content map behind a mutex.
+class MemoryFileSystem : public FileSystem {
+ public:
+  Result<std::string> ReadFile(const std::string& path) override;
+  Status WriteFile(const std::string& path,
+                   const std::string& content) override;
+
+  bool Exists(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> files_;
+};
+
+}  // namespace mitra::common
+
+#endif  // MITRA_COMMON_FS_H_

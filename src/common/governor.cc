@@ -1,0 +1,164 @@
+#include "common/governor.h"
+
+#include <algorithm>
+
+namespace mitra::common {
+
+namespace {
+
+std::atomic<FaultProbe*> g_fault_probe{nullptr};
+
+/// Saturating add into a relaxed atomic counter.
+void SaturatingAdd(std::atomic<std::uint64_t>* counter, std::uint64_t n) {
+  std::uint64_t cur = counter->load(std::memory_order_relaxed);
+  for (;;) {
+    std::uint64_t next = cur > std::numeric_limits<std::uint64_t>::max() - n
+                             ? std::numeric_limits<std::uint64_t>::max()
+                             : cur + n;
+    if (counter->compare_exchange_weak(cur, next,
+                                       std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void SetGlobalFaultProbe(FaultProbe* probe) {
+  g_fault_probe.store(probe, std::memory_order_release);
+}
+
+FaultProbe* GetGlobalFaultProbe() {
+  return g_fault_probe.load(std::memory_order_acquire);
+}
+
+void CancelToken::Cancel(Status cause) {
+  assert(!cause.ok());
+  bool expected = false;
+  if (claimed_.compare_exchange_strong(expected, true,
+                                       std::memory_order_acq_rel)) {
+    cause_ = std::move(cause);
+    flag_.store(true, std::memory_order_release);
+  }
+}
+
+Status CancelToken::cause() const {
+  if (!flag_.load(std::memory_order_acquire)) return Status::OK();
+  return cause_;
+}
+
+void BudgetUsage::Accumulate(const BudgetUsage& other) {
+  auto sat = [](std::uint64_t a, std::uint64_t b) {
+    return a > std::numeric_limits<std::uint64_t>::max() - b
+               ? std::numeric_limits<std::uint64_t>::max()
+               : a + b;
+  };
+  seconds += other.seconds;
+  states = sat(states, other.states);
+  rows = sat(rows, other.rows);
+  bytes = sat(bytes, other.bytes);
+  checks = sat(checks, other.checks);
+}
+
+Governor::Governor() : Governor(ResourceLimits{}, nullptr) {}
+
+Governor::Governor(const ResourceLimits& limits, CancelToken* parent_token)
+    : limits_(limits),
+      start_(std::chrono::steady_clock::now()),
+      token_(parent_token != nullptr ? parent_token : &own_token_) {
+  if (limits_.has_deadline()) {
+    // A non-positive budget expires immediately; clamp the duration so
+    // the conversion below cannot overflow.
+    double secs = std::max(0.0, limits_.time_limit_seconds);
+    secs = std::min(secs, 1.0e9);  // ~31 years: effectively unlimited
+    deadline_ = start_ + std::chrono::duration_cast<
+                             std::chrono::steady_clock::duration>(
+                             std::chrono::duration<double>(secs));
+  }
+}
+
+double Governor::ElapsedSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+bool Governor::DeadlineExpired() const {
+  return limits_.has_deadline() &&
+         std::chrono::steady_clock::now() >= deadline_;
+}
+
+Status Governor::Exhausted(const char* what, const char* site) const {
+  Status s = Status::ResourceExhausted(std::string(what) + " budget exceeded at " +
+                                       site);
+  token_->Cancel(s);
+  return s;
+}
+
+Status Governor::Check(const char* site) const {
+  checks_.fetch_add(1, std::memory_order_relaxed);
+  if (FaultProbe* probe = g_fault_probe.load(std::memory_order_relaxed)) {
+    Status s = probe->OnProbe(site);
+    if (!s.ok()) {
+      // Injected faults propagate exactly like organic ones, including
+      // tripping the shared token so sibling threads unwind too.
+      token_->Cancel(s);
+      return s;
+    }
+  }
+  if (token_->cancelled()) return token_->cause();
+  if (limits_.has_deadline() &&
+      std::chrono::steady_clock::now() >= deadline_) {
+    return Exhausted("time", site);
+  }
+  return Status::OK();
+}
+
+Status Governor::ChargeStates(std::uint64_t n, const char* site) {
+  MITRA_RETURN_IF_ERROR(Check(site));
+  SaturatingAdd(&states_, n);
+  if (limits_.max_states != 0 &&
+      states_.load(std::memory_order_relaxed) > limits_.max_states) {
+    return Exhausted("state", site);
+  }
+  return Status::OK();
+}
+
+Status Governor::ChargeRows(std::uint64_t n, const char* site) {
+  MITRA_RETURN_IF_ERROR(Check(site));
+  SaturatingAdd(&rows_, n);
+  if (limits_.max_rows != 0 &&
+      rows_.load(std::memory_order_relaxed) > limits_.max_rows) {
+    return Exhausted("row", site);
+  }
+  return Status::OK();
+}
+
+Status Governor::ChargeBytes(std::uint64_t n, const char* site) {
+  MITRA_RETURN_IF_ERROR(Check(site));
+  SaturatingAdd(&bytes_, n);
+  if (limits_.max_memory_bytes != 0 &&
+      bytes_.load(std::memory_order_relaxed) > limits_.max_memory_bytes) {
+    return Exhausted("memory", site);
+  }
+  return Status::OK();
+}
+
+void Governor::ChargeUsage(const BudgetUsage& usage) {
+  SaturatingAdd(&states_, usage.states);
+  SaturatingAdd(&rows_, usage.rows);
+  SaturatingAdd(&bytes_, usage.bytes);
+  SaturatingAdd(&checks_, usage.checks);
+}
+
+BudgetUsage Governor::Usage() const {
+  BudgetUsage u;
+  u.seconds = ElapsedSeconds();
+  u.states = states_.load(std::memory_order_relaxed);
+  u.rows = rows_.load(std::memory_order_relaxed);
+  u.bytes = bytes_.load(std::memory_order_relaxed);
+  u.checks = checks_.load(std::memory_order_relaxed);
+  return u;
+}
+
+}  // namespace mitra::common

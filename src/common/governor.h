@@ -1,0 +1,203 @@
+#ifndef MITRA_COMMON_GOVERNOR_H_
+#define MITRA_COMMON_GOVERNOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/status.h"
+
+/// \file governor.h
+/// The resource-governance layer: a deadline plus memory/row/state budget
+/// accounting behind one object (Governor) and a lock-free cooperative
+/// cancellation flag (CancelToken) shared by every thread working on the
+/// same synthesis or migration. MITRA's evaluation treats OOM and timeout
+/// as first-class outcomes (§6); the governor turns them into
+/// `kResourceExhausted` Statuses raised at bounded-latency check sites
+/// instead of runaway loops or allocator death.
+///
+/// Usage pattern: every expensive loop calls `governor->Check("site")`
+/// every iteration (or every few, when iterations are trivially cheap)
+/// and `Charge{States,Rows,Bytes}` when it materializes something whose
+/// size is the thing being budgeted. All of them return a Status; a
+/// non-OK return must be propagated unchanged so the cause (deadline,
+/// which budget, which site) reaches the caller intact. The first
+/// overrun also trips the shared CancelToken, so sibling threads
+/// converge at their next check instead of finishing their waves.
+///
+/// Check sites are named with stable slash-separated strings
+/// ("dfa/construct", "alloc/cross-product", ...). The names serve two
+/// masters: error messages, and the fault-injection harness in
+/// src/testing, which targets sites by prefix through the process-global
+/// FaultProbe hook below (a relaxed atomic load on the hot path, null in
+/// production).
+///
+/// Thread safety: all members are safe to call concurrently. Budget
+/// counters are relaxed atomics — totals are exact, and the *decision*
+/// "did the run as a whole exceed the budget" is schedule-independent
+/// whenever the total work is (see DESIGN.md on determinism under
+/// budgets).
+
+namespace mitra::common {
+
+/// Test-only hook consulted by every Governor::Check/Charge call. Returns
+/// non-OK to simulate a fault (deadline expiry, allocation failure, ...)
+/// at that site. Implementations must be thread-safe.
+class FaultProbe {
+ public:
+  virtual ~FaultProbe() = default;
+  /// `site` is the check-site name; never null.
+  virtual Status OnProbe(const char* site) = 0;
+};
+
+/// Installs (or, with nullptr, removes) the process-global fault probe.
+/// Intended for tests only; not synchronized with in-flight checks beyond
+/// the atomicity of the pointer itself, so install/remove only while no
+/// governed work is running.
+void SetGlobalFaultProbe(FaultProbe* probe);
+FaultProbe* GetGlobalFaultProbe();
+
+/// A lock-free cooperative cancellation flag with a Status cause. One
+/// writer wins the race to set the cause; every reader observes the same
+/// cause once `cancelled()` is true (CAS claim + release-store publish,
+/// acquire-load read).
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation with `cause` (must be non-OK). The first
+  /// caller's cause wins; later calls are no-ops. Safe from any thread.
+  void Cancel(Status cause);
+
+  /// True once some thread's Cancel has been published.
+  bool cancelled() const {
+    return flag_.load(std::memory_order_acquire);
+  }
+
+  /// The published cause, or OK when not (yet) cancelled.
+  Status cause() const;
+
+  /// OK until cancelled, then the cause.
+  Status Check() const {
+    if (!cancelled()) return Status::OK();
+    return cause();
+  }
+
+ private:
+  std::atomic<bool> claimed_{false};  // CAS guard: one writer stores cause_
+  std::atomic<bool> flag_{false};     // release-stored after cause_ is set
+  Status cause_;                      // written once, before flag_
+};
+
+/// Resource budget for one governed run. Zero (or infinity for time)
+/// means unlimited for that axis.
+struct ResourceLimits {
+  /// Wall-clock budget in seconds, measured from Governor construction.
+  /// +inf (the default) disables the deadline; 0.0 expires immediately.
+  double time_limit_seconds = std::numeric_limits<double>::infinity();
+  /// Aggregate automaton-state / search-node budget.
+  std::uint64_t max_states = 0;
+  /// Aggregate materialized-row budget (intermediate + output tuples).
+  std::uint64_t max_rows = 0;
+  /// Aggregate tracked-allocation budget in bytes. Accounting is
+  /// monotone high-water: bytes charged at "alloc/…" sites are never
+  /// credited back, which upper-bounds (not measures) live heap use.
+  std::uint64_t max_memory_bytes = 0;
+
+  bool has_deadline() const {
+    return time_limit_seconds != std::numeric_limits<double>::infinity();
+  }
+};
+
+/// Snapshot of what a governed run has consumed so far.
+struct BudgetUsage {
+  double seconds = 0.0;
+  std::uint64_t states = 0;
+  std::uint64_t rows = 0;
+  std::uint64_t bytes = 0;
+  /// Number of Check/Charge calls — the cancellation-latency currency.
+  std::uint64_t checks = 0;
+
+  /// Saturating element-wise accumulation (for roll-ups across tables).
+  void Accumulate(const BudgetUsage& other);
+};
+
+/// Deadline + budget accounting + cancellation for one run. Create one
+/// per synthesis/migration (or per table, for isolation), pass it by
+/// pointer through the options structs; a null Governor* everywhere means
+/// "ungoverned" and costs nothing.
+class Governor {
+ public:
+  /// Unlimited governor (still usable as a cancellation point).
+  Governor();
+  /// Governed by `limits`. When `parent_token` is non-null the governor
+  /// shares that token instead of owning one, so cancelling the parent
+  /// (or any sibling overrunning) stops this run too.
+  explicit Governor(const ResourceLimits& limits,
+                    CancelToken* parent_token = nullptr);
+
+  Governor(const Governor&) = delete;
+  Governor& operator=(const Governor&) = delete;
+
+  /// The cheap cooperative cancellation point. Order: fault probe (test
+  /// hook, relaxed null check) → token → deadline. Non-OK results from
+  /// the deadline also trip the token so sibling threads stop.
+  Status Check(const char* site) const;
+
+  /// Charge `n` units against the corresponding budget (after an implicit
+  /// Check at the same site). On overrun returns kResourceExhausted
+  /// naming the site and trips the token. The charge itself is recorded
+  /// even when it overruns (counters saturate, they do not wrap).
+  Status ChargeStates(std::uint64_t n, const char* site);
+  Status ChargeRows(std::uint64_t n, const char* site);
+  Status ChargeBytes(std::uint64_t n, const char* site);
+
+  /// Bulk accumulation of a child run's usage into this governor
+  /// (degradation-ladder roll-ups). Does not Check and never fails;
+  /// counters saturate.
+  void ChargeUsage(const BudgetUsage& usage);
+
+  /// Cancels the run with `cause` (must be non-OK).
+  void Cancel(Status cause) { token_->Cancel(std::move(cause)); }
+
+  BudgetUsage Usage() const;
+  const ResourceLimits& limits() const { return limits_; }
+  CancelToken* token() { return token_; }
+  const CancelToken* token() const { return token_; }
+
+  /// Seconds since construction.
+  double ElapsedSeconds() const;
+  bool DeadlineExpired() const;
+
+ private:
+  Status Exhausted(const char* what, const char* site) const;
+
+  ResourceLimits limits_;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point deadline_;  // valid iff has_deadline
+  CancelToken own_token_;
+  CancelToken* token_;  // == &own_token_ unless sharing a parent's
+
+  mutable std::atomic<std::uint64_t> checks_{0};
+  std::atomic<std::uint64_t> states_{0};
+  std::atomic<std::uint64_t> rows_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+};
+
+/// Convenience: Status-propagating check for use inside functions that
+/// return Status or Result<T>. No-op when `gov` is null.
+#define MITRA_GOV_CHECK(gov, site)                        \
+  do {                                                    \
+    if ((gov) != nullptr) {                               \
+      ::mitra::Status _gov_st = (gov)->Check(site);       \
+      if (!_gov_st.ok()) return _gov_st;                  \
+    }                                                     \
+  } while (0)
+
+}  // namespace mitra::common
+
+#endif  // MITRA_COMMON_GOVERNOR_H_

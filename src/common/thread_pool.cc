@@ -2,6 +2,9 @@
 
 #include <atomic>
 #include <exception>
+#include <limits>
+
+#include "common/governor.h"
 
 namespace mitra::common {
 
@@ -10,6 +13,8 @@ namespace {
 /// Set while a thread is executing pool work; consulted by ParallelFor to
 /// run nested loops inline instead of deadlocking a fixed-size pool.
 thread_local const ThreadPool* g_current_pool = nullptr;
+
+constexpr size_t kNoError = std::numeric_limits<size_t>::max();
 
 }  // namespace
 
@@ -60,74 +65,124 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ParallelFor(ThreadPool* pool, size_t n,
-                 const std::function<void(size_t)>& body) {
-  if (n == 0) return;
+namespace {
+
+/// Shared state of one ParallelForStatus wave. Failures are recorded
+/// under `mu` keyed by index; only the smallest failing index survives,
+/// which makes the propagated error identical to the sequential loop's
+/// regardless of scheduling. `error_hint` mirrors the current smallest
+/// failing index so workers can cancel (skip) larger unclaimed indices
+/// with a relaxed load instead of taking the lock per item.
+struct ForShared {
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::atomic<size_t> error_hint{kNoError};
+  size_t total = 0;
+  const std::function<Status(size_t)>* body = nullptr;
+  CancelToken* token = nullptr;
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t error_index = kNoError;  // guarded by mu
+  std::exception_ptr exception;   // set iff the error at error_index threw
+  Status status;                  // set iff the error at error_index returned
+
+  void RecordFailure(size_t i, std::exception_ptr e, Status s) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (i < error_index) {
+      error_index = i;
+      exception = e;
+      status = std::move(s);
+      error_hint.store(i, std::memory_order_relaxed);
+    }
+  }
+};
+
+/// Claims and runs indices until none remain. Indices larger than the
+/// smallest failing index — and, under external cancellation, all
+/// unclaimed indices — are counted as done but not executed, so `done`
+/// always reaches `total` and the caller cannot hang. Indices *smaller*
+/// than a recorded failure still run: the minimal failing index must be
+/// found for the min-index determinism contract to hold.
+void DrainFor(const std::shared_ptr<ForShared>& s) {
+  size_t finished = 0;
+  for (;;) {
+    size_t i = s->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= s->total) break;
+    bool skip =
+        i > s->error_hint.load(std::memory_order_relaxed) ||
+        (s->token != nullptr && s->token->cancelled());
+    if (!skip) {
+      try {
+        Status st = (*s->body)(i);
+        if (!st.ok()) s->RecordFailure(i, nullptr, std::move(st));
+      } catch (...) {
+        s->RecordFailure(i, std::current_exception(), Status::OK());
+      }
+    }
+    ++finished;
+  }
+  if (finished > 0 &&
+      s->done.fetch_add(finished, std::memory_order_acq_rel) + finished ==
+          s->total) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    s->cv.notify_all();
+  }
+}
+
+Status SequentialForStatus(size_t n, const std::function<Status(size_t)>& body,
+                           CancelToken* token) {
+  for (size_t i = 0; i < n; ++i) {
+    if (token != nullptr && token->cancelled()) return token->cause();
+    MITRA_RETURN_IF_ERROR(body(i));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ParallelForStatus(ThreadPool* pool, size_t n,
+                         const std::function<Status(size_t)>& body,
+                         CancelToken* token) {
+  if (n == 0) return Status::OK();
   if (pool == nullptr || pool->size() <= 1 || n == 1 ||
       pool->OnWorkerThread()) {
-    for (size_t i = 0; i < n; ++i) body(i);
-    return;
+    return SequentialForStatus(n, body, token);
   }
 
-  struct Shared {
-    std::atomic<size_t> next{0};
-    std::atomic<size_t> done{0};
-    size_t total;
-    const std::function<void(size_t)>* body;
-    std::mutex mu;
-    std::condition_variable cv;
-    std::exception_ptr error;  // first failure, guarded by mu
-  };
-  auto shared = std::make_shared<Shared>();
+  auto shared = std::make_shared<ForShared>();
   shared->total = n;
   shared->body = &body;
-
-  // Every claimed index is counted as done even after a failure (the body
-  // is just skipped), so `done` always reaches `total` and the caller's
-  // wait below cannot hang.
-  auto drain = [](const std::shared_ptr<Shared>& s) {
-    size_t finished = 0;
-    for (;;) {
-      size_t i = s->next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= s->total) break;
-      bool skip;
-      {
-        std::lock_guard<std::mutex> lock(s->mu);
-        skip = s->error != nullptr;
-      }
-      if (!skip) {
-        try {
-          (*s->body)(i);
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(s->mu);
-          if (!s->error) s->error = std::current_exception();
-        }
-      }
-      ++finished;
-    }
-    if (finished > 0 &&
-        s->done.fetch_add(finished, std::memory_order_acq_rel) + finished ==
-            s->total) {
-      std::lock_guard<std::mutex> lock(s->mu);
-      s->cv.notify_all();
-    }
-  };
+  shared->token = token;
 
   // One helper task per worker beyond the calling thread; helpers that
   // find nothing left to claim exit immediately.
   size_t helpers = std::min<size_t>(pool->size(), n) - 1;
   for (size_t h = 0; h < helpers; ++h) {
-    pool->Submit([shared, drain] { drain(shared); });
+    pool->Submit([shared] { DrainFor(shared); });
   }
-  drain(shared);
+  DrainFor(shared);
 
-  {
-    std::unique_lock<std::mutex> lock(shared->mu);
-    shared->cv.wait(lock, [&] {
-      return shared->done.load(std::memory_order_acquire) >= shared->total;
-    });
-    if (shared->error) std::rethrow_exception(shared->error);
+  std::unique_lock<std::mutex> lock(shared->mu);
+  shared->cv.wait(lock, [&] {
+    return shared->done.load(std::memory_order_acquire) >= shared->total;
+  });
+  if (shared->error_index != kNoError) {
+    if (shared->exception) std::rethrow_exception(shared->exception);
+    return shared->status;
   }
+  if (token != nullptr && token->cancelled()) return token->cause();
+  return Status::OK();
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& body) {
+  ParallelForStatus(
+      pool, n,
+      [&body](size_t i) {
+        body(i);
+        return Status::OK();
+      },
+      nullptr);
 }
 
 }  // namespace mitra::common

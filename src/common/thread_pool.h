@@ -19,14 +19,23 @@
 ///    `ParallelFor` over a pool of size 1 degenerates to the plain loop;
 ///  - a ParallelFor issued from inside a pool worker runs inline on that
 ///    worker (nested parallelism cannot deadlock the fixed-size pool);
-///  - the first exception thrown by the body is rethrown on the caller
-///    after all items finish or are abandoned.
+///  - on failure, queued (unclaimed) work is cancelled — remaining
+///    indices are skipped, not executed — and the error for the
+///    *smallest failing index* is propagated, which is exactly the error
+///    the sequential loop would have produced, independent of thread
+///    count or scheduling.
 ///
 /// Determinism contract: ParallelFor guarantees nothing about execution
 /// order — callers that need the sequential result must write into
-/// per-index slots and merge in index order afterwards.
+/// per-index slots and merge in index order afterwards. Error
+/// propagation, however, *is* deterministic per the min-index rule
+/// above (for both the exception-based and the Status-based variant).
+
+#include "common/status.h"
 
 namespace mitra::common {
+
+class CancelToken;
 
 class ThreadPool {
  public:
@@ -67,6 +76,20 @@ class ThreadPool {
 /// parallel path claims indices dynamically; the caller participates.
 void ParallelFor(ThreadPool* pool, size_t n,
                  const std::function<void(size_t)>& body);
+
+/// Status-returning, cancellable ParallelFor. Invokes `body(i)` for every
+/// i in [0, n); when any invocation returns non-OK, work not yet claimed
+/// is skipped and the Status of the smallest failing index is returned
+/// (deterministic across thread counts — it is the error the sequential
+/// loop would have hit first). When `token` is non-null, an external
+/// cancellation (token->Cancel(...)) likewise stops unclaimed work and
+/// the token's cause is returned if no body failed at a smaller index.
+/// Exceptions escaping `body` are propagated by the same min-index rule
+/// and take precedence over Statuses. Inline/nested rules match
+/// ParallelFor.
+Status ParallelForStatus(ThreadPool* pool, size_t n,
+                         const std::function<Status(size_t)>& body,
+                         CancelToken* token = nullptr);
 
 }  // namespace mitra::common
 

@@ -33,6 +33,10 @@ Result<std::vector<dsl::ColumnExtractor>> LearnColumnExtractors(
 
   std::vector<dsl::ColumnExtractor> programs =
       EnumerateAcceptedPrograms(combined, *pool, opts.enumerate);
+  // An overrun inside enumeration cannot surface as a Status there (the
+  // function returns the words found so far); it trips the token instead,
+  // and this check turns a truncated language into the real cause.
+  MITRA_GOV_CHECK(opts.enumerate.governor, "column/enumerate");
   if (programs.empty()) {
     return Status::SynthesisFailure(
         "no column extractor covers column " + std::to_string(col) +

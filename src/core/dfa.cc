@@ -117,6 +117,7 @@ Result<Dfa> ConstructColumnDfa(const hdt::Hdt& tree,
   worklist.push_back(0);
 
   while (!worklist.empty()) {
+    MITRA_GOV_CHECK(opts.governor, "dfa/construct");
     int sid = worklist.front();
     worklist.pop_front();
     // Copy: state_sets may reallocate while we add states.
@@ -131,6 +132,12 @@ Result<Dfa> ConstructColumnDfa(const hdt::Hdt& tree,
           return Status::ResourceExhausted(
               "column DFA exceeded " + std::to_string(opts.max_states) +
               " states");
+        }
+        if (opts.governor != nullptr) {
+          MITRA_RETURN_IF_ERROR(
+              opts.governor->ChargeStates(1, "dfa/construct"));
+          MITRA_RETURN_IF_ERROR(opts.governor->ChargeBytes(
+              next.size() * sizeof(hdt::NodeId) + 64, "alloc/dfa-state"));
         }
         state_sets.push_back(std::move(next));
         dfa.delta.emplace_back();
@@ -158,6 +165,12 @@ Result<Dfa> IntersectDfa(const Dfa& a, const Dfa& b, const DfaOptions& opts) {
                                          std::to_string(opts.max_states) +
                                          " states");
       }
+      if (opts.governor != nullptr) {
+        MITRA_RETURN_IF_ERROR(
+            opts.governor->ChargeStates(1, "dfa/intersect"));
+        MITRA_RETURN_IF_ERROR(
+            opts.governor->ChargeBytes(64, "alloc/dfa-product"));
+      }
       out.delta.emplace_back();
       out.accepting.push_back(a.accepting[sa] && b.accepting[sb]);
       worklist.emplace_back(sa, sb);
@@ -168,6 +181,7 @@ Result<Dfa> IntersectDfa(const Dfa& a, const Dfa& b, const DfaOptions& opts) {
   MITRA_ASSIGN_OR_RETURN(int init, intern(0, 0));
   (void)init;
   while (!worklist.empty()) {
+    MITRA_GOV_CHECK(opts.governor, "dfa/intersect");
     auto [sa, sb] = worklist.front();
     worklist.pop_front();
     int sid = ids.at({sa, sb});
@@ -211,6 +225,12 @@ std::vector<dsl::ColumnExtractor> EnumerateAcceptedPrograms(
 
   while (!queue.empty() && out.size() < opts.max_programs &&
          expansions < opts.max_expansions) {
+    // Cannot return a Status from here; an overrun/cancellation trips the
+    // governor's token (inside Check), and the caller surfaces it.
+    if (opts.governor != nullptr &&
+        !opts.governor->Check("dfa/enumerate").ok()) {
+      break;
+    }
     Item item = std::move(queue.front());
     queue.pop_front();
     if (dfa.accepting[item.state]) {

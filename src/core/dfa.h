@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/governor.h"
 #include "common/status.h"
 #include "dsl/ast.h"
 #include "hdt/hdt.h"
@@ -60,6 +61,10 @@ struct DfaOptions {
   /// real schemas are small; this keeps the alphabet proportional to the
   /// schema, not the data).
   int32_t max_pchildren_pos = 16;
+  /// Optional resource governor: construction/intersection charge one
+  /// state per interned state (plus its bytes) and check the deadline /
+  /// cancellation token on every worklist pop.
+  common::Governor* governor = nullptr;
 };
 
 /// Builds the Fig. 9 DFA for one example: `target_values` is column(R, i).
@@ -83,6 +88,11 @@ struct EnumOptions {
   size_t max_programs = 32;
   /// Safety cap on BFS expansions.
   uint64_t max_expansions = 500'000;
+  /// Optional resource governor, checked periodically during enumeration.
+  /// Enumeration cannot return a Status (the function returns the words
+  /// found so far); an overrun trips the governor's CancelToken, so the
+  /// caller's next check surfaces it.
+  common::Governor* governor = nullptr;
 };
 
 /// Enumerates accepted words shortest-first (then in deterministic symbol

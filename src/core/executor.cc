@@ -159,6 +159,12 @@ void OptimizedExecutor::PlanClause(const std::vector<Literal>& clause) {
 Result<std::vector<dsl::NodeTuple>> OptimizedExecutor::ExecuteNodes(
     const hdt::Hdt& tree, const ExecuteOptions& opts) const {
   const size_t k = program_.columns.size();
+  if (k > dsl::kMaxEvalColumns) {
+    return Status::ResourceExhausted(
+        "program has " + std::to_string(k) + " columns (limit " +
+        std::to_string(dsl::kMaxEvalColumns) + ")");
+  }
+  MITRA_GOV_CHECK(opts.governor, "exec/start");
   // Memoized column evaluation: identical extractors share one result —
   // within this program, and across programs when a ColumnCache is
   // supplied (the paper's §9 cross-table memoization).
@@ -250,11 +256,21 @@ Result<std::vector<dsl::NodeTuple>> OptimizedExecutor::ExecuteNodes(
     // disjoint ranges are safe to enumerate concurrently.
     auto enumerate_range =
         [&](size_t first, size_t last,
-            const std::function<bool(const dsl::NodeTuple&)>& emit) {
+            const std::function<bool(const dsl::NodeTuple&)>& emit,
+            Status* gov_status) {
       dsl::NodeTuple tuple(k, hdt::kInvalidNode);
       bool stopped = false;
+      uint64_t iters = 0;
       std::function<void(size_t)> rec = [&](size_t level) {
         if (stopped) return;
+        if (opts.governor != nullptr && (++iters & 0xFFF) == 0) {
+          Status s = opts.governor->Check("exec/scan");
+          if (!s.ok()) {
+            *gov_status = std::move(s);
+            stopped = true;
+            return;
+          }
+        }
         if (level == k) {
           if (!emit(tuple)) stopped = true;
           return;
@@ -306,10 +322,20 @@ Result<std::vector<dsl::NodeTuple>> OptimizedExecutor::ExecuteNodes(
     auto run_sequential = [&]() {
       uint64_t emitted = 0;
       Status overflow = Status::OK();
+      Status gov_status = Status::OK();
       enumerate_range(
           0, filtered[static_cast<size_t>(plan.levels[0].column)].size(),
           [&](const dsl::NodeTuple& t) {
             if (multi_clause && !seen.insert(t).second) return true;
+            // Charge emitted rows in batches of 256 (deterministic: the
+            // charge depends only on the emit count, not on scheduling).
+            if (opts.governor != nullptr && (emitted & 0xFF) == 0) {
+              Status s = opts.governor->ChargeRows(256, "exec/emit");
+              if (!s.ok()) {
+                overflow = std::move(s);
+                return false;
+              }
+            }
             out.push_back(t);
             if (++emitted > opts.max_output_rows) {
               overflow =
@@ -317,7 +343,9 @@ Result<std::vector<dsl::NodeTuple>> OptimizedExecutor::ExecuteNodes(
               return false;
             }
             return true;
-          });
+          },
+          &gov_status);
+      if (!gov_status.ok()) return gov_status;
       return overflow;
     };
 
@@ -341,14 +369,32 @@ Result<std::vector<dsl::NodeTuple>> OptimizedExecutor::ExecuteNodes(
     const uint64_t chunk_cap = opts.max_output_rows + 1;
     std::vector<std::vector<dsl::NodeTuple>> chunk_out(num_chunks);
     std::vector<char> complete(num_chunks, 1);
-    common::ParallelFor(pool, num_chunks, [&](size_t c) {
-      const size_t first = n0 * c / num_chunks;
-      const size_t last = n0 * (c + 1) / num_chunks;
-      complete[c] = enumerate_range(first, last, [&](const dsl::NodeTuple& t) {
-        chunk_out[c].push_back(t);
-        return static_cast<uint64_t>(chunk_out[c].size()) < chunk_cap;
-      });
-    });
+    common::CancelToken* token =
+        opts.governor != nullptr ? opts.governor->token() : nullptr;
+    MITRA_RETURN_IF_ERROR(common::ParallelForStatus(
+        pool, num_chunks,
+        [&](size_t c) -> Status {
+          const size_t first = n0 * c / num_chunks;
+          const size_t last = n0 * (c + 1) / num_chunks;
+          Status gov_status = Status::OK();
+          complete[c] = enumerate_range(
+              first, last,
+              [&](const dsl::NodeTuple& t) {
+                if (opts.governor != nullptr &&
+                    (chunk_out[c].size() & 0xFF) == 0) {
+                  Status s = opts.governor->ChargeRows(256, "exec/emit");
+                  if (!s.ok()) {
+                    gov_status = std::move(s);
+                    return false;
+                  }
+                }
+                chunk_out[c].push_back(t);
+                return static_cast<uint64_t>(chunk_out[c].size()) < chunk_cap;
+              },
+              &gov_status);
+          return gov_status;
+        },
+        token));
 
     const bool any_truncated =
         std::find(complete.begin(), complete.end(), 0) != complete.end();

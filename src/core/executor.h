@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/governor.h"
 #include "common/status.h"
 #include "dsl/ast.h"
 #include "dsl/eval.h"
@@ -69,6 +70,11 @@ class ColumnCache {
 struct ExecuteOptions {
   /// Safety cap on emitted result rows.
   uint64_t max_output_rows = 100'000'000;
+  /// Optional resource governor: emitted rows are charged in batches and
+  /// the scan loops poll for cancellation/deadline every few thousand
+  /// iterations (bounded-latency checks, including on clauses that emit
+  /// nothing).
+  common::Governor* governor = nullptr;
   /// Optional cross-program column cache (see ColumnCache).
   ColumnCache* column_cache = nullptr;
   /// Optional worker pool (not owned): each clause's outermost loop level

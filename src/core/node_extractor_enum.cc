@@ -45,6 +45,7 @@ Result<std::vector<EnumeratedExtractor>> EnumerateNodeExtractorsFromSources(
   for (int depth = 1; depth <= opts.max_depth; ++depth) {
     size_t level_end = out.size();
     for (size_t i = level_begin; i < level_end; ++i) {
+      MITRA_GOV_CHECK(opts.governor, "node-enum/expand");
       for (const dsl::NodeStep& step : steps) {
         // Apply one step to the parent extractor's behavior; reject on ⊥
         // (Fig. 10 validity).
@@ -74,6 +75,10 @@ Result<std::vector<EnumeratedExtractor>> EnumerateNodeExtractorsFromSources(
         }
         if (!valid) continue;
         if (behaviors.contains(targets)) continue;  // behavioral duplicate
+        if (opts.governor != nullptr) {
+          MITRA_RETURN_IF_ERROR(
+              opts.governor->ChargeStates(1, "node-enum/keep"));
+        }
         EnumeratedExtractor ext;
         ext.extractor = out[i].extractor;
         ext.extractor.steps.push_back(step);

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/governor.h"
 #include "common/status.h"
 #include "core/example.h"
 #include "dsl/ast.h"
@@ -24,6 +25,9 @@ struct NodeExtractorEnumOptions {
   size_t max_extractors = 512;
   /// Only instantiate child(·, tag, pos) steps with pos below this cap.
   int32_t max_child_pos = 8;
+  /// Optional resource governor, checked once per candidate expansion and
+  /// charged one state per kept extractor.
+  common::Governor* governor = nullptr;
 };
 
 /// One enumerated extractor together with its behavior on the source

@@ -33,6 +33,12 @@ Result<std::vector<dsl::NodeTuple>> CrossProductFromColumns(
           ")");
     }
   }
+  if (opts.governor != nullptr) {
+    MITRA_RETURN_IF_ERROR(
+        opts.governor->ChargeRows(total, "eval/cross-product"));
+    MITRA_RETURN_IF_ERROR(opts.governor->ChargeBytes(
+        total * cols.size() * sizeof(hdt::NodeId), "alloc/cross-product"));
+  }
   std::vector<dsl::NodeTuple> out;
   if (cols.empty()) return out;
   out.reserve(static_cast<size_t>(total));
@@ -93,7 +99,9 @@ Result<Candidate> LearnClassifier(const PredicateUniverse& universe,
                                   const std::vector<SignatureClass>& classes,
                                   const std::vector<size_t>& on_classes,
                                   const std::vector<size_t>& off_classes,
-                                  bool exact_cover) {
+                                  bool exact_cover,
+                                  common::Governor* governor) {
+  MITRA_GOV_CHECK(governor, "learner/classifier");
   // Order atoms cheapest-first so cover tie-breaking is Occam-friendly.
   std::vector<int> atom_order(universe.atoms.size());
   for (size_t a = 0; a < atom_order.size(); ++a) {
@@ -168,6 +176,7 @@ Result<Candidate> LearnClassifier(const PredicateUniverse& universe,
 
   SetCoverOptions sc;
   sc.exact = exact_cover;
+  sc.governor = governor;
   MITRA_ASSIGN_OR_RETURN(SetCoverResult cover,
                          MinSetCover(cover_sets, num_elements, sc));
 
@@ -213,6 +222,8 @@ Result<Candidate> LearnClassifier(const PredicateUniverse& universe,
 Result<LearnedPredicate> LearnPredicate(
     const Examples& examples, const std::vector<dsl::ColumnExtractor>& psi,
     const PredicateLearnOptions& opts) {
+  common::Governor* const gov = opts.universe.governor;
+  MITRA_GOV_CHECK(gov, "learner/start");
   // --- intermediate tables & E+/E- split (Alg. 3 lines 5-10) -------------
   std::vector<std::vector<dsl::NodeTuple>> rows_per_example;
   rows_per_example.reserve(examples.size());
@@ -305,6 +316,7 @@ Result<LearnedPredicate> LearnPredicate(
   // them so the cover/ILP instances stay small.
   std::vector<uint64_t> sig_hash(num_rows, 0xcbf29ce484222325ULL);
   for (const DynBitset& tv : universe.truth) {
+    MITRA_GOV_CHECK(gov, "learner/signatures");
     for (size_t r = 0; r < num_rows; ++r) {
       sig_hash[r] =
           HashCombine(sig_hash[r], tv.Test(r) ? 0x9e37ULL : 0x79b9ULL);
@@ -383,7 +395,13 @@ Result<LearnedPredicate> LearnPredicate(
         if (classes[c].contains_positive) on_classes.push_back(c);
       }
       auto cand = LearnClassifier(universe, classes, on_classes, neg_classes,
-                                  opts.exact_cover);
+                                  opts.exact_cover, gov);
+      // Governor overruns trip the token; propagate those (the run is
+      // dying), but let per-candidate failures (e.g. ">30 atoms") fall
+      // through to the other modes as before.
+      if (!cand.ok() && gov != nullptr && gov->token()->cancelled()) {
+        return cand.status();
+      }
       if (cand.ok()) {
         cand->kept_rows = num_positive;  // strict keeps every witness
         best = std::move(cand).value();
@@ -493,6 +511,7 @@ Result<LearnedPredicate> LearnPredicate(
     std::vector<int> chosen;
     uint64_t checks = 0;
     constexpr uint64_t kMaxChecks = 200'000;
+    bool dfs_cancelled = false;
     // Collect every minimal-size solution (capped) and pick the tightest:
     // several conjunctions of the same size can be consistent, and the
     // one keeping the fewest witnesses generalizes best (identity joins
@@ -504,6 +523,12 @@ Result<LearnedPredicate> LearnPredicate(
           if (solutions.size() >= kMaxSolutions || ++checks > kMaxChecks) {
             return;
           }
+          if (gov != nullptr && (checks & 0x3FF) == 0 &&
+              !gov->Check("learner/conjunctive-dfs").ok()) {
+            dfs_cancelled = true;
+            return;
+          }
+          if (dfs_cancelled) return;
           if (all_negatives_dead(alive)) {
             solutions.emplace_back(chosen, alive.Count());
             return;
@@ -533,7 +558,9 @@ Result<LearnedPredicate> LearnPredicate(
       for (size_t r = 0; r < num_rows; ++r) all_alive.Set(r);
       checks = 0;
       dfs(0, all_alive, size);
+      if (dfs_cancelled) break;
     }
+    MITRA_GOV_CHECK(gov, "learner/conjunctive-dfs");
     std::optional<std::vector<int>> found;
     if (!solutions.empty()) {
       size_t best_idx = 0;
@@ -586,7 +613,10 @@ Result<LearnedPredicate> LearnPredicate(
     }
     std::vector<size_t> on_classes(on_class_set.begin(), on_class_set.end());
     auto cand = LearnClassifier(universe, classes, on_classes, neg_classes,
-                                opts.exact_cover);
+                                opts.exact_cover, gov);
+    if (!cand.ok() && gov != nullptr && gov->token()->cancelled()) {
+      return cand.status();
+    }
     if (!cand.ok()) {
       return Status::SynthesisFailure(
           "no filtering predicate over the universe separates witnesses "

@@ -313,6 +313,7 @@ Result<PredicateUniverse> ConstructPredicateUniverse(
   for (size_t i = 0; i < k && !collector.Full(); ++i) {
     const size_t pattern_bits = total_values(i);
     for (const ExtractorFactsView& ef : chi[i]) {
+      MITRA_GOV_CHECK(opts.governor, "universe/unary");
       for (size_t ci = 0; ci < constants->size(); ++ci) {
         for (CmpOp op : ops) {
           if (collector.Full()) break;
@@ -336,6 +337,10 @@ Result<PredicateUniverse> ConstructPredicateUniverse(
           if (!pattern_dedup.IsNew(PatternDedup::UnaryTag(i),
                                    std::move(pattern))) {
             continue;
+          }
+          if (opts.governor != nullptr) {
+            MITRA_RETURN_IF_ERROR(opts.governor->ChargeBytes(
+                num_rows / 8 + 32, "alloc/universe-atom"));
           }
           Atom a;
           a.lhs_path = *ef.extractor;
@@ -383,6 +388,7 @@ Result<PredicateUniverse> ConstructPredicateUniverse(
       for (const auto& [pi1, pi2] : pairs) {
         {
           if (collector.Full()) break;
+          MITRA_GOV_CHECK(opts.governor, "universe/binary");
           for (CmpOp op : ops) {
             // Equality is symmetric: keep the canonical orientation only.
             if (op == CmpOp::kEq &&
@@ -424,6 +430,10 @@ Result<PredicateUniverse> ConstructPredicateUniverse(
                           [static_cast<size_t>(row_value_idx[j][r])]) {
                 bits.Set(r);
               }
+            }
+            if (opts.governor != nullptr) {
+              MITRA_RETURN_IF_ERROR(opts.governor->ChargeBytes(
+                  num_rows / 8 + 32, "alloc/universe-atom"));
             }
             Atom a;
             a.lhs_path = *f1.extractor;

@@ -49,6 +49,9 @@ struct PredicateUniverseOptions {
   /// device — the constructed universe is identical with or without it.
   /// Not owned; must outlive all calls that use these options.
   ExtractorMemoCache* memo = nullptr;
+  /// Optional resource governor: rule-4/5 loops check it per candidate
+  /// atom batch and charge bytes for every kept truth vector.
+  common::Governor* governor = nullptr;
 };
 
 /// The constructed universe: atoms[a] has truth vector truth[a] whose bit

@@ -41,6 +41,7 @@ struct BnB {
   const std::vector<DynBitset>& sets;
   size_t num_elements;
   uint64_t budget;
+  common::Governor* governor;
   uint64_t nodes = 0;
   bool exhausted = false;
 
@@ -73,6 +74,11 @@ struct BnB {
   void Search(const DynBitset& covered, size_t remaining) {
     if (++nodes > budget) {
       exhausted = true;
+      return;
+    }
+    if (governor != nullptr && (nodes & 0x3FF) == 0 &&
+        !governor->Check("cover/branch-bound").ok()) {
+      exhausted = true;  // incumbent stays valid; caller surfaces the cause
       return;
     }
     if (remaining == 0) {
@@ -180,8 +186,9 @@ Result<SetCoverResult> MinSetCover(const std::vector<DynBitset>& sets,
   incumbent.erase(std::unique(incumbent.begin(), incumbent.end()),
                   incumbent.end());
 
-  BnB solver{reduced, num_elements, opts.max_nodes, 0,  false,
-             {},      {},           1,              incumbent, {}};
+  BnB solver{reduced, num_elements, opts.max_nodes, opts.governor,
+             0,       false,        {},             {},
+             1,       incumbent,    {}};
   solver.Init();
   DynBitset covered(num_elements);
   solver.Search(covered, num_elements);

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/governor.h"
 #include "common/status.h"
 #include "core/bitset.h"
 
@@ -27,6 +28,11 @@ struct SetCoverOptions {
   /// Branch & bound node budget; on exhaustion the best solution found so
   /// far (always a valid cover) is returned and `optimal` is set false.
   uint64_t max_nodes = 200'000;
+  /// Optional resource governor, polled periodically inside the branch &
+  /// bound. Cancellation/deadline stops the search early exactly like
+  /// `max_nodes` exhaustion (valid cover, `optimal` false); the caller's
+  /// next governor check surfaces the cause.
+  common::Governor* governor = nullptr;
 };
 
 struct SetCoverResult {

@@ -122,6 +122,22 @@ Result<SynthesisResult> LearnTransformation(const Examples& examples,
     }
   }
 
+  // Resource governance: one governor per run, shared by every phase and
+  // every worker thread. An external governor (migrator rungs) takes
+  // precedence; otherwise one is created from opts.limits with the legacy
+  // time_limit_seconds as its deadline.
+  std::optional<common::Governor> owned_gov;
+  common::Governor* gov = opts.governor;
+  if (gov == nullptr) {
+    common::ResourceLimits limits = opts.limits;
+    if (!limits.has_deadline()) {
+      limits.time_limit_seconds = opts.time_limit_seconds;
+    }
+    owned_gov.emplace(limits);
+    gov = &*owned_gov;
+  }
+  MITRA_GOV_CHECK(gov, "synth/start");
+
   SynthesisResult best;
   RankedCost best_cost = RankedCost::Max();
   bool found = false;
@@ -143,29 +159,29 @@ Result<SynthesisResult> LearnTransformation(const Examples& examples,
   // safe because EnumerateAcceptedPrograms orders symbols by content, not
   // by interned id, so per-column pools yield the same candidate lists as
   // the shared pool.
+  ColumnLearnOptions copts = opts.column;
+  copts.dfa.governor = gov;
+  copts.enumerate.governor = gov;
   std::vector<std::vector<dsl::ColumnExtractor>> candidates(k);
   if (tpool != nullptr && k > 1) {
-    std::vector<Status> column_errors(k);
-    common::ParallelFor(tpool, k, [&](size_t j) {
-      ColSymbolPool col_pool;
-      auto result = LearnColumnExtractors(examples, static_cast<int>(j),
-                                          &col_pool, opts.column);
-      if (result.ok()) {
-        candidates[j] = std::move(*result);
-      } else {
-        column_errors[j] = result.status();
-      }
-    });
-    for (const Status& st : column_errors) {
-      MITRA_RETURN_IF_ERROR(st);
-    }
+    MITRA_RETURN_IF_ERROR(common::ParallelForStatus(
+        tpool, k,
+        [&](size_t j) -> Status {
+          ColSymbolPool col_pool;
+          MITRA_ASSIGN_OR_RETURN(
+              candidates[j],
+              LearnColumnExtractors(examples, static_cast<int>(j), &col_pool,
+                                    copts));
+          return Status::OK();
+        },
+        gov->token()));
   } else {
     ColSymbolPool pool;
     for (size_t j = 0; j < k; ++j) {
+      MITRA_GOV_CHECK(gov, "synth/column");
       MITRA_ASSIGN_OR_RETURN(
           candidates[j],
-          LearnColumnExtractors(examples, static_cast<int>(j), &pool,
-                                opts.column));
+          LearnColumnExtractors(examples, static_cast<int>(j), &pool, copts));
     }
   }
   for (size_t j = 0; j < k; ++j) {
@@ -200,6 +216,12 @@ Result<SynthesisResult> LearnTransformation(const Examples& examples,
   ExtractorMemoCache memo;
   PredicateLearnOptions popts = opts.predicate;
   if (opts.memoize_extractors) popts.universe.memo = &memo;
+  // One governor pointer for the whole run: the memo cache requires
+  // identical options across combos, and a shared token is what makes a
+  // single overrun stop every in-flight sibling.
+  popts.universe.governor = gov;
+  popts.universe.node_enum.governor = gov;
+  popts.eval.governor = gov;
 
   // The expected tables normalized once (Dedup + SortRows is invariant
   // across candidates; hoisted out of the per-combo verification).
@@ -269,9 +291,13 @@ Result<SynthesisResult> LearnTransformation(const Examples& examples,
     // and stopping decisions are re-applied at merge time below, where a
     // late combo's result may simply be discarded — wasted work under
     // contention, never a changed result.
+    // Evaluation failures are captured per-outcome (not returned) so the
+    // merge below replays the sequential decision order; the token still
+    // short-circuits unclaimed wave items once the governor trips.
     std::vector<Outcome> outcomes(wave.size());
-    common::ParallelFor(tpool, wave.size(), [&](size_t i) {
-      if (skip_eval[i]) return;
+    Status wave_status = common::ParallelForStatus(
+        tpool, wave.size(), [&](size_t i) -> Status {
+      if (skip_eval[i]) return Status::OK();
       Outcome& out = outcomes[i];
       std::vector<dsl::ColumnExtractor> psi;
       psi.reserve(k);
@@ -281,7 +307,7 @@ Result<SynthesisResult> LearnTransformation(const Examples& examples,
       auto learned = LearnPredicate(examples, psi, popts);
       if (!learned.ok()) {
         out.failure = learned.status();
-        return;
+        return Status::OK();
       }
       out.universe_size = learned->universe_size;
       dsl::Program p;
@@ -290,11 +316,16 @@ Result<SynthesisResult> LearnTransformation(const Examples& examples,
       p.formula = learned->formula;
       if (!VerifyProgram(examples, want_norm, p, popts.eval, &out.excess,
                          &out.spread)) {
-        return;
+        return Status::OK();
       }
       out.verified = true;
       out.program = std::move(p);
-    });
+      return Status::OK();
+        },
+        gov->token());
+    // A non-OK wave status can only be the token's cancellation cause
+    // (bodies return OK); the merge loop below surfaces it in pop order.
+    (void)wave_status;
 
     // Merge in pop order, replaying the sequential loop's decisions
     // (budget caps, time limit, prune, ranking) combo by combo.
@@ -303,14 +334,16 @@ Result<SynthesisResult> LearnTransformation(const Examples& examples,
         done = true;
         break;
       }
-      if (elapsed() > opts.time_limit_seconds) {
+      // Budget/deadline/cancellation: with a solution in hand, stop and
+      // return it (the paper's any-time behaviour); otherwise surface the
+      // governor's cause (which budget, which site) as the run's error.
+      Status gov_status = gov->Check("synth/merge");
+      if (!gov_status.ok()) {
         if (found) {
           done = true;
           break;
         }
-        return Status::ResourceExhausted(
-            "synthesis time limit exceeded (" +
-            std::to_string(opts.time_limit_seconds) + " s)");
+        return gov_status;
       }
       // Prune: even a predicate-free program over this ψ cannot beat the
       // incumbent when its extractor cost alone is not smaller.
@@ -351,7 +384,14 @@ Result<SynthesisResult> LearnTransformation(const Examples& examples,
   stats.memo_hits = memo.hits();
   stats.memo_misses = memo.misses();
   stats.seconds = elapsed();
+  if (owned_gov) stats.usage = gov->Usage();
   if (!found) {
+    // A tripped governor (budget overrun, cancellation) outranks the
+    // generic synthesis failure: the caller must see kResourceExhausted,
+    // not a "no program found" that merely reflects truncated search.
+    if (gov->token()->cancelled()) {
+      return gov->token()->cause();
+    }
     return Status::SynthesisFailure(
         "no DSL program consistent with the examples was found (last "
         "failure: " +

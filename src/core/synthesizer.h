@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/governor.h"
 #include "common/status.h"
 #include "core/column_learner.h"
 #include "core/example.h"
@@ -33,7 +34,22 @@ struct SynthesisOptions {
   /// the θ ranking; the paper's running example found 4).
   size_t max_consistent_programs = 6;
   /// Wall-clock budget; the paper used 120 s for the database experiment.
+  /// Folded into `limits.time_limit_seconds` when that one is unset, so
+  /// existing callers keep working unchanged.
   double time_limit_seconds = 120.0;
+  /// Aggregate resource budgets (states, rows, memory, time) enforced
+  /// cooperatively through a Governor threaded into every phase. The
+  /// per-phase caps in `column`/`predicate` remain the *deterministic*
+  /// enforcement layer; these are global guards whose exact trip point
+  /// may vary with thread count but always yields kResourceExhausted.
+  common::ResourceLimits limits;
+  /// External governor (not owned; must outlive the call). When null,
+  /// LearnTransformation creates one per call from `limits` (with
+  /// `time_limit_seconds` as its deadline). Supplying one lets a caller
+  /// — e.g. the migrator — share a deadline and cancellation token
+  /// across several synthesis runs; `limits`/`time_limit_seconds` are
+  /// then ignored in favour of the supplied governor's.
+  common::Governor* governor = nullptr;
   /// Worker threads for Phase 1 (the k independent per-column learners)
   /// and Phase 2 (wave-based evaluation of candidate table extractors).
   /// 1 = the sequential path; 0 = hardware concurrency. Every value
@@ -60,6 +76,9 @@ struct SynthesisStats {
   size_t memo_hits = 0;
   size_t memo_misses = 0;
   double seconds = 0.0;
+  /// Governor accounting for the run (all-zero when an external governor
+  /// was supplied — its owner reads the shared usage directly).
+  common::BudgetUsage usage;
 };
 
 struct SynthesisResult {

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <functional>
 #include <optional>
 #include <set>
 
 #include "common/thread_pool.h"
+#include "core/column_learner.h"
 #include "core/node_extractor_enum.h"
 #include "dsl/eval.h"
 
@@ -70,6 +72,17 @@ Status Migrator::Learn(
 Status Migrator::LearnForeignKeys(const hdt::Hdt& tree,
                                   const MigratorOptions& opts) {
   for (const TableDef& t : schema_.tables) {
+    MITRA_RETURN_IF_ERROR(
+        LearnForeignKeysForTable(t, tree, opts, /*gov=*/nullptr));
+  }
+  return Status::OK();
+}
+
+Status Migrator::LearnForeignKeysForTable(const TableDef& t,
+                                          const hdt::Hdt& tree,
+                                          const MigratorOptions& opts,
+                                          common::Governor* gov) {
+  {
     const auto& rows = example_tuples_.at(t.name);
     const size_t num_rows = rows.size();
     const size_t k = t.NumDataColumns();
@@ -92,7 +105,9 @@ Status Migrator::LearnForeignKeys(const hdt::Hdt& tree,
 
       core::NodeExtractorEnumOptions ne;
       ne.max_depth = opts.fk_max_depth;
+      ne.governor = gov;
       for (size_t tj = 0; tj < k; ++tj) {
+        MITRA_GOV_CHECK(gov, "fk/enumerate");
         std::vector<hdt::NodeId> sources;
         sources.reserve(num_rows);
         for (const dsl::NodeTuple& row : rows) {
@@ -159,6 +174,11 @@ Status Migrator::LearnForeignKeys(const hdt::Hdt& tree,
           };
       dfs(0, std::move(live));
       if (!found) {
+        // A tripped governor outranks the generic failure: the search
+        // was truncated, not proven fruitless.
+        if (gov != nullptr && gov->token()->cancelled()) {
+          return gov->token()->cause();
+        }
         return Status::SynthesisFailure(
             "could not learn foreign-key extractors for " + t.name + "." +
             t.columns[c].name + " → " + ref_name);
@@ -167,6 +187,56 @@ Status Migrator::LearnForeignKeys(const hdt::Hdt& tree,
     }
   }
   return Status::OK();
+}
+
+Result<hdt::Table> Migrator::BuildTable(
+    const TableDef& t, const hdt::Hdt& doc, int doc_index,
+    const core::ExecuteOptions& exec_opts) const {
+  core::OptimizedExecutor exec(programs_.at(t.name));
+  MITRA_ASSIGN_OR_RETURN(std::vector<dsl::NodeTuple> tuples,
+                         exec.ExecuteNodes(doc, exec_opts));
+
+  std::vector<std::string> names;
+  names.reserve(t.columns.size());
+  for (const ColumnDef& c : t.columns) names.push_back(c.name);
+  hdt::Table out(names);
+
+  auto fk_it = fk_plans_.find(t.name);
+  for (const dsl::NodeTuple& tuple : tuples) {
+    hdt::Row row;
+    row.reserve(t.columns.size());
+    size_t data_idx = 0;
+    for (size_t c = 0; c < t.columns.size(); ++c) {
+      switch (t.columns[c].kind) {
+        case ColumnKind::kData:
+          row.emplace_back(doc.Data(tuple[data_idx++]));
+          break;
+        case ColumnKind::kPrimaryKey:
+          row.push_back(KeyOf(doc_index, tuple));
+          break;
+        case ColumnKind::kForeignKey: {
+          const ForeignKeyPlan& plan = fk_it->second.at(c);
+          dsl::NodeTuple ref_tuple;
+          ref_tuple.reserve(plan.extractors.size());
+          for (size_t j = 0; j < plan.extractors.size(); ++j) {
+            hdt::NodeId n = dsl::EvalNodeExtractor(
+                doc, plan.extractors[j],
+                tuple[static_cast<size_t>(plan.source_cols[j])]);
+            if (n == hdt::kInvalidNode) {
+              return Status::InvalidArgument(
+                  "foreign-key extractor for " + t.name + "." +
+                  t.columns[c].name + " failed (⊥) on the full document");
+            }
+            ref_tuple.push_back(n);
+          }
+          row.push_back(KeyOf(doc_index, ref_tuple));
+          break;
+        }
+      }
+    }
+    MITRA_RETURN_IF_ERROR(out.AppendRow(std::move(row)));
+  }
+  return out;
 }
 
 Result<Database> Migrator::Execute(const hdt::Hdt& doc, int doc_index,
@@ -190,71 +260,496 @@ Result<Database> Migrator::Execute(const hdt::Hdt& doc, int doc_index,
   // rows with generated keys. Independent across tables (the shared
   // column cache is thread-safe), so tables run on the pool when one is
   // supplied, merged back in schema order.
-  auto build_table = [&](const TableDef& t) -> Result<hdt::Table> {
-    core::OptimizedExecutor exec(programs_.at(t.name));
-    MITRA_ASSIGN_OR_RETURN(std::vector<dsl::NodeTuple> tuples,
-                           exec.ExecuteNodes(doc, exec_opts));
-
-    std::vector<std::string> names;
-    names.reserve(t.columns.size());
-    for (const ColumnDef& c : t.columns) names.push_back(c.name);
-    hdt::Table out(names);
-
-    auto fk_it = fk_plans_.find(t.name);
-    for (const dsl::NodeTuple& tuple : tuples) {
-      hdt::Row row;
-      row.reserve(t.columns.size());
-      size_t data_idx = 0;
-      for (size_t c = 0; c < t.columns.size(); ++c) {
-        switch (t.columns[c].kind) {
-          case ColumnKind::kData:
-            row.emplace_back(doc.Data(tuple[data_idx++]));
-            break;
-          case ColumnKind::kPrimaryKey:
-            row.push_back(KeyOf(doc_index, tuple));
-            break;
-          case ColumnKind::kForeignKey: {
-            const ForeignKeyPlan& plan = fk_it->second.at(c);
-            dsl::NodeTuple ref_tuple;
-            ref_tuple.reserve(plan.extractors.size());
-            for (size_t j = 0; j < plan.extractors.size(); ++j) {
-              hdt::NodeId n = dsl::EvalNodeExtractor(
-                  doc, plan.extractors[j],
-                  tuple[static_cast<size_t>(plan.source_cols[j])]);
-              if (n == hdt::kInvalidNode) {
-                return Status::InvalidArgument(
-                    "foreign-key extractor for " + t.name + "." +
-                    t.columns[c].name +
-                    " failed (⊥) on the full document");
-              }
-              ref_tuple.push_back(n);
-            }
-            row.push_back(KeyOf(doc_index, ref_tuple));
-            break;
-          }
-        }
-      }
-      MITRA_RETURN_IF_ERROR(out.AppendRow(std::move(row)));
-    }
-    return out;
-  };
-
   const size_t num_tables = schema_.tables.size();
   common::ThreadPool* pool = exec_opts.pool;
   if (pool != nullptr && pool->size() > 1 && num_tables > 1) {
     std::vector<std::optional<Result<hdt::Table>>> results(num_tables);
-    common::ParallelFor(pool, num_tables, [&](size_t i) {
-      results[i].emplace(build_table(schema_.tables[i]));
-    });
+    common::CancelToken* token = exec_opts.governor != nullptr
+                                     ? exec_opts.governor->token()
+                                     : nullptr;
+    MITRA_RETURN_IF_ERROR(common::ParallelForStatus(
+        pool, num_tables,
+        [&](size_t i) -> Status {
+          results[i].emplace(
+              BuildTable(schema_.tables[i], doc, doc_index, exec_opts));
+          return Status::OK();
+        },
+        token));
     for (size_t i = 0; i < num_tables; ++i) {
-      if (!results[i]->ok()) return results[i]->status();
+      if (!results[i].has_value()) {
+        // Skipped by cancellation: surface the cause.
+        return exec_opts.governor->token()->cause();
+      }
+      if (!(*results[i]).ok()) return results[i]->status();
       db.tables.emplace(schema_.tables[i].name, std::move(**results[i]));
     }
   } else {
     for (const TableDef& t : schema_.tables) {
-      MITRA_ASSIGN_OR_RETURN(hdt::Table out, build_table(t));
+      MITRA_ASSIGN_OR_RETURN(hdt::Table out,
+                             BuildTable(t, doc, doc_index, exec_opts));
       db.tables.emplace(t.name, std::move(out));
     }
+  }
+  return db;
+}
+
+// ---------------------------------------------------------------------------
+// Fault-tolerant migration: per-table isolation + degradation ladder.
+// ---------------------------------------------------------------------------
+
+const char* TableOutcomeName(TableOutcome outcome) {
+  switch (outcome) {
+    case TableOutcome::kOk:
+      return "ok";
+    case TableOutcome::kDegraded:
+      return "degraded";
+    case TableOutcome::kFallback:
+      return "fallback";
+    case TableOutcome::kFailed:
+      return "failed";
+    case TableOutcome::kSkipped:
+      return "skipped";
+  }
+  return "unknown";
+}
+
+bool MigrationReport::complete() const {
+  for (const TableReport& t : tables) {
+    if (t.outcome != TableOutcome::kOk) return false;
+  }
+  return true;
+}
+
+size_t MigrationReport::num_failed() const {
+  size_t n = 0;
+  for (const TableReport& t : tables) {
+    if (t.outcome == TableOutcome::kFailed ||
+        t.outcome == TableOutcome::kSkipped) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+TableReport* MigrationReport::Find(const std::string& table) {
+  for (TableReport& t : tables) {
+    if (t.table == table) return &t;
+  }
+  return nullptr;
+}
+
+const TableReport* MigrationReport::Find(const std::string& table) const {
+  for (const TableReport& t : tables) {
+    if (t.table == table) return &t;
+  }
+  return nullptr;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+/// The ladder's rung-1 option set: the same search, under per-phase caps
+/// shrunk far enough that a table which blew its full budget usually
+/// terminates (with a simpler program or a clean failure) instead of
+/// timing out again.
+core::SynthesisOptions ReducedSynthesisOptions(core::SynthesisOptions s) {
+  s.max_table_extractors = std::max<size_t>(1, s.max_table_extractors / 4);
+  s.max_consistent_programs = 1;
+  s.column.dfa.max_states =
+      std::max<size_t>(1'000, s.column.dfa.max_states / 4);
+  s.column.enumerate.max_programs =
+      std::max<size_t>(4, s.column.enumerate.max_programs / 2);
+  s.column.enumerate.max_expansions =
+      std::max<uint64_t>(10'000, s.column.enumerate.max_expansions / 4);
+  s.predicate.universe.max_atoms =
+      std::max<size_t>(256, s.predicate.universe.max_atoms / 8);
+  s.predicate.universe.max_extractors_per_column =
+      std::max<size_t>(8, s.predicate.universe.max_extractors_per_column / 2);
+  s.predicate.universe.max_constants =
+      std::max<size_t>(8, s.predicate.universe.max_constants / 2);
+  s.predicate.eval.max_intermediate_tuples = std::max<uint64_t>(
+      100'000, s.predicate.eval.max_intermediate_tuples / 10);
+  return s;
+}
+
+}  // namespace
+
+std::string MigrationReport::ToJson() const {
+  std::string out = "{\"complete\":";
+  out += complete() ? "true" : "false";
+  out += ",\"num_failed\":" + std::to_string(num_failed());
+  out += ",\"tables\":[";
+  for (size_t i = 0; i < tables.size(); ++i) {
+    const TableReport& t = tables[i];
+    if (i > 0) out += ',';
+    out += "{\"table\":\"" + JsonEscape(t.table) + "\"";
+    out += ",\"outcome\":\"";
+    out += TableOutcomeName(t.outcome);
+    out += "\",\"status_code\":\"";
+    out += StatusCodeToString(t.status.code());
+    out += "\",\"status\":\"" + JsonEscape(t.status.message()) + "\"";
+    out += ",\"rung\":" + std::to_string(t.rung);
+    out += ",\"learn_seconds\":" + JsonDouble(t.learn_seconds);
+    out += ",\"execute_seconds\":" + JsonDouble(t.execute_seconds);
+    out += ",\"rows_emitted\":" + std::to_string(t.rows_emitted);
+    out += ",\"usage\":{\"states\":" + std::to_string(t.usage.states) +
+           ",\"rows\":" + std::to_string(t.usage.rows) +
+           ",\"bytes\":" + std::to_string(t.usage.bytes) +
+           ",\"checks\":" + std::to_string(t.usage.checks) + "}";
+    out += ",\"retry_trail\":[";
+    for (size_t r = 0; r < t.retry_trail.size(); ++r) {
+      if (r > 0) out += ',';
+      out += "\"" + JsonEscape(t.retry_trail[r]) + "\"";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+Status Migrator::LearnTableLadder(const TableDef& t, const hdt::Hdt& tree,
+                                  const hdt::Table& example,
+                                  const MigratorOptions& opts,
+                                  TableReport* report) {
+  // One attempt = one fresh governor: rung failures must not eat into the
+  // next rung's budget, and a poisoned table must not cancel its siblings.
+  auto rung_limits = [&](double fallback_deadline) {
+    common::ResourceLimits limits = opts.table_limits;
+    if (!limits.has_deadline()) limits.time_limit_seconds = fallback_deadline;
+    return limits;
+  };
+
+  auto attempt = [&](const core::SynthesisOptions& sopts) -> Status {
+    common::Governor gov(rung_limits(sopts.time_limit_seconds));
+    core::SynthesisOptions governed = sopts;
+    governed.governor = &gov;
+    auto start = std::chrono::steady_clock::now();
+    auto result = core::LearnTransformation(tree, example, governed);
+    Status st = result.ok() ? Status::OK() : result.status();
+    if (st.ok()) {
+      // Materialize the example node tuples under the same budgets (they
+      // feed foreign-key learning and can be the expensive part for a
+      // near-unconstrained program).
+      dsl::EvalOptions ev = sopts.predicate.eval;
+      ev.governor = &gov;
+      auto tuples = dsl::EvalProgramNodeTuples(tree, result->program, ev);
+      if (!tuples.ok()) {
+        st = tuples.status();
+      } else if (tuples->empty()) {
+        st = Status::SynthesisFailure("program for table " + t.name +
+                                      " yields no example rows");
+      } else {
+        programs_[t.name] = result->program;
+        example_tuples_[t.name] = std::move(*tuples);
+        info_.push_back(TableSynthesisInfo{
+            t.name,
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count(),
+            result->program});
+      }
+    }
+    report->learn_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    report->usage.Accumulate(gov.Usage());
+    return st;
+  };
+
+  // Rung 0: full budgets.
+  Status st = attempt(opts.synthesis);
+  if (st.ok()) {
+    report->outcome = TableOutcome::kOk;
+    report->rung = 0;
+    return Status::OK();
+  }
+  report->retry_trail.push_back("rung 0: " + st.ToString());
+
+  // Rung 1: reduced caps.
+  core::SynthesisOptions reduced = ReducedSynthesisOptions(opts.synthesis);
+  st = attempt(reduced);
+  if (st.ok()) {
+    report->outcome = TableOutcome::kDegraded;
+    report->rung = 1;
+    return Status::OK();
+  }
+  report->retry_trail.push_back("rung 1: " + st.ToString());
+
+  // Rung 2: projection-only fallback — the cheapest extractor per column
+  // and φ = true. The emitted rows are a superset of the precise table
+  // (each expected value is covered per column by Theorem 1, so every
+  // expected combination appears in the cross product); verified below.
+  st = [&]() -> Status {
+    common::Governor gov(rung_limits(reduced.time_limit_seconds));
+    auto start = std::chrono::steady_clock::now();
+    core::ColumnLearnOptions copts = reduced.column;
+    copts.dfa.governor = &gov;
+    copts.enumerate.governor = &gov;
+    copts.enumerate.max_programs = 1;  // only the cheapest is needed
+    core::Examples examples{core::Example{&tree, &example}};
+    core::ColSymbolPool pool;
+    dsl::Program p;
+    Status inner = [&]() -> Status {
+      for (size_t j = 0; j < example.NumCols(); ++j) {
+        MITRA_ASSIGN_OR_RETURN(
+            std::vector<dsl::ColumnExtractor> cands,
+            core::LearnColumnExtractors(examples, static_cast<int>(j), &pool,
+                                        copts));
+        if (cands.empty()) {
+          return Status::SynthesisFailure(
+              "no column extractor for column " + std::to_string(j) +
+              " of table " + t.name);
+        }
+        p.columns.push_back(cands[0]);
+      }
+      p.formula = dsl::Dnf::True();
+      dsl::EvalOptions ev = reduced.predicate.eval;
+      ev.governor = &gov;
+      MITRA_ASSIGN_OR_RETURN(std::vector<dsl::NodeTuple> tuples,
+                             dsl::EvalProgramNodeTuples(tree, p, ev));
+      // Coverage check: every expected data row must appear among the
+      // projection-only rows (superset semantics, never a wrong subset).
+      std::set<hdt::Row> produced;
+      for (const dsl::NodeTuple& tuple : tuples) {
+        produced.insert(dsl::ProjectData(tree, tuple));
+      }
+      for (const hdt::Row& want : example.rows()) {
+        if (produced.find(want) == produced.end()) {
+          return Status::SynthesisFailure(
+              "projection-only fallback for table " + t.name +
+              " does not cover the example rows");
+        }
+      }
+      programs_[t.name] = p;
+      example_tuples_[t.name] = std::move(tuples);
+      info_.push_back(TableSynthesisInfo{
+          t.name,
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count(),
+          p});
+      return Status::OK();
+    }();
+    report->learn_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    report->usage.Accumulate(gov.Usage());
+    return inner;
+  }();
+  if (st.ok()) {
+    report->outcome = TableOutcome::kFallback;
+    report->rung = 2;
+    return Status::OK();
+  }
+  report->retry_trail.push_back("rung 2: " + st.ToString());
+  return st;
+}
+
+Result<MigrationReport> Migrator::LearnTolerant(
+    const hdt::Hdt& example_tree,
+    const std::map<std::string, hdt::Table>& table_examples,
+    const MigratorOptions& opts) {
+  MITRA_RETURN_IF_ERROR(schema_.Validate());
+  programs_.clear();
+  fk_plans_.clear();
+  example_tuples_.clear();
+  info_.clear();
+
+  // Structural validation is whole-call: a missing or mis-shaped example
+  // is a caller bug, not a per-table resource failure.
+  for (const TableDef& t : schema_.tables) {
+    auto it = table_examples.find(t.name);
+    if (it == table_examples.end()) {
+      return Status::InvalidArgument("no example for table " + t.name);
+    }
+    if (it->second.NumCols() != t.NumDataColumns()) {
+      return Status::InvalidArgument(
+          "example for table " + t.name + " has " +
+          std::to_string(it->second.NumCols()) + " columns, schema has " +
+          std::to_string(t.NumDataColumns()) + " data columns");
+    }
+  }
+
+  MigrationReport report;
+  report.tables.reserve(schema_.tables.size());
+  for (const TableDef& t : schema_.tables) {
+    TableReport tr;
+    tr.table = t.name;
+    Status st = LearnTableLadder(t, example_tree, table_examples.at(t.name),
+                                 opts, &tr);
+    if (!st.ok()) {
+      tr.outcome = TableOutcome::kFailed;
+      tr.status = st;
+    }
+    report.tables.push_back(std::move(tr));
+  }
+
+  // Foreign keys, with cascade skipping: a table whose FK references an
+  // unavailable table is kSkipped, and that skip can cascade further.
+  auto live = [](const TableReport* tr) {
+    return tr != nullptr && tr->outcome != TableOutcome::kFailed &&
+           tr->outcome != TableOutcome::kSkipped;
+  };
+  std::set<std::string> fk_done;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const TableDef& t : schema_.tables) {
+      TableReport* tr = report.Find(t.name);
+      if (!live(tr)) continue;
+      bool has_fk = false;
+      for (size_t c = 0; c < t.columns.size(); ++c) {
+        if (t.columns[c].kind != ColumnKind::kForeignKey) continue;
+        has_fk = true;
+        const std::string& ref = t.columns[c].references;
+        if (!live(report.Find(ref))) {
+          tr->outcome = TableOutcome::kSkipped;
+          tr->status = Status::SynthesisFailure(
+              "skipped: referenced table " + ref + " is unavailable");
+          tr->retry_trail.push_back("fk: referenced table " + ref +
+                                    " unavailable");
+          programs_.erase(t.name);
+          changed = true;
+          break;
+        }
+      }
+      if (!live(tr) || !has_fk || fk_done.count(t.name) != 0) continue;
+      fk_done.insert(t.name);
+      common::Governor gov(opts.table_limits);
+      Status st = LearnForeignKeysForTable(t, example_tree, opts, &gov);
+      tr->usage.Accumulate(gov.Usage());
+      if (!st.ok()) {
+        tr->outcome = TableOutcome::kFailed;
+        tr->status = st;
+        tr->retry_trail.push_back("fk: " + st.ToString());
+        programs_.erase(t.name);
+        changed = true;
+      }
+    }
+  }
+  return report;
+}
+
+Database Migrator::ExecuteTolerant(const std::vector<const hdt::Hdt*>& docs,
+                                   MigrationReport* report,
+                                   const MigratorOptions& opts) const {
+  MigrationReport scratch;
+  if (report == nullptr) report = &scratch;
+
+  Database db;
+  // Cross-table memoization as in Execute(): extractions are pure
+  // functions of the tree, so a failing table cannot poison the cache
+  // for its siblings (only complete extractions are inserted).
+  core::ColumnCache column_cache;
+
+  for (const TableDef& t : schema_.tables) {
+    TableReport* tr = report->Find(t.name);
+    if (tr == nullptr) {
+      TableReport fresh;
+      fresh.table = t.name;
+      // After a strict Learn() there is no ladder record; a table with a
+      // program counts as rung-0 OK until execution says otherwise.
+      if (programs_.count(t.name) != 0) {
+        fresh.outcome = TableOutcome::kOk;
+        fresh.rung = 0;
+      } else {
+        fresh.outcome = TableOutcome::kSkipped;
+        fresh.status =
+            Status::InvalidArgument("Learn() produced no program");
+      }
+      report->tables.push_back(std::move(fresh));
+      tr = &report->tables.back();
+    }
+    if (tr->outcome == TableOutcome::kFailed ||
+        tr->outcome == TableOutcome::kSkipped) {
+      continue;
+    }
+    if (programs_.count(t.name) == 0) {
+      tr->outcome = TableOutcome::kSkipped;
+      tr->status = Status::InvalidArgument("Learn() produced no program");
+      continue;
+    }
+
+    // Per-table isolation: fresh governor, fresh budget.
+    common::Governor gov(opts.table_limits);
+    core::ExecuteOptions exec_opts = opts.execute;
+    exec_opts.governor = &gov;
+    if (exec_opts.column_cache == nullptr) {
+      exec_opts.column_cache = &column_cache;
+    }
+
+    auto start = std::chrono::steady_clock::now();
+    Status st;
+    hdt::Table merged;
+    bool first = true;
+    for (size_t d = 0; d < docs.size(); ++d) {
+      auto built = BuildTable(t, *docs[d], static_cast<int>(d), exec_opts);
+      if (!built.ok()) {
+        st = built.status();
+        break;
+      }
+      if (first) {
+        merged = std::move(*built);
+        first = false;
+      } else {
+        for (const hdt::Row& r : built->rows()) {
+          st = merged.AppendRow(r);
+          if (!st.ok()) break;
+        }
+        if (!st.ok()) break;
+      }
+    }
+    tr->execute_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    tr->usage.Accumulate(gov.Usage());
+    if (!st.ok()) {
+      tr->outcome = TableOutcome::kFailed;
+      tr->status = st;
+      tr->retry_trail.push_back("execute: " + st.ToString());
+      continue;
+    }
+    tr->rows_emitted = merged.NumRows();
+    db.tables.emplace(t.name, std::move(merged));
   }
   return db;
 }

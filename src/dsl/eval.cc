@@ -135,10 +135,16 @@ bool EvalDnf(const hdt::Hdt& tree, const Dnf& f,
 Result<std::vector<NodeTuple>> EvalCrossProduct(
     const hdt::Hdt& tree, const std::vector<ColumnExtractor>& columns,
     const EvalOptions& opts) {
+  if (columns.size() > kMaxEvalColumns) {
+    return Status::ResourceExhausted(
+        "program has " + std::to_string(columns.size()) +
+        " columns (limit " + std::to_string(kMaxEvalColumns) + ")");
+  }
   std::vector<std::vector<hdt::NodeId>> cols;
   cols.reserve(columns.size());
   uint64_t total = 1;
   for (const ColumnExtractor& pi : columns) {
+    MITRA_GOV_CHECK(opts.governor, "eval/column");
     cols.push_back(EvalColumn(tree, pi));
     total *= cols.back().size();
     if (cols.back().empty()) return std::vector<NodeTuple>{};
@@ -149,6 +155,15 @@ Result<std::vector<NodeTuple>> EvalCrossProduct(
           ")");
     }
   }
+  if (opts.governor != nullptr) {
+    // The size is known exactly before materialization; charge it all up
+    // front so an over-budget product is rejected before allocation.
+    MITRA_RETURN_IF_ERROR(
+        opts.governor->ChargeRows(total, "eval/cross-product"));
+    MITRA_RETURN_IF_ERROR(opts.governor->ChargeBytes(
+        total * columns.size() * sizeof(hdt::NodeId),
+        "alloc/cross-product"));
+  }
   std::vector<NodeTuple> out;
   out.reserve(static_cast<size_t>(total));
   NodeTuple t(columns.size());
@@ -157,6 +172,9 @@ Result<std::vector<NodeTuple>> EvalCrossProduct(
   std::vector<size_t> idx(columns.size(), 0);
   if (columns.empty()) return out;
   while (true) {
+    if (opts.governor != nullptr && (out.size() & 0xFFF) == 0xFFF) {
+      MITRA_GOV_CHECK(opts.governor, "eval/cross-product");
+    }
     for (size_t i = 0; i < columns.size(); ++i) t[i] = cols[i][idx[i]];
     out.push_back(t);
     size_t i = columns.size();

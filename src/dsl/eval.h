@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/governor.h"
 #include "common/status.h"
 #include "dsl/ast.h"
 #include "hdt/hdt.h"
@@ -51,7 +52,15 @@ struct EvalOptions {
   /// before giving up with kResourceExhausted. Mirrors MITRA's
   /// out-of-memory failure mode on oversized intermediate tables.
   uint64_t max_intermediate_tuples = 10'000'000;
+  /// Optional resource governor: cross-product materialization charges
+  /// its rows (and their bytes) and checks for cancellation periodically.
+  common::Governor* governor = nullptr;
 };
+
+/// Hard cap on a program's column count accepted by every evaluator
+/// (reference, Fig.-7, optimized executor). Mirrors the parsers'
+/// kMaxNestingDepth guard: recursion over columns is bounded by this.
+inline constexpr size_t kMaxEvalColumns = 256;
 
 /// Evaluates the full program: data projection of the filtered cross
 /// product (the ⟦filter⟧ rule of Fig. 7).

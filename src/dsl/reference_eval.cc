@@ -39,11 +39,18 @@ hdt::NodeId NamedChildAt(const hdt::Hdt& t, hdt::NodeId id,
   return hdt::kInvalidNode;
 }
 
+/// Iterative so document depth never translates into C++ stack depth (the
+/// parsers cap nesting at 256 but trees can also be built programmatically).
 void CollectDescendants(const hdt::Hdt& t, hdt::NodeId id,
                         const std::string& tag, std::set<hdt::NodeId>* out) {
-  for (hdt::NodeId c : t.node(id).children) {
-    if (TagOf(t, c) == tag) out->insert(c);
-    CollectDescendants(t, c, tag, out);
+  std::vector<hdt::NodeId> stack{id};
+  while (!stack.empty()) {
+    hdt::NodeId cur = stack.back();
+    stack.pop_back();
+    for (hdt::NodeId c : t.node(cur).children) {
+      if (TagOf(t, c) == tag) out->insert(c);
+      stack.push_back(c);
+    }
   }
 }
 
@@ -215,6 +222,13 @@ bool ReferenceEvalAtom(const hdt::Hdt& tree, const Atom& atom,
 
 Result<std::vector<NodeTuple>> ReferenceEvalProgramNodeTuples(
     const hdt::Hdt& tree, const Program& p, const ReferenceEvalOptions& opts) {
+  // Enumerate() recurses once per column; the same guard the optimized
+  // evaluator applies keeps that recursion bounded.
+  if (p.columns.size() > kMaxEvalColumns) {
+    return Status::InvalidArgument(
+        "program has " + std::to_string(p.columns.size()) +
+        " columns (limit " + std::to_string(kMaxEvalColumns) + ")");
+  }
   std::vector<std::vector<hdt::NodeId>> cols;
   for (const ColumnExtractor& pi : p.columns) {
     cols.push_back(ReferenceEvalColumn(tree, pi));

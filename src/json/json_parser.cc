@@ -15,7 +15,8 @@ constexpr int kMaxNestingDepth = 256;
 /// Recursive-descent RFC 8259 parser building the HDT encoding directly.
 class Parser {
  public:
-  explicit Parser(std::string_view in) : in_(in) {}
+  explicit Parser(std::string_view in, common::Governor* gov = nullptr)
+      : in_(in), gov_(gov) {}
 
   Result<hdt::Hdt> Parse() {
     hdt::Hdt tree;
@@ -91,6 +92,11 @@ class Parser {
   /// Parses a value appearing under key `key` and encodes it under `parent`.
   Status ParseValue(hdt::Hdt* tree, hdt::NodeId parent,
                     const std::string& key, int depth) {
+    MITRA_GOV_CHECK(gov_, "json/parse");
+    if (gov_ != nullptr) {
+      MITRA_RETURN_IF_ERROR(gov_->ChargeBytes(
+          key.size() + sizeof(hdt::Node), "alloc/json-node"));
+    }
     if (AtEnd()) return Err("unexpected end of input in value");
     char c = Peek();
     if (c == '{') {
@@ -115,6 +121,11 @@ class Parser {
     if (Consume(']')) return Status::OK();
     while (true) {
       SkipWs();
+      MITRA_GOV_CHECK(gov_, "json/parse");
+      if (gov_ != nullptr) {
+        MITRA_RETURN_IF_ERROR(gov_->ChargeBytes(
+            key.size() + sizeof(hdt::Node), "alloc/json-node"));
+      }
       if (AtEnd()) return Err("unterminated array");
       char c = Peek();
       if (c == '{') {
@@ -305,6 +316,7 @@ class Parser {
   }
 
   std::string_view in_;
+  common::Governor* gov_ = nullptr;
   size_t pos_ = 0;
   int line_ = 1;
   int col_ = 1;
@@ -314,6 +326,11 @@ class Parser {
 
 Result<hdt::Hdt> ParseJson(std::string_view input) {
   return Parser(input).Parse();
+}
+
+Result<hdt::Hdt> ParseJson(std::string_view input,
+                           const JsonParseOptions& opts) {
+  return Parser(input, opts.governor).Parse();
 }
 
 std::string EscapeJsonString(std::string_view s) {

@@ -4,6 +4,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/governor.h"
 #include "common/status.h"
 #include "hdt/hdt.h"
 
@@ -31,8 +32,18 @@
 
 namespace mitra::json {
 
+struct JsonParseOptions {
+  /// Optional resource governor: the parser checks it once per container
+  /// value and charges bytes for every node it materializes, so a
+  /// poisoned or pathological document surfaces kResourceExhausted
+  /// instead of consuming unbounded memory/time.
+  common::Governor* governor = nullptr;
+};
+
 /// Parses `input` into a hierarchical data tree.
 Result<hdt::Hdt> ParseJson(std::string_view input);
+Result<hdt::Hdt> ParseJson(std::string_view input,
+                           const JsonParseOptions& opts);
 
 /// Escapes a string for embedding between double quotes in JSON output.
 std::string EscapeJsonString(std::string_view s);

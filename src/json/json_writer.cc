@@ -70,21 +70,25 @@ struct Writer {
 
   /// Emits the value denoted by one node: a primitive for data leaves,
   /// `{}` for empty non-data leaves, an object for internal nodes.
-  void EmitValue(hdt::NodeId id, int depth) {
+  Status EmitValue(hdt::NodeId id, int depth) {
     if (t.HasData(id)) {
       EmitPrimitive(id);
-    } else {
-      EmitObject(id, depth);
+      return Status();
     }
+    return EmitObject(id, depth);
   }
 
   /// Emits the children of `id` as a JSON object, grouping same-tag
   /// children into arrays.
-  void EmitObject(hdt::NodeId id, int depth) {
+  Status EmitObject(hdt::NodeId id, int depth) {
+    if (depth > kMaxWriteDepth) {
+      return Status::InvalidArgument("tree nesting too deep to serialize (>" +
+                                     std::to_string(kMaxWriteDepth) + ")");
+    }
     const auto& children = t.node(id).children;
     if (children.empty()) {
       out.append("{}");
-      return;
+      return Status();
     }
     // Group by tag in first-occurrence order.
     std::vector<hdt::TagId> order;
@@ -110,13 +114,13 @@ struct Writer {
       out.append("\": ");
       const auto& group = groups[gi];
       if (group.size() == 1) {
-        EmitValue(group[0], depth + 1);
+        MITRA_RETURN_IF_ERROR(EmitValue(group[0], depth + 1));
       } else {
         out.push_back('[');
         Newline();
         for (size_t i = 0; i < group.size(); ++i) {
           Indent(depth + 2);
-          EmitValue(group[i], depth + 2);
+          MITRA_RETURN_IF_ERROR(EmitValue(group[i], depth + 2));
           if (i + 1 < group.size()) out.push_back(',');
           Newline();
         }
@@ -128,16 +132,18 @@ struct Writer {
     }
     Indent(depth);
     out.push_back('}');
+    return Status();
   }
 };
 
 }  // namespace
 
-std::string WriteJson(const hdt::Hdt& tree, const JsonWriteOptions& opts) {
-  if (tree.empty()) return "{}";
+Result<std::string> WriteJson(const hdt::Hdt& tree,
+                              const JsonWriteOptions& opts) {
+  if (tree.empty()) return std::string("{}");
   Writer w{tree, opts, {}};
-  w.EmitObject(tree.root(), 0);
-  return w.out;
+  MITRA_RETURN_IF_ERROR(w.EmitObject(tree.root(), 0));
+  return std::move(w.out);
 }
 
 }  // namespace mitra::json

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/status.h"
 #include "hdt/hdt.h"
 
 /// \file json_writer.h
@@ -15,13 +16,20 @@
 
 namespace mitra::json {
 
+/// Maximum object nesting the recursive writer accepts — the mirror of the
+/// parser's kMaxNestingDepth guard. Any parsed tree serializes; towers built
+/// programmatically beyond this fail cleanly instead of exhausting the stack.
+inline constexpr int kMaxWriteDepth = 512;
+
 struct JsonWriteOptions {
   /// Pretty-print with 2-space indentation.
   bool pretty = true;
 };
 
-/// Serializes the tree (the virtual `root` wrapper is not emitted).
-std::string WriteJson(const hdt::Hdt& tree, const JsonWriteOptions& opts = {});
+/// Serializes the tree (the virtual `root` wrapper is not emitted). Fails
+/// with kInvalidArgument when nesting exceeds kMaxWriteDepth.
+Result<std::string> WriteJson(const hdt::Hdt& tree,
+                              const JsonWriteOptions& opts = {});
 
 }  // namespace mitra::json
 

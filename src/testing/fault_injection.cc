@@ -1,0 +1,91 @@
+#include "testing/fault_injection.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace mitra::test {
+
+namespace {
+
+/// splitmix64: cheap, stateless, good-enough mixing for 1-in-N decisions.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Status FaultInjector::OnProbe(const char* site) {
+  if (!opts_.site_prefix.empty() &&
+      std::strncmp(site, opts_.site_prefix.c_str(),
+                   opts_.site_prefix.size()) != 0) {
+    return Status::OK();
+  }
+  const std::uint64_t n = probes_.fetch_add(1, std::memory_order_relaxed) + 1;
+  bool fire = opts_.fail_at != 0 && n == opts_.fail_at;
+  if (!fire && opts_.fail_one_in != 0) {
+    fire = Mix64(n ^ (opts_.seed * 0x9E3779B97F4A7C15ull)) %
+               opts_.fail_one_in ==
+           0;
+  }
+  if (!fire) return Status::OK();
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  return Status(opts_.code,
+                std::string("injected fault at ") + site + " (probe " +
+                    std::to_string(n) + ")");
+}
+
+ScopedFaultInjector::ScopedFaultInjector(FaultInjector::Options opts)
+    : injector_(std::move(opts)) {
+  assert(common::GetGlobalFaultProbe() == nullptr);
+  common::SetGlobalFaultProbe(&injector_);
+}
+
+ScopedFaultInjector::~ScopedFaultInjector() {
+  common::SetGlobalFaultProbe(nullptr);
+}
+
+Status FaultyFileSystem::MaybeFail(const std::string& path, const char* op) {
+  if (!opts_.fail_substring.empty() &&
+      path.find(opts_.fail_substring) != std::string::npos) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Internal(std::string("injected I/O error: ") + op + " " +
+                            path);
+  }
+  const std::uint64_t n = ops_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (opts_.fail_after_ops != 0 && n > opts_.fail_after_ops) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Internal(std::string("injected I/O error (op budget): ") +
+                            op + " " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::string> FaultyFileSystem::ReadFile(const std::string& path) {
+  MITRA_RETURN_IF_ERROR(MaybeFail(path, "read"));
+  return base_->ReadFile(path);
+}
+
+Status FaultyFileSystem::WriteFile(const std::string& path,
+                                   const std::string& content) {
+  MITRA_RETURN_IF_ERROR(MaybeFail(path, "write"));
+  return base_->WriteFile(path, content);
+}
+
+std::string PoisonedXmlDocument(int width) {
+  // Many near-identical siblings with colliding values: every column DFA
+  // has `width` candidate nodes per value and the predicate universe
+  // grows quadratically in the extractor count. Parses cleanly.
+  std::string doc = "<db>";
+  for (int i = 0; i < width; ++i) {
+    const std::string v = std::to_string(i % 3);
+    doc += "<rec><a>" + v + "</a><b>" + v + "</b><c><d>" + v + "</d><e>" +
+           v + "</e></c></rec>";
+  }
+  doc += "</db>";
+  return doc;
+}
+
+}  // namespace mitra::test

@@ -1,0 +1,128 @@
+#ifndef MITRA_TESTING_FAULT_INJECTION_H_
+#define MITRA_TESTING_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/fs.h"
+#include "common/governor.h"
+#include "common/status.h"
+
+/// \file fault_injection.h
+/// The fault-injection harness (ISSUE 4): simulated faults delivered at
+/// the governor's check sites and at the filesystem shim, plus poisoned
+/// documents, so tests can assert that *every* injected fault surfaces as
+/// a clean Status — never a crash, hang, or sanitizer report — and that
+/// degraded migrations keep unaffected tables bit-identical to no-fault
+/// runs.
+///
+/// Three fault channels:
+///  - FaultInjector: a common::FaultProbe installed process-globally. It
+///    targets check sites by name prefix ("alloc/" = allocation failure,
+///    "dfa/" = synthesis phase faults, "" = everywhere) and fires either
+///    at the Nth matching probe (deterministic single-point injection) or
+///    pseudo-randomly 1-in-N from a seed (soak testing).
+///  - FaultyFileSystem: wraps another FileSystem and fails reads/writes
+///    whose path contains a marker, or after a budget of operations
+///    (simulated I/O errors for the CLI and corpus loaders).
+///  - PoisonDocument (generators for malformed inputs live in
+///    generators.h; here we only provide the canonical "poisoned" XML
+///    that parses fine but explodes any synthesis budget).
+///
+/// All counters are atomics: governed phases probe from pool workers.
+
+namespace mitra::test {
+
+/// Process-global fault probe with prefix targeting. Install via
+/// ScopedFaultInjector (RAII) rather than SetGlobalFaultProbe directly.
+class FaultInjector : public common::FaultProbe {
+ public:
+  struct Options {
+    /// Only sites whose name starts with this fire ("" = every site;
+    /// "alloc/" = the byte-charge sites = simulated allocation failure).
+    std::string site_prefix;
+    /// Fire at the Nth matching probe, 1-based (0 disables this trigger).
+    std::uint64_t fail_at = 0;
+    /// Additionally fire pseudo-randomly ~1-in-N (0 disables).
+    std::uint64_t fail_one_in = 0;
+    std::uint64_t seed = 1;
+    /// Status the fault surfaces as. kResourceExhausted mimics budget
+    /// overrun; kInternal mimics an environment failure.
+    StatusCode code = StatusCode::kResourceExhausted;
+  };
+
+  explicit FaultInjector(Options opts) : opts_(std::move(opts)) {}
+
+  Status OnProbe(const char* site) override;
+
+  /// Matching probes observed so far.
+  std::uint64_t probes() const {
+    return probes_.load(std::memory_order_relaxed);
+  }
+  /// Faults actually injected so far.
+  std::uint64_t injected() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Options opts_;
+  std::atomic<std::uint64_t> probes_{0};
+  std::atomic<std::uint64_t> injected_{0};
+};
+
+/// Installs a FaultInjector as the process-global probe for the lifetime
+/// of the scope. Not nestable (asserts no other probe is installed).
+class ScopedFaultInjector {
+ public:
+  explicit ScopedFaultInjector(FaultInjector::Options opts);
+  ~ScopedFaultInjector();
+  ScopedFaultInjector(const ScopedFaultInjector&) = delete;
+  ScopedFaultInjector& operator=(const ScopedFaultInjector&) = delete;
+
+  FaultInjector& injector() { return injector_; }
+
+ private:
+  FaultInjector injector_;
+};
+
+/// A FileSystem wrapper that injects I/O errors: any operation whose path
+/// contains `fail_substring` fails, as does every operation past
+/// `fail_after_ops` successful ones (0 = unlimited).
+class FaultyFileSystem : public common::FileSystem {
+ public:
+  struct Options {
+    std::string fail_substring;
+    std::uint64_t fail_after_ops = 0;
+  };
+
+  FaultyFileSystem(common::FileSystem* base, Options opts)
+      : base_(base), opts_(std::move(opts)) {}
+
+  Result<std::string> ReadFile(const std::string& path) override;
+  Status WriteFile(const std::string& path,
+                   const std::string& content) override;
+
+  std::uint64_t failures() const {
+    return failures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Status MaybeFail(const std::string& path, const char* op);
+
+  common::FileSystem* base_;
+  Options opts_;
+  std::atomic<std::uint64_t> ops_{0};
+  std::atomic<std::uint64_t> failures_{0};
+};
+
+/// A well-formed XML document engineered to be expensive to synthesize
+/// against: `width` repeated sibling subtrees of near-identical shape
+/// whose values collide, so column DFAs and the predicate universe blow
+/// up before any budget-free search terminates. Pair with a small budget
+/// to exercise the degradation ladder deterministically.
+std::string PoisonedXmlDocument(int width);
+
+}  // namespace mitra::test
+
+#endif  // MITRA_TESTING_FAULT_INJECTION_H_

@@ -190,7 +190,13 @@ CheckResult CheckXmlRoundTrip(const hdt::Hdt& tree) {
   for (bool pretty : {true, false}) {
     xml::WriteOptions w;
     w.pretty = pretty;
-    std::string text = xml::WriteXml(tree, w);
+    auto textr = xml::WriteXml(tree, w);
+    if (!textr.ok()) {
+      // Generators stay far below kMaxWriteDepth; overflow means a bug.
+      return CheckResult::Fail("XML write failed (" + textr.status().ToString() +
+                               ")\ndocument:\n" + tree.ToDebugString());
+    }
+    std::string text = std::move(*textr);
     auto back = xml::ParseXml(text);
     if (!back.ok()) {
       return CheckResult::Fail("XML re-parse failed (" +
@@ -205,7 +211,7 @@ CheckResult CheckXmlRoundTrip(const hdt::Hdt& tree) {
                                "text:\n" + text);
     }
     // Write-normal-form idempotence.
-    std::string text2 = xml::WriteXml(*back, w);
+    std::string text2 = *xml::WriteXml(*back, w);
     if (text2 != text) {
       return CheckResult::Fail("XML write not idempotent\nfirst:\n" + text +
                                "second:\n" + text2);
@@ -218,7 +224,13 @@ CheckResult CheckJsonRoundTrip(const hdt::Hdt& tree) {
   for (bool pretty : {true, false}) {
     json::JsonWriteOptions w;
     w.pretty = pretty;
-    std::string text = json::WriteJson(tree, w);
+    auto textr = json::WriteJson(tree, w);
+    if (!textr.ok()) {
+      return CheckResult::Fail("JSON write failed (" +
+                               textr.status().ToString() + ")\ndocument:\n" +
+                               tree.ToDebugString());
+    }
+    std::string text = std::move(*textr);
     auto back = json::ParseJson(text);
     if (!back.ok()) {
       return CheckResult::Fail("JSON re-parse failed (" +
@@ -232,7 +244,7 @@ CheckResult CheckJsonRoundTrip(const hdt::Hdt& tree) {
                                "reparsed:\n" + back->ToDebugString() +
                                "text:\n" + text);
     }
-    std::string text2 = json::WriteJson(*back, w);
+    std::string text2 = *json::WriteJson(*back, w);
     if (text2 != text) {
       return CheckResult::Fail("JSON write not idempotent\nfirst:\n" + text +
                                "second:\n" + text2);

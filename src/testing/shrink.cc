@@ -172,7 +172,7 @@ ShrunkCase ShrinkCase(const hdt::Hdt& doc, const dsl::Program& program,
 
 std::string DescribeCase(const hdt::Hdt& doc, const dsl::Program& program) {
   return "program: " + dsl::ToString(program) + "\ndocument (debug):\n" +
-         doc.ToDebugString() + "document (xml):\n" + xml::WriteXml(doc) +
+         doc.ToDebugString() + "document (xml):\n" + *xml::WriteXml(doc) +
          "\n";
 }
 

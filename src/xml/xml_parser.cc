@@ -24,7 +24,8 @@ bool IsNameChar(char c) {
 /// Recursive-descent XML parser building the HDT encoding directly.
 class Parser {
  public:
-  explicit Parser(std::string_view in) : in_(in) {}
+  explicit Parser(std::string_view in, common::Governor* gov = nullptr)
+      : in_(in), gov_(gov) {}
 
   Result<hdt::Hdt> Parse() {
     SkipProlog();
@@ -146,8 +147,13 @@ class Parser {
     // Recursive descent: bound nesting so hostile input degrades to a
     // ParseError instead of exhausting the stack.
     if (depth > kMaxNestingDepth) return Err("element nesting too deep");
+    MITRA_GOV_CHECK(gov_, "xml/parse");
     if (!Consume('<')) return Err("expected '<'");
     MITRA_ASSIGN_OR_RETURN(std::string name, ParseName());
+    if (gov_ != nullptr) {
+      MITRA_RETURN_IF_ERROR(gov_->ChargeBytes(
+          name.size() + sizeof(hdt::Node), "alloc/xml-node"));
+    }
 
     struct Attr {
       std::string name, value;
@@ -254,6 +260,7 @@ class Parser {
   }
 
   std::string_view in_;
+  common::Governor* gov_ = nullptr;
   size_t pos_ = 0;
   int line_ = 1;
   int col_ = 1;
@@ -263,6 +270,11 @@ class Parser {
 
 Result<hdt::Hdt> ParseXml(std::string_view input) {
   return Parser(input).Parse();
+}
+
+Result<hdt::Hdt> ParseXml(std::string_view input,
+                          const XmlParseOptions& opts) {
+  return Parser(input, opts.governor).Parse();
 }
 
 Result<std::string> DecodeEntities(std::string_view s) {

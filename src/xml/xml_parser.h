@@ -4,6 +4,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/governor.h"
 #include "common/status.h"
 #include "hdt/hdt.h"
 
@@ -30,8 +31,18 @@
 
 namespace mitra::xml {
 
+struct XmlParseOptions {
+  /// Optional resource governor: the parser checks it once per element
+  /// and charges bytes for every node it materializes, so a poisoned or
+  /// pathological document surfaces kResourceExhausted instead of
+  /// consuming unbounded memory/time.
+  common::Governor* governor = nullptr;
+};
+
 /// Parses `input` into a hierarchical data tree.
 Result<hdt::Hdt> ParseXml(std::string_view input);
+Result<hdt::Hdt> ParseXml(std::string_view input,
+                          const XmlParseOptions& opts);
 
 /// Decodes XML character entities (&lt; &gt; &amp; &quot; &apos; and
 /// numeric &#NN; / &#xNN;) in `s`. Unknown entities are an error.

@@ -6,8 +6,12 @@ namespace mitra::xml {
 
 namespace {
 
-void WriteNode(const hdt::Hdt& t, hdt::NodeId id, const WriteOptions& opts,
-               int depth, std::string* out) {
+Status WriteNode(const hdt::Hdt& t, hdt::NodeId id, const WriteOptions& opts,
+                 int depth, std::string* out) {
+  if (depth > kMaxWriteDepth) {
+    return Status::InvalidArgument("tree nesting too deep to serialize (>" +
+                                   std::to_string(kMaxWriteDepth) + ")");
+  }
   auto indent = [&]() {
     if (opts.pretty) out->append(static_cast<size_t>(depth) * 2, ' ');
   };
@@ -26,7 +30,7 @@ void WriteNode(const hdt::Hdt& t, hdt::NodeId id, const WriteOptions& opts,
     indent();
     out->append(EscapeText(n.data));
     newline();
-    return;
+    return Status();
   }
 
   indent();
@@ -56,7 +60,7 @@ void WriteNode(const hdt::Hdt& t, hdt::NodeId id, const WriteOptions& opts,
       out->append("/>");
     }
     newline();
-    return;
+    return Status();
   }
   if (n.children.empty()) {
     if (n.has_data) {
@@ -69,29 +73,34 @@ void WriteNode(const hdt::Hdt& t, hdt::NodeId id, const WriteOptions& opts,
       out->append("/>");
     }
     newline();
-    return;
+    return Status();
   }
   out->push_back('>');
   newline();
   for (hdt::NodeId c : n.children) {
-    if (!t.IsAttribute(c)) WriteNode(t, c, opts, depth + 1, out);
+    if (!t.IsAttribute(c)) {
+      MITRA_RETURN_IF_ERROR(WriteNode(t, c, opts, depth + 1, out));
+    }
   }
   indent();
   out->append("</");
   out->append(tag);
   out->push_back('>');
   newline();
+  return Status();
 }
 
 }  // namespace
 
-std::string WriteXml(const hdt::Hdt& tree, const WriteOptions& opts) {
+Result<std::string> WriteXml(const hdt::Hdt& tree, const WriteOptions& opts) {
   std::string out;
   if (opts.prolog) {
     out += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
     if (opts.pretty) out += "\n";
   }
-  if (!tree.empty()) WriteNode(tree, tree.root(), opts, 0, &out);
+  if (!tree.empty()) {
+    MITRA_RETURN_IF_ERROR(WriteNode(tree, tree.root(), opts, 0, &out));
+  }
   return out;
 }
 

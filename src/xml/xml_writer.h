@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/status.h"
 #include "hdt/hdt.h"
 
 /// \file xml_writer.h
@@ -14,6 +15,12 @@
 
 namespace mitra::xml {
 
+/// Maximum element nesting the recursive writer accepts — the mirror of
+/// the parser's kMaxNestingDepth guard (any parsed tree serializes;
+/// programmatically built towers beyond this fail cleanly instead of
+/// exhausting the stack).
+inline constexpr int kMaxWriteDepth = 512;
+
 struct WriteOptions {
   /// Pretty-print with 2-space indentation and newlines.
   bool pretty = true;
@@ -21,8 +28,10 @@ struct WriteOptions {
   bool prolog = false;
 };
 
-/// Serializes the subtree rooted at `tree.root()`.
-std::string WriteXml(const hdt::Hdt& tree, const WriteOptions& opts = {});
+/// Serializes the subtree rooted at `tree.root()`. Fails with
+/// kInvalidArgument when nesting exceeds kMaxWriteDepth.
+Result<std::string> WriteXml(const hdt::Hdt& tree,
+                             const WriteOptions& opts = {});
 
 }  // namespace mitra::xml
 

@@ -1,0 +1,137 @@
+/// Runs the 98-task §7.1 corpus under a ladder of shrinking resource
+/// budgets (sharded so ctest parallelism spreads the load). Contract per
+/// rung: every task returns a *clean* Status — success, synthesis
+/// failure, or resource exhaustion — and never crashes or hangs. On the
+/// deterministic rungs (per-phase caps, which trip independently of
+/// scheduling) the outcome and the synthesized program must be identical
+/// across thread counts.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/governor.h"
+#include "core/synthesizer.h"
+#include "dsl/ast.h"
+#include "test_util.h"
+#include "workload/corpus.h"
+
+namespace mitra::workload {
+namespace {
+
+hdt::Hdt ParseTaskDoc(const CorpusTask& task) {
+  if (task.format == DocFormat::kXml) {
+    return test::ParseXmlOrDie(task.document);
+  }
+  return test::ParseJsonOrDie(task.document);
+}
+
+bool IsCleanOutcome(const Status& st) {
+  return st.ok() || st.code() == StatusCode::kSynthesisFailure ||
+         st.code() == StatusCode::kResourceExhausted;
+}
+
+/// Runs one task under `opts` and asserts the outcome is clean.
+Status RunTask(const CorpusTask& task, const core::SynthesisOptions& opts) {
+  hdt::Hdt tree = ParseTaskDoc(task);
+  hdt::Table table = test::MakeTable(task.output);
+  auto result = core::LearnTransformation(tree, table, opts);
+  Status st = result.ok() ? Status::OK() : result.status();
+  EXPECT_TRUE(IsCleanOutcome(st)) << task.id << ": " << st.ToString();
+  return st;
+}
+
+/// The governor-budget rungs: aggregate state/row/byte limits shrinking
+/// by orders of magnitude. These are cooperative guards — the trip point
+/// may vary, the Status may not.
+core::SynthesisOptions GovernorRung(int rung) {
+  core::SynthesisOptions opts;
+  opts.time_limit_seconds = 30.0;
+  switch (rung) {
+    case 0:
+      opts.limits.max_states = 200'000;
+      opts.limits.max_rows = 500'000;
+      opts.limits.max_memory_bytes = 64ull << 20;
+      break;
+    case 1:
+      opts.limits.max_states = 5'000;
+      opts.limits.max_rows = 10'000;
+      opts.limits.max_memory_bytes = 4ull << 20;
+      break;
+    default:
+      opts.limits.max_states = 200;
+      opts.limits.max_rows = 500;
+      opts.limits.max_memory_bytes = 64ull << 10;
+      break;
+  }
+  return opts;
+}
+
+class BudgetLadderShard : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BudgetLadderShard, CleanStatusAtEveryRung) {
+  // Shard s covers tasks s, s+7, s+14, … — 7 shards × 3 rungs each.
+  auto corpus = FullCorpus();
+  for (size_t i = GetParam(); i < corpus.size(); i += 7) {
+    SCOPED_TRACE(corpus[i].id);
+    for (int rung = 0; rung < 3; ++rung) {
+      (void)RunTask(corpus[i], GovernorRung(rung));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShards, BudgetLadderShard,
+                         ::testing::Range<size_t>(0, 7));
+
+TEST(BudgetLadder, TinyTimeBudgetIsClean) {
+  // The wall-clock rung is inherently nondeterministic in *which* site
+  // trips; it must still be a clean kResourceExhausted (or a fast
+  // success/sound failure on trivial tasks).
+  auto corpus = FullCorpus();
+  for (size_t i = 0; i < corpus.size(); i += 11) {
+    SCOPED_TRACE(corpus[i].id);
+    core::SynthesisOptions opts;
+    opts.time_limit_seconds = 0.005;
+    (void)RunTask(corpus[i], opts);
+  }
+}
+
+/// Determinism across thread counts on the *per-phase-cap* rung: those
+/// caps count work items in deterministic (sequential-replay) order, so
+/// the same program — or the same failure — must come out at any thread
+/// count. Governor limits stay off here by design: their trip point is
+/// schedule-dependent (see DESIGN.md).
+TEST(BudgetLadder, PhaseCapRungIsThreadCountInvariant) {
+  auto corpus = FullCorpus();
+  for (size_t i = 0; i < corpus.size(); i += 9) {
+    const CorpusTask& task = corpus[i];
+    SCOPED_TRACE(task.id);
+    hdt::Hdt tree = ParseTaskDoc(task);
+    hdt::Table table = test::MakeTable(task.output);
+
+    core::SynthesisOptions opts;
+    opts.time_limit_seconds = 30.0;
+    opts.column.dfa.max_states = 2'000;
+    opts.column.enumerate.max_programs = 8;
+    opts.predicate.universe.max_atoms = 512;
+    opts.predicate.universe.max_extractors_per_column = 8;
+
+    opts.num_threads = 1;
+    auto seq = core::LearnTransformation(tree, table, opts);
+    opts.num_threads = 4;
+    auto par = core::LearnTransformation(tree, table, opts);
+
+    ASSERT_EQ(seq.ok(), par.ok())
+        << "seq: " << (seq.ok() ? "ok" : seq.status().ToString())
+        << " par: " << (par.ok() ? "ok" : par.status().ToString());
+    if (seq.ok()) {
+      EXPECT_EQ(dsl::ToString(seq->program), dsl::ToString(par->program));
+    } else {
+      EXPECT_EQ(seq.status().code(), par.status().code());
+      EXPECT_TRUE(IsCleanOutcome(seq.status())) << seq.status().ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mitra::workload

@@ -1,0 +1,214 @@
+/// The fault-injection soak (ISSUE 4 acceptance): thousands of faults —
+/// simulated allocation failures, deadline expiries at randomized check
+/// sites, poisoned documents, and I/O errors through the FS shim — all of
+/// which must surface as clean Statuses. A crash, hang, or sanitizer
+/// report anywhere in here is the bug; there are no "expected failure
+/// shapes" beyond that.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/fs.h"
+#include "common/governor.h"
+#include "core/synthesizer.h"
+#include "db/migrator.h"
+#include "test_util.h"
+#include "testing/fault_injection.h"
+
+namespace mitra::test {
+namespace {
+
+const char* kDoc = R"(
+<db>
+  <rec><name>a</name><val>1</val></rec>
+  <rec><name>b</name><val>2</val></rec>
+  <rec><name>c</name><val>3</val></rec>
+</db>
+)";
+
+core::SynthesisOptions FastOptions() {
+  core::SynthesisOptions opts;
+  opts.time_limit_seconds = 10.0;
+  return opts;
+}
+
+/// One synthesis attempt under an installed fault injector. The only
+/// contract: it returns (no crash/hang), and when a fault actually fired
+/// before completion the result is a non-OK Status (the injected code or
+/// a downstream consequence of cancellation — both are clean failures).
+void RunSynthesisUnderFaults(const FaultInjector::Options& fopts,
+                             std::uint64_t* total_injected) {
+  hdt::Hdt tree = ParseXmlOrDie(kDoc);
+  hdt::Table table = MakeTable({{"a", "1"}, {"b", "2"}, {"c", "3"}});
+  ScopedFaultInjector scoped(fopts);
+  auto result = core::LearnTransformation(tree, table, FastOptions());
+  std::uint64_t injected = scoped.injector().injected();
+  *total_injected += injected;
+  if (injected == 0) {
+    // Fault scheduled past the run's probe count: the run must succeed
+    // exactly as it does fault-free.
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+  }
+  // (When injected > 0 the run usually fails; it may still succeed if the
+  // fault hit a phase whose partial result was not needed. Either way the
+  // Status/Result came back intact, which is the property under test.)
+}
+
+TEST(FaultSoak, DeterministicSinglePointInjection) {
+  // Walk the fault through every probe index: each trial kills the run at
+  // exactly one (different) check site. ~400 early-exit synthesis runs.
+  std::uint64_t total_injected = 0;
+  for (std::uint64_t at = 1; at <= 400; ++at) {
+    FaultInjector::Options fopts;
+    fopts.fail_at = at;
+    fopts.code = (at % 2 == 0) ? StatusCode::kResourceExhausted
+                               : StatusCode::kInternal;
+    RunSynthesisUnderFaults(fopts, &total_injected);
+  }
+  // A prefix of the sweep lands inside the run's probe range (trials past
+  // it degenerate to fault-free runs, asserted successful above).
+  EXPECT_GE(total_injected, 50u);
+}
+
+TEST(FaultSoak, RandomizedInjection) {
+  // Pseudo-random 1-in-N faults from varied seeds until the acceptance
+  // floor of 1000 injected-fault cases is met (each trial aborts at its
+  // first fired probe, so trials are cheap).
+  std::uint64_t total_injected = 0;
+  std::uint64_t trials = 0;
+  for (std::uint64_t seed = 1; total_injected < 1000 && seed <= 4000;
+       ++seed, ++trials) {
+    FaultInjector::Options fopts;
+    fopts.fail_one_in = 1 + seed % 7;
+    fopts.seed = seed;
+    RunSynthesisUnderFaults(fopts, &total_injected);
+  }
+  EXPECT_GE(total_injected, 1000u) << "after " << trials << " trials";
+}
+
+TEST(FaultSoak, AllocationFailuresOnly) {
+  // Target only the byte-charge sites — simulated allocation failure.
+  std::uint64_t total_injected = 0;
+  for (std::uint64_t at = 1; at <= 200; ++at) {
+    FaultInjector::Options fopts;
+    fopts.site_prefix = "alloc/";
+    fopts.fail_at = at;
+    RunSynthesisUnderFaults(fopts, &total_injected);
+  }
+  EXPECT_GE(total_injected, 1u);
+}
+
+TEST(FaultSoak, ParserFaults) {
+  // Faults delivered inside the governed parsers surface as parse-level
+  // Statuses, and the poisoned document parses fine when unfaulted.
+  std::string poisoned = PoisonedXmlDocument(20);
+  {
+    auto clean = xml::ParseXml(poisoned);
+    ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  }
+  std::uint64_t total_injected = 0;
+  for (std::uint64_t at = 1; at <= 100; ++at) {
+    FaultInjector::Options fopts;
+    fopts.site_prefix = "xml/";
+    fopts.fail_at = at;
+    ScopedFaultInjector scoped(fopts);
+    common::ResourceLimits limits;  // unlimited; the probe does the work
+    common::Governor gov(limits);
+    xml::XmlParseOptions popts;
+    popts.governor = &gov;
+    auto r = xml::ParseXml(poisoned, popts);
+    total_injected += scoped.injector().injected();
+    if (scoped.injector().injected() > 0) {
+      EXPECT_FALSE(r.ok());
+    } else {
+      EXPECT_TRUE(r.ok()) << r.status().ToString();
+    }
+  }
+  EXPECT_GE(total_injected, 90u);
+}
+
+TEST(FaultSoak, MigrationUnderRandomFaults) {
+  // A two-table migration bombarded with random faults: LearnTolerant
+  // must always return a report (or a clean structural error), never
+  // crash, whatever subset of tables the faults take down.
+  const char* doc = R"(
+<corpus>
+  <paper><title>T1</title><year>2001</year></paper>
+  <paper><title>T2</title><year>2002</year></paper>
+</corpus>
+)";
+  db::DatabaseSchema schema;
+  schema.tables.push_back(db::TableDef{
+      "papers",
+      {{"title", db::ColumnKind::kData, ""},
+       {"year", db::ColumnKind::kData, ""}}});
+  std::uint64_t total_injected = 0;
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    hdt::Hdt example = ParseXmlOrDie(doc);
+    std::map<std::string, hdt::Table> examples;
+    examples["papers"] = MakeTable({{"T1", "2001"}, {"T2", "2002"}});
+    FaultInjector::Options fopts;
+    fopts.fail_one_in = 1 + seed % 5;
+    fopts.seed = seed;
+    ScopedFaultInjector scoped(fopts);
+    db::Migrator migrator(schema);
+    auto report = migrator.LearnTolerant(example, examples);
+    total_injected += scoped.injector().injected();
+    if (report.ok()) {
+      // Whatever happened per table is recorded, not thrown.
+      ASSERT_EQ(report->tables.size(), 1u);
+    }
+  }
+  EXPECT_GE(total_injected, 50u);
+}
+
+TEST(FaultyFs, ReadAndWriteFailuresSurfaceAsStatus) {
+  common::MemoryFileSystem mem;
+  ASSERT_TRUE(mem.WriteFile("/ok.xml", "<a/>").ok());
+  ASSERT_TRUE(mem.WriteFile("/bad-disk/doc.xml", "<a/>").ok());
+
+  FaultyFileSystem::Options fopts;
+  fopts.fail_substring = "bad-disk";
+  FaultyFileSystem faulty(&mem, fopts);
+  common::SetFileSystemForTest(&faulty);
+
+  auto ok = common::GetFileSystem()->ReadFile("/ok.xml");
+  EXPECT_TRUE(ok.ok());
+  auto bad = common::GetFileSystem()->ReadFile("/bad-disk/doc.xml");
+  EXPECT_FALSE(bad.ok());
+  Status wbad = common::GetFileSystem()->WriteFile("/bad-disk/out.csv", "x");
+  EXPECT_FALSE(wbad.ok());
+  EXPECT_GE(faulty.failures(), 2u);
+
+  common::SetFileSystemForTest(nullptr);
+}
+
+TEST(FaultyFs, OperationBudgetExhaustion) {
+  common::MemoryFileSystem mem;
+  ASSERT_TRUE(mem.WriteFile("/a", "1").ok());
+  FaultyFileSystem::Options fopts;
+  fopts.fail_after_ops = 2;
+  FaultyFileSystem faulty(&mem, fopts);
+  EXPECT_TRUE(faulty.ReadFile("/a").ok());
+  EXPECT_TRUE(faulty.ReadFile("/a").ok());
+  EXPECT_FALSE(faulty.ReadFile("/a").ok());  // budget spent
+  EXPECT_FALSE(faulty.WriteFile("/b", "2").ok());
+}
+
+TEST(FaultInjector, PrefixFilterIsExact) {
+  FaultInjector::Options fopts;
+  fopts.site_prefix = "dfa/";
+  fopts.fail_at = 1;
+  FaultInjector inj(fopts);
+  EXPECT_TRUE(inj.OnProbe("exec/scan").ok());
+  EXPECT_TRUE(inj.OnProbe("synth/start").ok());
+  EXPECT_EQ(inj.probes(), 0u);  // non-matching sites are not even counted
+  EXPECT_FALSE(inj.OnProbe("dfa/construct").ok());
+  EXPECT_EQ(inj.injected(), 1u);
+}
+
+}  // namespace
+}  // namespace mitra::test

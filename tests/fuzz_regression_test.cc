@@ -145,7 +145,7 @@ TEST(DslNegative, MalformedInputsReturnParseError) {
 TEST(FuzzRegression, TextTagElementSurvivesRoundTrip) {
   auto t = xml::ParseXml("<r><text>x</text><y>z</y></r>");
   ASSERT_TRUE(t.ok());
-  std::string s = xml::WriteXml(*t);
+  std::string s = *xml::WriteXml(*t);
   EXPECT_NE(s.find("<text>"), std::string::npos) << s;
   auto t2 = xml::ParseXml(s);
   ASSERT_TRUE(t2.ok()) << s;
@@ -155,7 +155,7 @@ TEST(FuzzRegression, TextTagElementSurvivesRoundTrip) {
 TEST(FuzzRegression, MixedContentTextRunsStillInline) {
   auto t = xml::ParseXml("<p>hello <b>x</b> tail</p>");
   ASSERT_TRUE(t.ok());
-  std::string s = xml::WriteXml(*t);
+  std::string s = *xml::WriteXml(*t);
   // Genuine text runs keep rendering as character data, not <text> tags.
   EXPECT_EQ(s.find("<text>"), std::string::npos) << s;
   auto t2 = xml::ParseXml(s);
@@ -169,7 +169,7 @@ TEST(FuzzRegression, MixedContentTextRunsStillInline) {
 TEST(FuzzRegression, NumberLookalikeStringsStayQuoted) {
   auto t = json::ParseJson(R"({"zip":"007","v":"1.","w":"-.5","n":42})");
   ASSERT_TRUE(t.ok());
-  std::string s = json::WriteJson(*t);
+  std::string s = *json::WriteJson(*t);
   EXPECT_NE(s.find("\"007\""), std::string::npos) << s;
   EXPECT_NE(s.find("\"1.\""), std::string::npos) << s;
   EXPECT_NE(s.find("\"-.5\""), std::string::npos) << s;

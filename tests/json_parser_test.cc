@@ -149,7 +149,7 @@ TEST(JsonWriter, RoundTripsHdt) {
   for (const char* doc : docs) {
     auto first = ParseJson(doc);
     ASSERT_TRUE(first.ok()) << doc;
-    std::string emitted = WriteJson(*first);
+    std::string emitted = *WriteJson(*first);
     auto second = ParseJson(emitted);
     ASSERT_TRUE(second.ok()) << emitted;
     EXPECT_EQ(first->ToDebugString(), second->ToDebugString()) << emitted;

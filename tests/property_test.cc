@@ -135,7 +135,7 @@ TEST_P(PropertyTest, SynthesisIsSoundOnDerivedTables) {
 TEST_P(PropertyTest, XmlRoundTripOnRandomTrees) {
   std::mt19937 rng(static_cast<unsigned>(GetParam()) * 31 + 5);
   hdt::Hdt t = RandomTree(&rng, 30);
-  std::string text = xml::WriteXml(t);
+  std::string text = *xml::WriteXml(t);
   auto back = xml::ParseXml(text);
   ASSERT_TRUE(back.ok()) << text;
   EXPECT_EQ(t.ToDebugString(), back->ToDebugString());
@@ -146,7 +146,7 @@ TEST_P(PropertyTest, JsonRoundTripOnGeneratedDocs) {
   std::string doc = workload::Yelp().generate(3 + GetParam() % 5, seed);
   auto t = json::ParseJson(doc);
   ASSERT_TRUE(t.ok());
-  std::string text = json::WriteJson(*t);
+  std::string text = *json::WriteJson(*t);
   auto back = json::ParseJson(text);
   ASSERT_TRUE(back.ok()) << text.substr(0, 400);
   EXPECT_EQ(t->ToDebugString(), back->ToDebugString());

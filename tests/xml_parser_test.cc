@@ -152,7 +152,7 @@ TEST(XmlWriter, RoundTripsHdt) {
   for (const char* doc : docs) {
     auto first = ParseXml(doc);
     ASSERT_TRUE(first.ok()) << doc;
-    std::string emitted = WriteXml(*first);
+    std::string emitted = *WriteXml(*first);
     auto second = ParseXml(emitted);
     ASSERT_TRUE(second.ok()) << emitted;
     ExpectTreesEqual(*first, *second);
@@ -163,7 +163,7 @@ TEST(XmlWriter, EscapesSpecialCharacters) {
   hdt::Hdt t;
   auto root = t.AddRoot("r");
   t.AddChild(root, "a", "x < y & z");
-  std::string emitted = WriteXml(t);
+  std::string emitted = *WriteXml(t);
   EXPECT_NE(emitted.find("x &lt; y &amp; z"), std::string::npos);
   auto back = ParseXml(emitted);
   ASSERT_TRUE(back.ok());

@@ -15,11 +15,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/fs.h"
 #include "testing/rng.h"
 #include "testing/fuzz_util.h"
 
@@ -28,11 +27,10 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
 namespace {
 
 bool ReadFile(const std::filesystem::path& path, std::string* out) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  *out = ss.str();
+  // Through the FS shim so fault-injection tests can interpose I/O errors.
+  auto content = mitra::common::GetFileSystem()->ReadFile(path.string());
+  if (!content.ok()) return false;
+  *out = std::move(*content);
   return true;
 }
 

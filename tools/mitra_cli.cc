@@ -1,32 +1,48 @@
 /// `mitra` — command-line front end for the synthesizer.
 ///
-///   mitra synth --doc example.xml --table example.csv
-///               [--save prog.mitra] [--xslt out.xsl] [--js out.js]
-///               [--threads N]
-///   mitra apply --program prog.mitra --doc big.xml [--out result.csv]
-///               [--threads N]
+///   mitra synth   --doc example.{xml,json} --table example.csv
+///                 [--save prog.mitra] [--xslt out.xsl] [--js out.js]
+///                 [--threads N] [budget flags]
+///   mitra apply   --program prog.mitra --doc big.{xml,json}
+///                 [--out result.csv] [--threads N] [budget flags]
+///   mitra migrate --doc example.{xml,json} --tables name=ex.csv,...
+///                 [--target big.{xml,json}] [--outdir DIR]
+///                 [--report=json] [--threads N] [budget flags]
+///
+/// Budget flags (all optional): --time-limit SECONDS, --max-states N,
+/// --max-rows N, --max-memory-mb N. Overruns surface as clean
+/// ResourceExhausted errors, never crashes.
 ///
 /// `synth` learns a program from one input-output example (document +
 /// CSV of the desired rows, no header) and prints it in the paper's
 /// λ-syntax; `apply` loads a saved program and migrates a document,
-/// writing CSV. Documents ending in `.json` are parsed as JSON,
-/// everything else as XML. `--threads 0` (the default) uses hardware
-/// concurrency; results are identical for every thread count.
+/// writing CSV; `migrate` learns one program per table under the
+/// degradation ladder (full budgets → reduced → projection-only) and
+/// writes one CSV per table, emitting every table it can even when some
+/// fail. Documents ending in `.json` are parsed as JSON, everything else
+/// as XML. `--threads 0` (the default) uses hardware concurrency.
+///
+/// Exit codes: 0 success, 1 other error, 2 usage error, 3 partial
+/// migration (some tables failed, others were emitted), 4 budget
+/// exhaustion, 5 parse error.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <map>
 #include <optional>
-#include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/csv.h"
+#include "common/fs.h"
+#include "common/governor.h"
 #include "common/thread_pool.h"
 #include "core/executor.h"
 #include "core/synthesizer.h"
+#include "db/migrator.h"
+#include "db/schema.h"
 #include "dsl/parser.h"
 #include "json/js_codegen.h"
 #include "json/json_parser.h"
@@ -36,19 +52,28 @@
 namespace mitra {
 namespace {
 
-Result<std::string> ReadFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::InvalidArgument("cannot open " + path);
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
+// Exit codes (documented above; asserted by the CLI tests).
+constexpr int kExitOk = 0;
+constexpr int kExitError = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitPartialMigration = 3;
+constexpr int kExitBudgetExhausted = 4;
+constexpr int kExitParseError = 5;
+
+int ExitCodeFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kResourceExhausted:
+      return kExitBudgetExhausted;
+    case StatusCode::kParseError:
+      return kExitParseError;
+    default:
+      return kExitError;
+  }
 }
 
-Status WriteFile(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::InvalidArgument("cannot write " + path);
-  out << content;
-  return Status::OK();
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return ExitCodeFor(status);
 }
 
 bool IsJsonPath(const std::string& path) {
@@ -56,17 +81,27 @@ bool IsJsonPath(const std::string& path) {
 }
 
 Result<hdt::Hdt> ParseDoc(const std::string& path) {
-  MITRA_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  MITRA_ASSIGN_OR_RETURN(std::string text,
+                         common::GetFileSystem()->ReadFile(path));
   if (IsJsonPath(path)) return json::ParseJson(text);
   return xml::ParseXml(text);
 }
 
+/// Flags: `--name value` or `--name=value`; a trailing `--name` maps to "".
 std::map<std::string, std::string> ParseFlags(int argc, char** argv,
                                               int start) {
   std::map<std::string, std::string> flags;
-  for (int i = start; i + 1 < argc; i += 2) {
-    if (std::strncmp(argv[i], "--", 2) == 0) {
-      flags[argv[i] + 2] = argv[i + 1];
+  for (int i = start; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) continue;
+    std::string arg = argv[i] + 2;
+    size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      flags[arg] = argv[i + 1];
+      ++i;
+    } else {
+      flags[arg] = "";
     }
   }
   return flags;
@@ -78,10 +113,17 @@ int Usage() {
       "usage:\n"
       "  mitra synth --doc example.{xml,json} --table example.csv\n"
       "              [--save prog.mitra] [--xslt out.xsl] [--js out.js]\n"
-      "              [--threads N]\n"
+      "              [--threads N] [budget flags]\n"
       "  mitra apply --program prog.mitra --doc big.{xml,json}\n"
-      "              [--out result.csv] [--threads N]\n");
-  return 2;
+      "              [--out result.csv] [--threads N] [budget flags]\n"
+      "  mitra migrate --doc example.{xml,json} --tables name=ex.csv,...\n"
+      "              [--target big.{xml,json}] [--outdir DIR]\n"
+      "              [--report=json] [--threads N] [budget flags]\n"
+      "budget flags: --time-limit SECONDS --max-states N --max-rows N\n"
+      "              --max-memory-mb N\n"
+      "exit codes: 0 ok, 1 error, 2 usage, 3 partial migration,\n"
+      "            4 budget exhausted, 5 parse error\n");
+  return kExitUsage;
 }
 
 /// Worker threads requested via --threads (0 = hardware concurrency,
@@ -92,40 +134,56 @@ int ThreadsFlag(const std::map<std::string, std::string>& flags) {
   return std::atoi(it->second.c_str());
 }
 
+/// Budget flags → ResourceLimits (absent flags leave the axis unlimited).
+common::ResourceLimits LimitsFlags(
+    const std::map<std::string, std::string>& flags) {
+  common::ResourceLimits limits;
+  auto it = flags.find("time-limit");
+  if (it != flags.end()) limits.time_limit_seconds = std::atof(it->second.c_str());
+  it = flags.find("max-states");
+  if (it != flags.end()) {
+    limits.max_states = std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  it = flags.find("max-rows");
+  if (it != flags.end()) {
+    limits.max_rows = std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  it = flags.find("max-memory-mb");
+  if (it != flags.end()) {
+    limits.max_memory_bytes =
+        std::strtoull(it->second.c_str(), nullptr, 10) * 1024ull * 1024ull;
+  }
+  return limits;
+}
+
+Result<hdt::Table> LoadCsvTable(const std::string& path) {
+  MITRA_ASSIGN_OR_RETURN(std::string text,
+                         common::GetFileSystem()->ReadFile(path));
+  MITRA_ASSIGN_OR_RETURN(std::vector<hdt::Row> rows, ParseCsv(text));
+  return hdt::Table::FromRows(std::move(rows));
+}
+
 int Synth(const std::map<std::string, std::string>& flags) {
   auto doc_it = flags.find("doc");
   auto table_it = flags.find("table");
   if (doc_it == flags.end() || table_it == flags.end()) return Usage();
 
   auto tree = ParseDoc(doc_it->second);
-  if (!tree.ok()) {
-    std::fprintf(stderr, "error: %s\n", tree.status().ToString().c_str());
-    return 1;
-  }
-  auto csv_text = ReadFile(table_it->second);
-  if (!csv_text.ok()) {
-    std::fprintf(stderr, "error: %s\n",
-                 csv_text.status().ToString().c_str());
-    return 1;
-  }
-  auto rows = ParseCsv(*csv_text);
-  if (!rows.ok()) {
-    std::fprintf(stderr, "error: %s\n", rows.status().ToString().c_str());
-    return 1;
-  }
-  auto table = hdt::Table::FromRows(std::move(rows).value());
-  if (!table.ok()) {
-    std::fprintf(stderr, "error: %s\n", table.status().ToString().c_str());
-    return 1;
-  }
+  if (!tree.ok()) return Fail(tree.status());
+  auto table = LoadCsvTable(table_it->second);
+  if (!table.ok()) return Fail(table.status());
 
   core::SynthesisOptions sopts;
   sopts.num_threads = ThreadsFlag(flags);
+  sopts.limits = LimitsFlags(flags);
+  if (sopts.limits.has_deadline()) {
+    sopts.time_limit_seconds = sopts.limits.time_limit_seconds;
+  }
   auto result = core::LearnTransformation(*tree, *table, sopts);
   if (!result.ok()) {
     std::fprintf(stderr, "synthesis failed: %s\n",
                  result.status().ToString().c_str());
-    return 1;
+    return ExitCodeFor(result.status());
   }
   std::string text = dsl::ToString(result->program);
   std::printf("%s\n", text.c_str());
@@ -136,18 +194,14 @@ int Synth(const std::map<std::string, std::string>& flags) {
 
   auto save = [&](const char* flag, const std::string& content) {
     auto it = flags.find(flag);
-    if (it == flags.end()) return true;
-    Status s = WriteFile(it->second, content);
-    if (!s.ok()) {
-      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
-      return false;
-    }
-    return true;
+    if (it == flags.end()) return Status::OK();
+    return common::GetFileSystem()->WriteFile(it->second, content);
   };
-  if (!save("save", text + "\n")) return 1;
-  if (!save("xslt", xml::GenerateXslt(result->program))) return 1;
-  if (!save("js", json::GenerateJavaScript(result->program))) return 1;
-  return 0;
+  Status s = save("save", text + "\n");
+  if (s.ok()) s = save("xslt", xml::GenerateXslt(result->program));
+  if (s.ok()) s = save("js", json::GenerateJavaScript(result->program));
+  if (!s.ok()) return Fail(s);
+  return kExitOk;
 }
 
 int Apply(const std::map<std::string, std::string>& flags) {
@@ -155,23 +209,16 @@ int Apply(const std::map<std::string, std::string>& flags) {
   auto doc_it = flags.find("doc");
   if (prog_it == flags.end() || doc_it == flags.end()) return Usage();
 
-  auto prog_text = ReadFile(prog_it->second);
-  if (!prog_text.ok()) {
-    std::fprintf(stderr, "error: %s\n",
-                 prog_text.status().ToString().c_str());
-    return 1;
-  }
+  auto prog_text = common::GetFileSystem()->ReadFile(prog_it->second);
+  if (!prog_text.ok()) return Fail(prog_text.status());
   auto program = dsl::ParseProgram(*prog_text);
   if (!program.ok()) {
     std::fprintf(stderr, "program parse failed: %s\n",
                  program.status().ToString().c_str());
-    return 1;
+    return ExitCodeFor(program.status());
   }
   auto tree = ParseDoc(doc_it->second);
-  if (!tree.ok()) {
-    std::fprintf(stderr, "error: %s\n", tree.status().ToString().c_str());
-    return 1;
-  }
+  if (!tree.ok()) return Fail(tree.status());
   const int threads_flag = ThreadsFlag(flags);
   const unsigned threads =
       threads_flag == 0
@@ -183,26 +230,151 @@ int Apply(const std::map<std::string, std::string>& flags) {
     pool.emplace(threads);
     eopts.pool = &*pool;
   }
+  common::Governor governor(LimitsFlags(flags));
+  eopts.governor = &governor;
   auto out = core::ExecuteOptimized(*tree, *program, eopts);
   if (!out.ok()) {
     std::fprintf(stderr, "execution failed: %s\n",
                  out.status().ToString().c_str());
-    return 1;
+    return ExitCodeFor(out.status());
   }
   std::string csv = WriteCsv(out->rows());
   auto out_it = flags.find("out");
   if (out_it != flags.end()) {
-    Status s = WriteFile(out_it->second, csv);
-    if (!s.ok()) {
-      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
-      return 1;
-    }
+    Status s = common::GetFileSystem()->WriteFile(out_it->second, csv);
+    if (!s.ok()) return Fail(s);
     std::fprintf(stderr, "wrote %zu rows to %s\n", out->NumRows(),
                  out_it->second.c_str());
   } else {
     std::fputs(csv.c_str(), stdout);
   }
-  return 0;
+  return kExitOk;
+}
+
+/// Parses `--tables name=path,name=path` into ordered (name, path) pairs.
+Result<std::vector<std::pair<std::string, std::string>>> ParseTablesFlag(
+    const std::string& spec) {
+  std::vector<std::pair<std::string, std::string>> out;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    std::string item = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= item.size()) {
+      return Status::InvalidArgument("bad --tables entry '" + item +
+                                     "' (want name=path.csv)");
+    }
+    out.emplace_back(item.substr(0, eq), item.substr(eq + 1));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (out.empty()) return Status::InvalidArgument("--tables is empty");
+  return out;
+}
+
+int Migrate(const std::map<std::string, std::string>& flags) {
+  auto doc_it = flags.find("doc");
+  auto tables_it = flags.find("tables");
+  if (doc_it == flags.end() || tables_it == flags.end()) return Usage();
+
+  auto tree = ParseDoc(doc_it->second);
+  if (!tree.ok()) return Fail(tree.status());
+
+  auto specs = ParseTablesFlag(tables_it->second);
+  if (!specs.ok()) return Fail(specs.status());
+
+  // Data-only schema derived from the example CSVs: columns c0..cK-1.
+  // (Key generation requires a schema with PK/FK definitions, which the
+  // library supports; the CLI keeps to plain data tables.)
+  db::DatabaseSchema schema;
+  std::map<std::string, hdt::Table> examples;
+  for (const auto& [name, path] : *specs) {
+    auto table = LoadCsvTable(path);
+    if (!table.ok()) return Fail(table.status());
+    db::TableDef def;
+    def.name = name;
+    for (size_t c = 0; c < table->NumCols(); ++c) {
+      def.columns.push_back(db::ColumnDef{"c" + std::to_string(c),
+                                          db::ColumnKind::kData, ""});
+    }
+    schema.tables.push_back(std::move(def));
+    examples.emplace(name, std::move(*table));
+  }
+
+  db::MigratorOptions mopts;
+  mopts.table_limits = LimitsFlags(flags);
+  mopts.synthesis.num_threads = ThreadsFlag(flags);
+  const int threads_flag = ThreadsFlag(flags);
+  const unsigned threads =
+      threads_flag == 0
+          ? common::ThreadPool::HardwareThreads()
+          : static_cast<unsigned>(std::max(1, threads_flag));
+  std::optional<common::ThreadPool> pool;
+  if (threads > 1) {
+    pool.emplace(threads);
+    mopts.execute.pool = &*pool;
+  }
+
+  db::Migrator migrator(schema);
+  auto report = migrator.LearnTolerant(*tree, examples, mopts);
+  if (!report.ok()) return Fail(report.status());
+
+  // Apply to the target document (default: the example itself).
+  std::optional<hdt::Hdt> target;
+  auto target_it = flags.find("target");
+  if (target_it != flags.end()) {
+    auto parsed = ParseDoc(target_it->second);
+    if (!parsed.ok()) return Fail(parsed.status());
+    target.emplace(std::move(*parsed));
+  }
+  const hdt::Hdt* doc = target ? &*target : &*tree;
+  db::Database out = migrator.ExecuteTolerant({doc}, &*report, mopts);
+
+  std::string outdir = ".";
+  auto outdir_it = flags.find("outdir");
+  if (outdir_it != flags.end() && !outdir_it->second.empty()) {
+    outdir = outdir_it->second;
+  }
+  Status write_status;
+  for (const auto& [name, table] : out.tables) {
+    Status s = common::GetFileSystem()->WriteFile(
+        outdir + "/" + name + ".csv", WriteCsv(table.rows()));
+    if (!s.ok()) {
+      db::TableReport* tr = report->Find(name);
+      if (tr != nullptr) {
+        tr->outcome = db::TableOutcome::kFailed;
+        tr->status = s;
+        tr->retry_trail.push_back("write: " + s.ToString());
+      }
+      if (write_status.ok()) write_status = s;
+    }
+  }
+
+  auto report_it = flags.find("report");
+  if (report_it != flags.end() && report_it->second == "json") {
+    std::printf("%s\n", report->ToJson().c_str());
+  } else {
+    for (const db::TableReport& tr : report->tables) {
+      std::fprintf(stderr, "%-20s %-9s rung=%d rows=%llu %s\n",
+                   tr.table.c_str(), db::TableOutcomeName(tr.outcome),
+                   tr.rung, static_cast<unsigned long long>(tr.rows_emitted),
+                   tr.status.ok() ? "" : tr.status.ToString().c_str());
+    }
+  }
+
+  const size_t failed = report->num_failed();
+  if (failed == 0 && write_status.ok()) return kExitOk;
+  if (failed < report->tables.size() || !write_status.ok()) {
+    // Some tables made it out: partial migration.
+    if (failed == 0) return Fail(write_status);
+    return kExitPartialMigration;
+  }
+  // Nothing migrated: surface the first failure's class.
+  for (const db::TableReport& tr : report->tables) {
+    if (!tr.status.ok()) return ExitCodeFor(tr.status);
+  }
+  return kExitError;
 }
 
 }  // namespace
@@ -213,5 +385,6 @@ int main(int argc, char** argv) {
   auto flags = mitra::ParseFlags(argc, argv, 2);
   if (std::strcmp(argv[1], "synth") == 0) return mitra::Synth(flags);
   if (std::strcmp(argv[1], "apply") == 0) return mitra::Apply(flags);
+  if (std::strcmp(argv[1], "migrate") == 0) return mitra::Migrate(flags);
   return mitra::Usage();
 }
