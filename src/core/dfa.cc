@@ -35,9 +35,17 @@ std::vector<hdt::NodeId> ApplyStep(const hdt::Hdt& tree,
                                    dsl::ColOp op, hdt::TagId tag,
                                    int32_t pos) {
   std::vector<hdt::NodeId> next;
+  const bool frozen = tree.frozen();
   switch (op) {
     case dsl::ColOp::kChildren:
-      for (hdt::NodeId n : s) tree.ChildrenWithTag(n, tag, &next);
+      if (frozen) {
+        for (hdt::NodeId n : s) {
+          auto sp = tree.ChildrenWithTagSpan(n, tag);
+          next.insert(next.end(), sp.begin(), sp.end());
+        }
+      } else {
+        for (hdt::NodeId n : s) tree.ChildrenWithTag(n, tag, &next);
+      }
       break;
     case dsl::ColOp::kPChildren:
       for (hdt::NodeId n : s) {
@@ -46,7 +54,14 @@ std::vector<hdt::NodeId> ApplyStep(const hdt::Hdt& tree,
       }
       break;
     case dsl::ColOp::kDescendants:
-      for (hdt::NodeId n : s) tree.DescendantsWithTag(n, tag, &next);
+      if (frozen) {
+        for (hdt::NodeId n : s) {
+          auto sp = tree.DescendantsWithTagSpan(n, tag);
+          next.insert(next.end(), sp.begin(), sp.end());
+        }
+      } else {
+        for (hdt::NodeId n : s) tree.DescendantsWithTag(n, tag, &next);
+      }
       break;
   }
   std::sort(next.begin(), next.end());

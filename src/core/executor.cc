@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <set>
 #include <unordered_map>
@@ -38,6 +39,95 @@ std::string JoinKey(const hdt::Hdt& tree, hdt::NodeId n) {
     return buf;
   }
   return "S:" + std::string(data);
+}
+
+/// 128-bit join key for frozen trees — the same equivalence classes as the
+/// string JoinKey, with no formatting or allocation: (kind, payload) where
+/// kind 0 = internal node (payload: node id), kind 1 = numeric leaf
+/// (payload: the parsed double's bit pattern — ParseNumber only yields
+/// finite values, so there is no NaN != NaN hazard, and distinct patterns
+/// such as -0.0 vs 0.0 also render distinctly under %.17g, so bit equality
+/// coincides with rendered-string equality), kind 2 = non-numeric leaf
+/// (payload: dictionary id; dataless leaves and ""-valued leaves share a
+/// sentinel payload, as both render "S:").
+struct U128Key {
+  uint64_t kind;
+  uint64_t payload;
+  bool operator==(const U128Key&) const = default;
+};
+
+struct U128KeyHash {
+  size_t operator()(const U128Key& k) const noexcept {
+    return static_cast<size_t>(
+        HashCombine(k.kind + 0x51ed270b9a3e29b5ULL, k.payload));
+  }
+};
+
+U128Key FrozenJoinKey(const hdt::Hdt& tree, hdt::NodeId n) {
+  if (!tree.IsLeaf(n)) {
+    return {0, static_cast<uint64_t>(static_cast<uint32_t>(n))};
+  }
+  std::string_view data = tree.Data(n);
+  if (data.empty()) return {2, ~uint64_t{0}};
+  hdt::DataId d = tree.GetDataId(n);
+  if (tree.DictIsNumber(d)) {
+    double num = tree.DictNumber(d);
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(num));
+    std::memcpy(&bits, &num, sizeof(bits));
+    return {1, bits};
+  }
+  return {2, static_cast<uint64_t>(static_cast<uint32_t>(d))};
+}
+
+/// Hash-join index over node keys. Frozen trees key on U128Key (integer
+/// compares, one dictionary lookup per probe); unfrozen trees keep the
+/// legacy string keys. Built single-threaded, then probed concurrently
+/// from the parallel enumeration (Find is const).
+class JoinIndex {
+ public:
+  explicit JoinIndex(bool frozen) : frozen_(frozen) {}
+
+  void Add(const hdt::Hdt& tree, hdt::NodeId key_node, hdt::NodeId value) {
+    if (frozen_) {
+      by_id_[FrozenJoinKey(tree, key_node)].push_back(value);
+    } else {
+      by_string_[JoinKey(tree, key_node)].push_back(value);
+    }
+  }
+
+  const std::vector<hdt::NodeId>* Find(const hdt::Hdt& tree,
+                                       hdt::NodeId key_node) const {
+    if (frozen_) {
+      auto it = by_id_.find(FrozenJoinKey(tree, key_node));
+      return it == by_id_.end() ? nullptr : &it->second;
+    }
+    auto it = by_string_.find(JoinKey(tree, key_node));
+    return it == by_string_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  bool frozen_;
+  std::unordered_map<U128Key, std::vector<hdt::NodeId>, U128KeyHash> by_id_;
+  std::unordered_map<std::string, std::vector<hdt::NodeId>> by_string_;
+};
+
+bool CmpHolds(CmpOp op, int cmp) {
+  switch (op) {
+    case CmpOp::kEq:
+      return cmp == 0;
+    case CmpOp::kNe:
+      return cmp != 0;
+    case CmpOp::kLt:
+      return cmp < 0;
+    case CmpOp::kLe:
+      return cmp <= 0;
+    case CmpOp::kGt:
+      return cmp > 0;
+    case CmpOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
 }
 
 }  // namespace
@@ -202,6 +292,43 @@ Result<std::vector<dsl::NodeTuple>> OptimizedExecutor::ExecuteNodes(
   // empty clause) or constant-false (no clauses).
   if (program_.formula.clauses.empty()) return out;
 
+  // Dictionary-memoized constant predicates (frozen trees only): each
+  // unary `path(col) op const` literal compares against a given distinct
+  // leaf value once; later occurrences are a per-(atom, dict id) table
+  // lookup. Constant atoms are always unary (IsUnary), so they are only
+  // evaluated in the sequential filter phase below — the memo needs no
+  // synchronization.
+  std::vector<std::vector<int8_t>> const_truth;
+  if (tree.frozen()) const_truth.resize(program_.atoms.size());
+  auto eval_unary_literal = [&](const Literal& lit,
+                                const dsl::NodeTuple& probe) {
+    const Atom& a = program_.atoms[lit.atom];
+    bool v;
+    if (!const_truth.empty() && a.rhs_is_const) {
+      v = false;
+      if (a.lhs_col >= 0 && static_cast<size_t>(a.lhs_col) < probe.size()) {
+        hdt::NodeId n1 = dsl::EvalNodeExtractor(
+            tree, a.lhs_path, probe[static_cast<size_t>(a.lhs_col)]);
+        if (n1 != hdt::kInvalidNode && tree.HasData(n1)) {
+          hdt::DataId d = tree.GetDataId(n1);
+          std::vector<int8_t>& memo =
+              const_truth[static_cast<size_t>(lit.atom)];
+          if (memo.empty()) memo.assign(tree.DictSize(), -1);
+          int8_t& m = memo[static_cast<size_t>(d)];
+          if (m < 0) {
+            m = CmpHolds(a.op, CompareData(tree.DictValue(d), a.rhs_const))
+                    ? 1
+                    : 0;
+          }
+          v = m == 1;
+        }
+      }
+    } else {
+      v = dsl::EvalAtom(tree, a, probe);
+    }
+    return lit.negated ? !v : v;
+  };
+
   for (const ClausePlan& plan : clauses_) {
     // Per-clause filtered candidate lists (unary literals applied once),
     // indexed by *column*.
@@ -216,9 +343,7 @@ Result<std::vector<dsl::NodeTuple>> OptimizedExecutor::ExecuteNodes(
         probe[col] = n;
         for (int li : lp.unary_literals) {
           const Literal& lit = plan.literals[static_cast<size_t>(li)];
-          bool v = dsl::EvalAtom(tree, program_.atoms[lit.atom], probe);
-          if (lit.negated) v = !v;
-          if (!v) {
+          if (!eval_unary_literal(lit, probe)) {
             pass = false;
             break;
           }
@@ -230,8 +355,7 @@ Result<std::vector<dsl::NodeTuple>> OptimizedExecutor::ExecuteNodes(
     if (clause_empty) continue;
 
     // Hash-join indexes: per level with a driver, key → candidate nodes.
-    std::vector<std::unordered_map<std::string, std::vector<hdt::NodeId>>>
-        index(k);
+    std::vector<JoinIndex> index(k, JoinIndex(tree.frozen()));
     for (size_t l = 0; l < k; ++l) {
       const LevelPlan& lp = plan.levels[l];
       if (!lp.has_driver) continue;
@@ -244,7 +368,7 @@ Result<std::vector<dsl::NodeTuple>> OptimizedExecutor::ExecuteNodes(
       for (hdt::NodeId n : filtered[static_cast<size_t>(lp.column)]) {
         hdt::NodeId m = dsl::EvalNodeExtractor(tree, my_path, n);
         if (m == hdt::kInvalidNode) continue;  // atom would be false
-        index[l][JoinKey(tree, m)].push_back(n);
+        index[l].Add(tree, m, n);
       }
     }
 
@@ -287,9 +411,9 @@ Result<std::vector<dsl::NodeTuple>> OptimizedExecutor::ExecuteNodes(
           hdt::NodeId bound = tuple[static_cast<size_t>(lp.driver.probe_col)];
           hdt::NodeId m = dsl::EvalNodeExtractor(tree, probe_path, bound);
           if (m == hdt::kInvalidNode) return;  // equality cannot hold
-          auto it = index[level].find(JoinKey(tree, m));
-          if (it == index[level].end()) return;
-          cands = &it->second;
+          const std::vector<hdt::NodeId>* hit = index[level].Find(tree, m);
+          if (hit == nullptr) return;
+          cands = hit;
         }
         // Drivers are never planned at level 0 (a join resolves where its
         // *later* column binds, level ≥ 1), so the range restriction below

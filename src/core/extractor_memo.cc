@@ -14,7 +14,16 @@ TargetFacts FactsFor(const hdt::Hdt& tree, hdt::NodeId node) {
   tf.is_leaf = tree.IsLeaf(node);
   tf.has_data = tree.HasData(node);
   tf.data = tree.Data(node);
-  tf.number = tf.has_data ? ParseNumber(tf.data) : std::nullopt;
+  if (tf.has_data) {
+    tf.data_id = tree.GetDataId(node);
+    // On a frozen tree the parse result is precomputed per dictionary
+    // entry; fall back to parsing for unfrozen trees.
+    if (tf.data_id != hdt::kInvalidData) {
+      if (tree.DictIsNumber(tf.data_id)) tf.number = tree.DictNumber(tf.data_id);
+    } else {
+      tf.number = ParseNumber(tf.data);
+    }
+  }
   return tf;
 }
 

@@ -48,6 +48,9 @@ struct TargetFacts {
   bool has_data = false;
   std::string_view data;
   std::optional<double> number;
+  /// Dictionary id of `data` when the source tree is frozen, else
+  /// hdt::kInvalidData. Enables 32-bit equality in atom evaluation.
+  hdt::DataId data_id = hdt::kInvalidData;
 };
 
 /// Extracts the facts atom evaluation needs from one tree node.

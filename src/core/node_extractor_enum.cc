@@ -54,6 +54,10 @@ Result<std::vector<EnumeratedExtractor>> EnumerateNodeExtractorsFromSources(
         bool valid = true;
         for (size_t e = 0; e < trees.size() && valid; ++e) {
           const hdt::Hdt& tree = *trees[e];
+          // One symbol-table probe per (tree, step), not per node.
+          const auto tag = step.op == dsl::NodeOp::kChild
+                               ? tree.LookupTag(step.tag)
+                               : std::nullopt;
           std::vector<hdt::NodeId> row;
           row.reserve(out[i].targets[e].size());
           for (hdt::NodeId n : out[i].targets[e]) {
@@ -61,7 +65,6 @@ Result<std::vector<EnumeratedExtractor>> EnumerateNodeExtractorsFromSources(
             if (step.op == dsl::NodeOp::kParent) {
               m = tree.Parent(n);
             } else {
-              auto tag = tree.LookupTag(step.tag);
               m = tag ? tree.ChildWithTagPos(n, *tag, step.pos)
                       : hdt::kInvalidNode;
             }

@@ -54,24 +54,44 @@ bool ApplyCmp(CmpOp op, int cmp) {
 }
 
 /// Fig. 7 semantics of a node-node comparison on pre-extracted facts.
+/// Both facts come from the same example tree, so when dictionary ids are
+/// present (frozen tree) string equality is id equality — but only on the
+/// non-numeric path: "3" and "3.0" have distinct ids yet compare equal
+/// numerically, so the numeric branch must win first.
 bool EvalNodeNode(CmpOp op, const TargetFacts& a, const TargetFacts& b) {
-  if (a.is_leaf && b.is_leaf) return ApplyCmp(op, CompareFacts(a, b));
+  if (a.is_leaf && b.is_leaf) {
+    if (op == CmpOp::kEq && !(a.number && b.number) &&
+        a.data_id != hdt::kInvalidData && b.data_id != hdt::kInvalidData) {
+      return a.data_id == b.data_id;
+    }
+    return ApplyCmp(op, CompareFacts(a, b));
+  }
   if (!a.is_leaf && !b.is_leaf && op == CmpOp::kEq) return a.node == b.node;
   return false;
 }
 
-/// Fig. 7 semantics of a node-constant comparison.
+/// Sentinels for the constant's per-example dictionary id (see rule 4):
+/// kConstNoDict — the example tree is unfrozen, compare strings;
+/// kConstAbsent — frozen tree whose dictionary lacks the constant, so an
+/// equality against any data-bearing node is false without comparing.
+inline constexpr hdt::DataId kConstNoDict = -1;
+inline constexpr hdt::DataId kConstAbsent = -2;
+
+/// Fig. 7 semantics of a node-constant comparison. `c_id` is the
+/// constant's dictionary id in the *same* tree the facts came from.
 bool EvalNodeConst(CmpOp op, const TargetFacts& a, std::string_view c,
-                   const std::optional<double>& c_num) {
+                   const std::optional<double>& c_num, hdt::DataId c_id) {
   if (!a.has_data) return false;
-  int cmp;
   if (a.number && c_num) {
-    cmp = *a.number < *c_num ? -1 : (*a.number > *c_num ? 1 : 0);
-  } else {
-    int r = a.data.compare(c);
-    cmp = r < 0 ? -1 : (r > 0 ? 1 : 0);
+    int cmp = *a.number < *c_num ? -1 : (*a.number > *c_num ? 1 : 0);
+    return ApplyCmp(op, cmp);
   }
-  return ApplyCmp(op, cmp);
+  if (op == CmpOp::kEq && a.data_id != hdt::kInvalidData &&
+      c_id != kConstNoDict) {
+    return a.data_id == c_id;  // kConstAbsent never equals a real id
+  }
+  int r = a.data.compare(c);
+  return ApplyCmp(op, r < 0 ? -1 : (r > 0 ? 1 : 0));
 }
 
 /// Collects atoms with truth-vector deduplication and constant dropping.
@@ -276,6 +296,23 @@ Result<PredicateUniverse> ConstructPredicateUniverse(
   for (const std::string& c : *constants) {
     constant_nums.push_back(ParseNumber(c));
   }
+  // Per-(example, constant) dictionary ids for the id fast path in
+  // EvalNodeConst. Constants are pooled across examples, so a value can be
+  // present in one example's dictionary and absent from another's.
+  std::vector<std::vector<hdt::DataId>> constant_ids(num_examples);
+  for (size_t e = 0; e < num_examples; ++e) {
+    const hdt::Hdt& tree = *examples[e].tree;
+    constant_ids[e].reserve(constants->size());
+    for (const std::string& c : *constants) {
+      if (!tree.frozen()) {
+        constant_ids[e].push_back(kConstNoDict);
+      } else if (auto d = tree.LookupDataId(c)) {
+        constant_ids[e].push_back(*d);
+      } else {
+        constant_ids[e].push_back(kConstAbsent);
+      }
+    }
+  }
 
   std::vector<CmpOp> ops{CmpOp::kEq};
   if (opts.use_inequalities) {
@@ -325,7 +362,7 @@ Result<PredicateUniverse> ConstructPredicateUniverse(
             per_value[e].reserve((*ef.facts)[e].size());
             for (const TargetFacts& tf : (*ef.facts)[e]) {
               bool v = EvalNodeConst(op, tf, (*constants)[ci],
-                                     constant_nums[ci]);
+                                     constant_nums[ci], constant_ids[e][ci]);
               per_value[e].push_back(v);
               if (v) pattern.Set(bit);
               ++bit;

@@ -24,10 +24,14 @@ std::string KeyOf(int doc_index, const dsl::NodeTuple& nodes) {
 }
 
 Status Migrator::Learn(
-    const hdt::Hdt& example_tree,
+    hdt::Hdt& example_tree,
     const std::map<std::string, hdt::Table>& table_examples,
     const MigratorOptions& opts) {
   MITRA_RETURN_IF_ERROR(schema_.Validate());
+  // One index build per document, shared by every table's synthesis and
+  // by foreign-key learning. Non-compact: the caller may still read
+  // Node::children directly.
+  example_tree.FreezeIndex(/*compact=*/false);
   programs_.clear();
   fk_plans_.clear();
   example_tuples_.clear();
@@ -239,8 +243,9 @@ Result<hdt::Table> Migrator::BuildTable(
   return out;
 }
 
-Result<Database> Migrator::Execute(const hdt::Hdt& doc, int doc_index,
+Result<Database> Migrator::Execute(hdt::Hdt& doc, int doc_index,
                                    const MigratorOptions& opts) const {
+  doc.FreezeIndex(/*compact=*/false);
   Database db;
   // Cross-table memoization (§9): the per-table programs run over the
   // same document and share column extractions through one cache.
@@ -585,10 +590,11 @@ Status Migrator::LearnTableLadder(const TableDef& t, const hdt::Hdt& tree,
 }
 
 Result<MigrationReport> Migrator::LearnTolerant(
-    const hdt::Hdt& example_tree,
+    hdt::Hdt& example_tree,
     const std::map<std::string, hdt::Table>& table_examples,
     const MigratorOptions& opts) {
   MITRA_RETURN_IF_ERROR(schema_.Validate());
+  example_tree.FreezeIndex(/*compact=*/false);
   programs_.clear();
   fk_plans_.clear();
   example_tuples_.clear();
@@ -669,9 +675,10 @@ Result<MigrationReport> Migrator::LearnTolerant(
   return report;
 }
 
-Database Migrator::ExecuteTolerant(const std::vector<const hdt::Hdt*>& docs,
+Database Migrator::ExecuteTolerant(const std::vector<hdt::Hdt*>& docs,
                                    MigrationReport* report,
                                    const MigratorOptions& opts) const {
+  for (hdt::Hdt* doc : docs) doc->FreezeIndex(/*compact=*/false);
   MigrationReport scratch;
   if (report == nullptr) report = &scratch;
 
@@ -754,7 +761,7 @@ Database Migrator::ExecuteTolerant(const std::vector<const hdt::Hdt*>& docs,
   return db;
 }
 
-Result<Database> Migrator::ExecuteAll(const std::vector<const hdt::Hdt*>& docs,
+Result<Database> Migrator::ExecuteAll(const std::vector<hdt::Hdt*>& docs,
                                       const MigratorOptions& opts) const {
   Database merged;
   for (size_t d = 0; d < docs.size(); ++d) {

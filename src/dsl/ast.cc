@@ -152,10 +152,14 @@ std::string ToString(const Dnf& f, const std::vector<Atom>& atoms) {
     for (size_t li = 0; li < clause.size(); ++li) {
       if (li > 0) cs += " \xe2\x88\xa7 ";
       if (clause[li].negated) cs += "\xc2\xac";
-      cs += "(" + ToString(atoms[clause[li].atom]) + ")";
+      cs += '(';
+      cs += ToString(atoms[clause[li].atom]);
+      cs += ')';
     }
     if (f.clauses.size() > 1 && clause.size() > 1) {
-      out += "(" + cs + ")";
+      out += '(';
+      out += cs;
+      out += ')';
     } else {
       out += cs;
     }

@@ -10,13 +10,29 @@ std::vector<hdt::NodeId> EvalColumnFrom(
     const hdt::Hdt& tree, const ColumnExtractor& pi,
     const std::vector<hdt::NodeId>& start) {
   std::vector<hdt::NodeId> cur = start;
+  // Scratch reused across steps (swap-and-clear): the per-step allocation
+  // dominated profile on long extractors over large documents.
+  std::vector<hdt::NodeId> next;
+  const bool frozen = tree.frozen();
   for (const ColStep& st : pi.steps) {
-    std::vector<hdt::NodeId> next;
+    next.clear();
     auto tag = tree.LookupTag(st.tag);
     if (!tag) return {};  // tag absent from this tree: empty set
     switch (st.op) {
       case ColOp::kChildren:
-        for (hdt::NodeId n : cur) tree.ChildrenWithTag(n, *tag, &next);
+        if (frozen) {
+          size_t total = 0;
+          for (hdt::NodeId n : cur) {
+            total += tree.ChildrenWithTagSpan(n, *tag).size();
+          }
+          next.reserve(total);
+          for (hdt::NodeId n : cur) {
+            auto s = tree.ChildrenWithTagSpan(n, *tag);
+            next.insert(next.end(), s.begin(), s.end());
+          }
+        } else {
+          for (hdt::NodeId n : cur) tree.ChildrenWithTag(n, *tag, &next);
+        }
         break;
       case ColOp::kPChildren:
         for (hdt::NodeId n : cur) {
@@ -25,14 +41,26 @@ std::vector<hdt::NodeId> EvalColumnFrom(
         }
         break;
       case ColOp::kDescendants:
-        for (hdt::NodeId n : cur) tree.DescendantsWithTag(n, *tag, &next);
+        if (frozen) {
+          size_t total = 0;
+          for (hdt::NodeId n : cur) {
+            total += tree.DescendantsWithTagSpan(n, *tag).size();
+          }
+          next.reserve(total);
+          for (hdt::NodeId n : cur) {
+            auto s = tree.DescendantsWithTagSpan(n, *tag);
+            next.insert(next.end(), s.begin(), s.end());
+          }
+        } else {
+          for (hdt::NodeId n : cur) tree.DescendantsWithTag(n, *tag, &next);
+        }
         break;
     }
     // Set semantics: sort (document order) and dedup. Children of distinct
     // parents are distinct, but descendants of overlapping subtrees are not.
     std::sort(next.begin(), next.end());
     next.erase(std::unique(next.begin(), next.end()), next.end());
-    cur = std::move(next);
+    std::swap(cur, next);
     if (cur.empty()) break;
   }
   return cur;

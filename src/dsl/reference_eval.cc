@@ -20,7 +20,7 @@ const std::string& TagOf(const hdt::Hdt& t, hdt::NodeId id) {
 std::vector<hdt::NodeId> NamedChildren(const hdt::Hdt& t, hdt::NodeId id,
                                        const std::string& tag) {
   std::vector<hdt::NodeId> out;
-  for (hdt::NodeId c : t.node(id).children) {
+  for (hdt::NodeId c : t.Children(id)) {
     if (TagOf(t, c) == tag) out.push_back(c);
   }
   return out;
@@ -30,7 +30,7 @@ std::vector<hdt::NodeId> NamedChildren(const hdt::Hdt& t, hdt::NodeId id,
 hdt::NodeId NamedChildAt(const hdt::Hdt& t, hdt::NodeId id,
                          const std::string& tag, int32_t pos) {
   int32_t seen = 0;
-  for (hdt::NodeId c : t.node(id).children) {
+  for (hdt::NodeId c : t.Children(id)) {
     if (TagOf(t, c) == tag) {
       if (seen == pos) return c;
       ++seen;
@@ -47,7 +47,7 @@ void CollectDescendants(const hdt::Hdt& t, hdt::NodeId id,
   while (!stack.empty()) {
     hdt::NodeId cur = stack.back();
     stack.pop_back();
-    for (hdt::NodeId c : t.node(cur).children) {
+    for (hdt::NodeId c : t.Children(cur)) {
       if (TagOf(t, c) == tag) out->insert(c);
       stack.push_back(c);
     }
@@ -211,8 +211,8 @@ bool ReferenceEvalAtom(const hdt::Hdt& tree, const Atom& atom,
       ReferenceEvalNodeExtractor(tree, atom.rhs_path, t[atom.rhs_col]);
   if (n2 == hdt::kInvalidNode) return false;
 
-  bool leaf1 = tree.node(n1).children.empty();
-  bool leaf2 = tree.node(n2).children.empty();
+  bool leaf1 = tree.IsLeaf(n1);
+  bool leaf2 = tree.IsLeaf(n2);
   if (leaf1 && leaf2) {
     return CmpHolds(atom.op, CompareDataRef(tree.Data(n1), tree.Data(n2)));
   }

@@ -1,12 +1,18 @@
 #include "hdt/hdt.h"
 
+#include <algorithm>
 #include <cassert>
 #include <unordered_set>
+
+#include "common/strings.h"
 
 namespace mitra::hdt {
 
 TagId SymbolTable::Intern(std::string_view name) {
-  auto it = ids_.find(std::string(name));
+  // Heterogeneous probe: no temporary std::string on the hit path (which
+  // is nearly every call during parsing — documents have few distinct
+  // tags and millions of elements).
+  auto it = ids_.find(name);
   if (it != ids_.end()) return it->second;
   TagId id = static_cast<TagId>(names_.size());
   names_.emplace_back(name);
@@ -15,12 +21,13 @@ TagId SymbolTable::Intern(std::string_view name) {
 }
 
 std::optional<TagId> SymbolTable::Lookup(std::string_view name) const {
-  auto it = ids_.find(std::string(name));
+  auto it = ids_.find(name);
   if (it == ids_.end()) return std::nullopt;
   return it->second;
 }
 
 NodeId Hdt::NewNode(NodeId parent, std::string_view tag) {
+  Thaw();
   NodeId id = static_cast<NodeId>(nodes_.size());
   Node n;
   n.tag = tags_.Intern(tag);
@@ -71,19 +78,240 @@ NodeId Hdt::AddTextRun(NodeId parent, std::string_view data) {
 }
 
 void Hdt::SetLeafData(NodeId id, std::string_view data) {
+  Thaw();
   assert(nodes_[id].children.empty() && "only leaves may carry data");
   nodes_[id].data = std::string(data);
   nodes_[id].has_data = true;
 }
 
+void Hdt::FreezeIndex(bool compact) {
+  if (index_) {
+    if (compact && !compact_) {
+      // Upgrade in place: the index is already valid, just release the
+      // now-redundant per-node child vectors.
+      for (Node& n : nodes_) {
+        n.children.clear();
+        n.children.shrink_to_fit();
+      }
+      compact_ = true;
+    }
+    return;
+  }
+  auto ix = std::make_shared<FrozenIndex>();
+  const size_t n = nodes_.size();
+  const size_t num_tags = tags_.size();
+
+  // Preorder interval numbering, iterative DFS in child order (so ranks
+  // follow the exact sequence the legacy recursive walk visits).
+  ix->pre.assign(n, 0);
+  ix->pre_end.assign(n, 0);
+  ix->pre_to_node.assign(n, kInvalidNode);
+  if (n > 0) {
+    int32_t clock = 0;
+    std::vector<std::pair<NodeId, size_t>> stack;
+    stack.reserve(64);
+    ix->pre[0] = clock;
+    ix->pre_to_node[clock] = 0;
+    ++clock;
+    stack.emplace_back(0, 0);
+    while (!stack.empty()) {
+      auto& [nid, cursor] = stack.back();
+      const auto& ch = nodes_[nid].children;
+      if (cursor < ch.size()) {
+        NodeId c = ch[cursor++];
+        ix->pre[c] = clock;
+        ix->pre_to_node[clock] = c;
+        ++clock;
+        stack.emplace_back(c, 0);
+      } else {
+        ix->pre_end[nid] = clock;
+        stack.pop_back();
+      }
+    }
+    assert(static_cast<size_t>(clock) == n && "all nodes reachable");
+  }
+
+  // CSR child layout (document order).
+  ix->child_offsets.assign(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    ix->child_offsets[i + 1] =
+        ix->child_offsets[i] + static_cast<int32_t>(nodes_[i].children.size());
+  }
+  ix->child_flat.reserve(n > 0 ? n - 1 : 0);
+  for (size_t i = 0; i < n; ++i) {
+    ix->child_flat.insert(ix->child_flat.end(), nodes_[i].children.begin(),
+                          nodes_[i].children.end());
+  }
+
+  // Per-(parent, tag) slices: children regrouped by tag (stable, so the
+  // document order within each group — and thus pos order — is kept).
+  ix->group_offsets.assign(n + 1, 0);
+  ix->child_by_tag.reserve(ix->child_flat.size());
+  std::vector<NodeId> buf;
+  for (size_t i = 0; i < n; ++i) {
+    buf.assign(nodes_[i].children.begin(), nodes_[i].children.end());
+    std::stable_sort(buf.begin(), buf.end(), [&](NodeId a, NodeId b) {
+      return nodes_[a].tag < nodes_[b].tag;
+    });
+    for (size_t k = 0; k < buf.size();) {
+      TagId t = nodes_[buf[k]].tag;
+      FrozenIndex::TagGroup g;
+      g.tag = t;
+      g.begin = static_cast<int32_t>(ix->child_by_tag.size());
+      while (k < buf.size() && nodes_[buf[k]].tag == t) {
+        assert(nodes_[buf[k]].pos ==
+                   static_cast<int32_t>(ix->child_by_tag.size()) - g.begin &&
+               "pos equals rank within the (parent,tag) group");
+        ix->child_by_tag.push_back(buf[k]);
+        ++k;
+      }
+      g.end = static_cast<int32_t>(ix->child_by_tag.size());
+      ix->groups.push_back(g);
+    }
+    ix->group_offsets[i + 1] = static_cast<int32_t>(ix->groups.size());
+  }
+
+  // Per-tag posting lists in preorder-rank order: counting sort by tag,
+  // filled by walking ranks ascending — no comparison sort needed.
+  ix->posting_offsets.assign(num_tags + 1, 0);
+  for (const Node& nd : nodes_) ix->posting_offsets[nd.tag + 1]++;
+  for (size_t t = 0; t < num_tags; ++t) {
+    ix->posting_offsets[t + 1] += ix->posting_offsets[t];
+  }
+  ix->postings.assign(n, kInvalidNode);
+  ix->posting_pre.assign(n, 0);
+  {
+    std::vector<int32_t> cursor(ix->posting_offsets.begin(),
+                                ix->posting_offsets.end() - 1);
+    for (size_t r = 0; r < n; ++r) {
+      NodeId nd = ix->pre_to_node[r];
+      int32_t& c = cursor[nodes_[nd].tag];
+      ix->postings[c] = nd;
+      ix->posting_pre[c] = static_cast<int32_t>(r);
+      ++c;
+    }
+  }
+
+  // Leaf-data dictionary, in node-id first-seen order so dictionary order
+  // equals AllDataValues() order.
+  ix->data_id.assign(n, kInvalidData);
+  for (size_t i = 0; i < n; ++i) {
+    const Node& nd = nodes_[i];
+    if (!nd.has_data) continue;
+    auto it = ix->dict_ids.find(std::string_view(nd.data));
+    DataId d;
+    if (it != ix->dict_ids.end()) {
+      d = it->second;
+    } else {
+      d = static_cast<DataId>(ix->dict_values.size());
+      ix->dict_values.push_back(nd.data);
+      ix->dict_ids.emplace(nd.data, d);
+    }
+    ix->data_id[i] = d;
+  }
+  ix->dict_numbers.assign(ix->dict_values.size(), 0.0);
+  ix->dict_is_number.assign(ix->dict_values.size(), 0);
+  for (size_t d = 0; d < ix->dict_values.size(); ++d) {
+    if (auto num = ParseNumber(ix->dict_values[d])) {
+      ix->dict_numbers[d] = *num;
+      ix->dict_is_number[d] = 1;
+    }
+  }
+
+  // Vocabulary, precomputed in the legacy node-id iteration order so the
+  // DFA alphabet interning order (and hence synthesis output) is
+  // bit-identical frozen or not.
+  {
+    std::unordered_set<uint64_t> seen;
+    for (const Node& nd : nodes_) {
+      if (nd.parent == kInvalidNode) continue;
+      uint64_t key = (static_cast<uint64_t>(nd.tag) << 32) |
+                     static_cast<uint32_t>(nd.pos);
+      if (seen.insert(key).second) ix->tag_pos_pairs.emplace_back(nd.tag, nd.pos);
+    }
+  }
+
+  index_ = std::move(ix);
+  if (compact) {
+    for (Node& nd : nodes_) {
+      nd.children.clear();
+      nd.children.shrink_to_fit();
+    }
+    compact_ = true;
+  }
+}
+
+void Hdt::Thaw() {
+  if (!index_) return;
+  if (compact_) {
+    const FrozenIndex& ix = *index_;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      nodes_[i].children.assign(
+          ix.child_flat.begin() + ix.child_offsets[i],
+          ix.child_flat.begin() + ix.child_offsets[i + 1]);
+    }
+    compact_ = false;
+  }
+  index_.reset();
+}
+
+const FrozenIndex::TagGroup* Hdt::FindGroup(NodeId id, TagId tag) const {
+  const FrozenIndex& ix = *index_;
+  const FrozenIndex::TagGroup* first = ix.groups.data() + ix.group_offsets[id];
+  const FrozenIndex::TagGroup* last =
+      ix.groups.data() + ix.group_offsets[id + 1];
+  const FrozenIndex::TagGroup* it = std::lower_bound(
+      first, last, tag,
+      [](const FrozenIndex::TagGroup& g, TagId t) { return g.tag < t; });
+  if (it == last || it->tag != tag) return nullptr;
+  return it;
+}
+
+std::span<const NodeId> Hdt::ChildrenWithTagSpan(NodeId id, TagId tag) const {
+  const FrozenIndex::TagGroup* g = FindGroup(id, tag);
+  if (!g) return {};
+  return {index_->child_by_tag.data() + g->begin,
+          static_cast<size_t>(g->end - g->begin)};
+}
+
+std::span<const NodeId> Hdt::DescendantsWithTagSpan(NodeId id,
+                                                    TagId tag) const {
+  const FrozenIndex& ix = *index_;
+  if (tag < 0 || static_cast<size_t>(tag) + 1 >= ix.posting_offsets.size()) {
+    return {};
+  }
+  // Proper descendants of `id` are exactly the nodes with preorder rank in
+  // the open interval (pre[id], pre_end[id]); within tag `tag`'s posting
+  // list (sorted by rank) that is one contiguous subrange.
+  const int32_t lo = ix.pre[id] + 1;
+  const int32_t hi = ix.pre_end[id];
+  const int32_t* base = ix.posting_pre.data();
+  const int32_t* first = base + ix.posting_offsets[tag];
+  const int32_t* last = base + ix.posting_offsets[tag + 1];
+  const int32_t* b = std::lower_bound(first, last, lo);
+  const int32_t* e = std::lower_bound(b, last, hi);
+  return {ix.postings.data() + (b - base), static_cast<size_t>(e - b)};
+}
+
 void Hdt::ChildrenWithTag(NodeId id, TagId tag,
                           std::vector<NodeId>* out) const {
+  if (index_) {
+    auto s = ChildrenWithTagSpan(id, tag);
+    out->insert(out->end(), s.begin(), s.end());
+    return;
+  }
   for (NodeId c : nodes_[id].children) {
     if (nodes_[c].tag == tag) out->push_back(c);
   }
 }
 
 NodeId Hdt::ChildWithTagPos(NodeId id, TagId tag, int32_t pos) const {
+  if (index_) {
+    auto s = ChildrenWithTagSpan(id, tag);
+    // Within a group the k-th child has pos == k (checked at freeze).
+    if (pos < 0 || static_cast<size_t>(pos) >= s.size()) return kInvalidNode;
+    return s[pos];
+  }
   for (NodeId c : nodes_[id].children) {
     if (nodes_[c].tag == tag && nodes_[c].pos == pos) return c;
   }
@@ -92,6 +320,11 @@ NodeId Hdt::ChildWithTagPos(NodeId id, TagId tag, int32_t pos) const {
 
 void Hdt::DescendantsWithTag(NodeId id, TagId tag,
                              std::vector<NodeId>* out) const {
+  if (index_) {
+    auto s = DescendantsWithTagSpan(id, tag);
+    out->insert(out->end(), s.begin(), s.end());
+    return;
+  }
   // Iterative preorder DFS over proper descendants.
   std::vector<NodeId> stack(nodes_[id].children.rbegin(),
                             nodes_[id].children.rend());
@@ -102,6 +335,13 @@ void Hdt::DescendantsWithTag(NodeId id, TagId tag,
     const auto& ch = nodes_[cur].children;
     for (auto it = ch.rbegin(); it != ch.rend(); ++it) stack.push_back(*it);
   }
+}
+
+std::optional<DataId> Hdt::LookupDataId(std::string_view value) const {
+  if (!index_) return std::nullopt;
+  auto it = index_->dict_ids.find(value);
+  if (it == index_->dict_ids.end()) return std::nullopt;
+  return it->second;
 }
 
 int Hdt::Depth(NodeId id) const {
@@ -123,6 +363,7 @@ std::vector<TagId> Hdt::AllTags() const {
 }
 
 std::vector<std::pair<TagId, int32_t>> Hdt::AllTagPosPairs() const {
+  if (index_) return index_->tag_pos_pairs;
   std::vector<std::pair<TagId, int32_t>> out;
   std::unordered_set<uint64_t> seen;
   for (const Node& n : nodes_) {
@@ -135,6 +376,7 @@ std::vector<std::pair<TagId, int32_t>> Hdt::AllTagPosPairs() const {
 }
 
 std::vector<std::string> Hdt::AllDataValues() const {
+  if (index_) return index_->dict_values;
   std::vector<std::string> out;
   std::unordered_set<std::string> seen;
   for (const Node& n : nodes_) {
@@ -156,7 +398,7 @@ void DebugRec(const Hdt& t, NodeId id, int indent, std::string* out) {
     out->append("\"");
   }
   out->append("\n");
-  for (NodeId c : t.node(id).children) DebugRec(t, c, indent + 1, out);
+  for (NodeId c : t.Children(id)) DebugRec(t, c, indent + 1, out);
 }
 }  // namespace
 

@@ -2,7 +2,9 @@
 #define MITRA_HDT_HDT_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -18,6 +20,12 @@
 ///  - `tag`  — label of the node (element name / attribute name / JSON key),
 ///  - `pos`  — the node is the pos'th child with this tag under its parent,
 ///  - `data` — payload; only leaf nodes carry data, internal nodes are nil.
+///
+/// Trees are built mutable and may then be *frozen* (`FreezeIndex`), which
+/// attaches succinct acceleration structures: preorder interval numbering,
+/// a CSR child layout with per-(parent,tag) slices, per-tag posting lists,
+/// and a leaf-data dictionary. Navigation results are identical either way;
+/// frozen trees just answer faster and without per-query allocation.
 
 namespace mitra::hdt {
 
@@ -25,9 +33,21 @@ namespace mitra::hdt {
 using NodeId = int32_t;
 /// Interned tag identifier (valid within one Hdt).
 using TagId = int32_t;
+/// Interned leaf-data identifier (valid within one frozen Hdt).
+using DataId = int32_t;
 
 inline constexpr NodeId kInvalidNode = -1;
 inline constexpr TagId kInvalidTag = -1;
+inline constexpr DataId kInvalidData = -1;
+
+/// Transparent hasher so unordered_map<std::string, …> can be probed with a
+/// string_view without materialising a temporary std::string.
+struct StringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
 
 /// Interns tag strings to dense integer ids for fast comparisons.
 class SymbolTable {
@@ -43,7 +63,7 @@ class SymbolTable {
 
  private:
   std::vector<std::string> names_;
-  std::unordered_map<std::string, TagId> ids_;
+  std::unordered_map<std::string, TagId, StringHash, std::equal_to<>> ids_;
 };
 
 /// One HDT node. Stored by value in the tree's arena; refer to nodes by
@@ -68,7 +88,72 @@ struct Node {
   /// writer uses it to tell a text run apart from a real element that
   /// happens to be named `text`.
   bool is_text_run = false;
+  /// Child list while the tree is mutable. After FreezeIndex(compact=true)
+  /// the CSR layout is the sole child representation and this vector is
+  /// released; read children through Hdt::Children(), never directly,
+  /// unless you know the tree is unfrozen.
   std::vector<NodeId> children;
+};
+
+/// Immutable acceleration structures attached to a frozen Hdt. All vectors
+/// are indexed by NodeId (size N) unless noted otherwise.
+struct FrozenIndex {
+  // --- preorder interval numbering -------------------------------------
+  /// node → preorder rank (root = 0).
+  std::vector<int32_t> pre;
+  /// node → half-open end of its subtree interval: m is a *proper*
+  /// descendant of n iff pre[n] < pre[m] < pre_end[n].
+  std::vector<int32_t> pre_end;
+  /// preorder rank → node (inverse of `pre`).
+  std::vector<NodeId> pre_to_node;
+
+  // --- CSR child layout (document order) -------------------------------
+  /// node → offset into child_flat; size N+1.
+  std::vector<int32_t> child_offsets;
+  /// Children of all nodes, concatenated in document order.
+  std::vector<NodeId> child_flat;
+
+  // --- per-(parent, tag) child slices ----------------------------------
+  /// One contiguous run of same-tag children of one parent. `begin`/`end`
+  /// index into child_by_tag; within a group children appear in document
+  /// order, and the k-th entry has pos == k.
+  struct TagGroup {
+    TagId tag;
+    int32_t begin;
+    int32_t end;
+  };
+  /// node → offset into `groups`; size N+1. Groups of one parent are
+  /// sorted by tag, enabling binary search.
+  std::vector<int32_t> group_offsets;
+  std::vector<TagGroup> groups;
+  /// Children regrouped by (parent, tag); same length as child_flat.
+  std::vector<NodeId> child_by_tag;
+
+  // --- per-tag posting lists -------------------------------------------
+  /// tag → offset into postings; size num_tags+1.
+  std::vector<int32_t> posting_offsets;
+  /// All nodes with a given tag, sorted by preorder rank; so "descendants
+  /// of n with tag t" is the subrange of postings[t] whose pre rank lies
+  /// in (pre[n], pre_end[n]) — found by two binary searches — and the
+  /// subrange order equals the legacy DFS preorder emission order.
+  std::vector<NodeId> postings;
+  /// posting_pre[i] == pre[postings[i]] (aligned, for the binary search).
+  std::vector<int32_t> posting_pre;
+
+  // --- leaf-data dictionary --------------------------------------------
+  /// node → dictionary id of its data, or kInvalidData when the node
+  /// carries no data. Dictionary order is node-id first-seen order, which
+  /// equals AllDataValues() order.
+  std::vector<DataId> data_id;
+  std::vector<std::string> dict_values;
+  /// Aligned with dict_values: ParseNumber result, precomputed once.
+  std::vector<double> dict_numbers;
+  std::vector<uint8_t> dict_is_number;
+  std::unordered_map<std::string, DataId, StringHash, std::equal_to<>>
+      dict_ids;
+
+  // --- precomputed vocabulary (legacy iteration order) ------------------
+  std::vector<std::pair<TagId, int32_t>> tag_pos_pairs;
 };
 
 /// An arena-backed hierarchical data tree.
@@ -76,6 +161,11 @@ struct Node {
 /// Build with `AddRoot` / `AddChild`; query with the navigation helpers that
 /// mirror the DSL operators of Figure 6 (children / pchildren / descendants
 /// on the column side, parent / child on the node-extractor side).
+///
+/// Freeze contract: `FreezeIndex()` builds the FrozenIndex; any subsequent
+/// mutation (AddChild / SetLeafData / …) transparently thaws the tree
+/// (restoring per-node child vectors if they were compacted) and drops the
+/// index. Copying a frozen tree shares the immutable index.
 class Hdt {
  public:
   Hdt() = default;
@@ -108,6 +198,30 @@ class Hdt {
   /// True when the node encodes a mixed-content character-data run.
   bool IsTextRun(NodeId id) const { return nodes_[id].is_text_run; }
 
+  // --- freezing -----------------------------------------------------------
+
+  /// Builds the succinct index. Idempotent. With `compact` (the default)
+  /// the per-node child vectors are released — the CSR layout becomes the
+  /// sole child representation — reclaiming ~24 bytes + heap per node;
+  /// pass compact=false when other code still reads Node::children
+  /// directly on this tree. FreezeIndex(true) on an already-frozen
+  /// non-compact tree upgrades it in place.
+  void FreezeIndex(bool compact = true);
+
+  /// True when a FrozenIndex is attached.
+  bool frozen() const { return index_ != nullptr; }
+
+  /// True when the per-node child vectors were released (frozen compact).
+  bool compacted() const { return compact_; }
+
+  /// Drops the index and, if it was compacted, restores the per-node child
+  /// vectors. Called automatically by mutating operations.
+  void Thaw();
+
+  /// The attached index, or nullptr. Exposed for white-box tests; normal
+  /// consumers should use the navigation API below.
+  const FrozenIndex* index() const { return index_.get(); }
+
   // --- basic accessors ----------------------------------------------------
 
   bool empty() const { return nodes_.empty(); }
@@ -123,15 +237,54 @@ class Hdt {
   }
   const SymbolTable& tags() const { return tags_; }
 
+  /// Children of `id` in document order, valid frozen or not.
+  std::span<const NodeId> Children(NodeId id) const {
+    if (compact_) {
+      const FrozenIndex* ix = index_.get();
+      return {ix->child_flat.data() + ix->child_offsets[id],
+              static_cast<size_t>(ix->child_offsets[id + 1] -
+                                  ix->child_offsets[id])};
+    }
+    const auto& ch = nodes_[id].children;
+    return {ch.data(), ch.size()};
+  }
+  size_t NumChildren(NodeId id) const {
+    if (compact_) {
+      const FrozenIndex* ix = index_.get();
+      return static_cast<size_t>(ix->child_offsets[id + 1] -
+                                 ix->child_offsets[id]);
+    }
+    return nodes_[id].children.size();
+  }
+
   /// True if the node has no children. Note a leaf may still have no data
   /// (e.g. an empty XML element).
-  bool IsLeaf(NodeId id) const { return nodes_[id].children.empty(); }
+  bool IsLeaf(NodeId id) const { return NumChildren(id) == 0; }
   /// Data of a node, or empty string for internal / data-less nodes.
   std::string_view Data(NodeId id) const {
     const Node& n = nodes_[id];
     return n.has_data ? std::string_view(n.data) : std::string_view();
   }
   bool HasData(NodeId id) const { return nodes_[id].has_data; }
+
+  // --- dictionary accessors (meaningful only when frozen) -----------------
+
+  /// Dictionary id of the node's data, or kInvalidData when the node has
+  /// no data or the tree is not frozen.
+  DataId GetDataId(NodeId id) const {
+    const FrozenIndex* ix = index_.get();
+    return ix ? ix->data_id[id] : kInvalidData;
+  }
+  /// Looks up a value in the frozen data dictionary. nullopt when the tree
+  /// is unfrozen OR the value is not a leaf value of this tree — callers
+  /// that need to distinguish the two should check frozen() first.
+  std::optional<DataId> LookupDataId(std::string_view value) const;
+  size_t DictSize() const { return index_ ? index_->dict_values.size() : 0; }
+  const std::string& DictValue(DataId id) const {
+    return index_->dict_values[id];
+  }
+  bool DictIsNumber(DataId id) const { return index_->dict_is_number[id]; }
+  double DictNumber(DataId id) const { return index_->dict_numbers[id]; }
 
   // --- navigation (mirrors DSL operator semantics, Fig. 7) ----------------
 
@@ -143,6 +296,13 @@ class Hdt {
   void DescendantsWithTag(NodeId id, TagId tag, std::vector<NodeId>* out) const;
   /// Parent, or kInvalidNode for the root.
   NodeId Parent(NodeId id) const { return nodes_[id].parent; }
+
+  /// Allocation-free variants, valid only while frozen: spans into the
+  /// index arrays. ChildrenWithTagSpan is the (parent,tag) CSR slice in
+  /// document order; DescendantsWithTagSpan is the posting-list subrange
+  /// in preorder — both identical in content and order to the vector APIs.
+  std::span<const NodeId> ChildrenWithTagSpan(NodeId id, TagId tag) const;
+  std::span<const NodeId> DescendantsWithTagSpan(NodeId id, TagId tag) const;
 
   /// Depth of the node (root = 0).
   int Depth(NodeId id) const;
@@ -165,13 +325,21 @@ class Hdt {
 
  private:
   NodeId NewNode(NodeId parent, std::string_view tag);
+  /// Locates the (id, tag) group, or nullptr. Requires frozen().
+  const FrozenIndex::TagGroup* FindGroup(NodeId id, TagId tag) const;
 
   std::vector<Node> nodes_;
   SymbolTable tags_;
   /// (parent, tag) → number of children with that tag so far; makes pos
   /// assignment O(1) instead of a sibling scan (which is quadratic for
   /// high-fanout parents such as the root of a million-element document).
+  /// Survives freeze/thaw so building can resume after a thaw.
   std::unordered_map<uint64_t, int32_t> pos_counters_;
+  /// Shared so copies of a frozen tree share the immutable index.
+  std::shared_ptr<const FrozenIndex> index_;
+  /// Whether *this tree's* child vectors were released (the index itself
+  /// is compaction-agnostic — a copy may share it without being compact).
+  bool compact_ = false;
 };
 
 }  // namespace mitra::hdt

@@ -85,7 +85,7 @@ struct Writer {
       return Status::InvalidArgument("tree nesting too deep to serialize (>" +
                                      std::to_string(kMaxWriteDepth) + ")");
     }
-    const auto& children = t.node(id).children;
+    const std::span<const hdt::NodeId> children = t.Children(id);
     if (children.empty()) {
       out.append("{}");
       return Status();

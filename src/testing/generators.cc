@@ -75,7 +75,7 @@ void GrowChildren(Rng* rng, const DocGenOptions& opts, hdt::Hdt* t,
         // children (a lone run would collapse into element data) and the
         // preceding child is not itself a run (adjacent character data
         // merges into one run on re-parse).
-        const auto& siblings = t->node(parent).children;
+        const auto siblings = t->Children(parent);
         if (!siblings.empty() && !t->IsTextRun(siblings.back())) {
           t->AddTextRun(parent, PickData(rng, opts.tricky_data));
           --*budget;
@@ -93,7 +93,7 @@ void GrowChildren(Rng* rng, const DocGenOptions& opts, hdt::Hdt* t,
       for (int attempt = 0; attempt < 8 && key == nullptr; ++attempt) {
         const char* cand = PickTag(rng);
         bool used_before_tail = false;
-        const auto& kids = t->node(parent).children;
+        const auto kids = t->Children(parent);
         for (size_t s = 0; s + 1 < kids.size(); ++s) {
           if (t->TagName(t->node(kids[s]).tag) == cand) {
             used_before_tail = true;
@@ -141,7 +141,7 @@ hdt::Hdt EnlargeDocument(Rng* rng, const hdt::Hdt& tree, int extra_subtrees,
   // grown document exercises the same tags at the same depths with fresh
   // values (numeric data is kept: re-numbering it would change numeric
   // predicate semantics in uninteresting ways).
-  const auto& top = tree.node(tree.root()).children;
+  const auto top = tree.Children(tree.root());
   if (!top.empty()) {
     for (int i = 0; i < extra_subtrees; ++i) {
       hdt::NodeId pick = top[rng->Below(static_cast<uint32_t>(top.size()))];

@@ -30,7 +30,7 @@ void CopyRec(const hdt::Hdt& src, hdt::NodeId src_node, hdt::Hdt* dst,
   } else {
     copy = dst->AddChild(dst_parent, tag);
   }
-  for (hdt::NodeId c : n.children) {
+  for (hdt::NodeId c : src.Children(src_node)) {
     CopyRec(src, c, dst, copy, skip, mutate_suffix, preserve);
   }
 }
@@ -43,7 +43,7 @@ hdt::Hdt CopyMaybeSkipping(const hdt::Hdt& src, hdt::NodeId skip) {
     out.SetLeafData(root, src.Data(src.root()));
     return out;
   }
-  for (hdt::NodeId c : src.node(src.root()).children) {
+  for (hdt::NodeId c : src.Children(src.root())) {
     CopyRec(src, c, &out, root, skip, "", nullptr);
   }
   return out;

@@ -103,7 +103,7 @@ void CopySubtree(const hdt::Hdt& src, hdt::NodeId from, hdt::Hdt* dst,
           ? dst->AddChild(parent, src.NodeTagName(from),
                           MutateValue(ctx, src.Data(from)))
           : dst->AddChild(parent, src.NodeTagName(from));
-  for (hdt::NodeId c : src.node(from).children) {
+  for (hdt::NodeId c : src.Children(from)) {
     CopySubtree(src, c, dst, copy, ctx);
   }
 }
@@ -125,7 +125,7 @@ hdt::Hdt ReplicateDocument(const hdt::Hdt& tree, int factor,
                     mutate_strings ? "#" + std::to_string(k) : ""};
     // Copy 0 keeps original values so the training rows stay present.
     if (k == 0) ctx.mutate = false;
-    for (hdt::NodeId c : tree.node(tree.root()).children) {
+    for (hdt::NodeId c : tree.Children(tree.root())) {
       CopySubtree(tree, c, &out, root, ctx);
     }
   }

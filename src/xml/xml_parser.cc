@@ -249,8 +249,7 @@ class Parser {
     }
 
     flush_text();
-    if (!saw_child_element && text_runs.size() == 1 &&
-        tree->node(node).children.empty()) {
+    if (!saw_child_element && text_runs.size() == 1 && tree->IsLeaf(node)) {
       // Pure text content: store as the element's own data (Fig. 4a).
       tree->SetLeafData(node, text_runs[0]);
     } else {

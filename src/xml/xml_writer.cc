@@ -38,7 +38,8 @@ Status WriteNode(const hdt::Hdt& t, hdt::NodeId id, const WriteOptions& opts,
   out->append(tag);
   // Attribute-encoded children render as real attributes.
   size_t non_attr_children = 0;
-  for (hdt::NodeId c : n.children) {
+  const std::span<const hdt::NodeId> children = t.Children(id);
+  for (hdt::NodeId c : children) {
     if (t.IsAttribute(c)) {
       out->push_back(' ');
       out->append(t.NodeTagName(c));
@@ -49,7 +50,7 @@ Status WriteNode(const hdt::Hdt& t, hdt::NodeId id, const WriteOptions& opts,
       ++non_attr_children;
     }
   }
-  if (non_attr_children == 0 && !n.children.empty()) {
+  if (non_attr_children == 0 && !children.empty()) {
     if (n.has_data) {
       out->push_back('>');
       out->append(EscapeText(n.data));
@@ -62,7 +63,7 @@ Status WriteNode(const hdt::Hdt& t, hdt::NodeId id, const WriteOptions& opts,
     newline();
     return Status();
   }
-  if (n.children.empty()) {
+  if (children.empty()) {
     if (n.has_data) {
       out->push_back('>');
       out->append(EscapeText(n.data));
@@ -77,7 +78,7 @@ Status WriteNode(const hdt::Hdt& t, hdt::NodeId id, const WriteOptions& opts,
   }
   out->push_back('>');
   newline();
-  for (hdt::NodeId c : n.children) {
+  for (hdt::NodeId c : children) {
     if (!t.IsAttribute(c)) {
       MITRA_RETURN_IF_ERROR(WriteNode(t, c, opts, depth + 1, out));
     }

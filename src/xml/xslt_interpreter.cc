@@ -356,13 +356,13 @@ class XPath {
   std::string NodeString(hdt::NodeId n) const {
     if (doc_.HasData(n)) return std::string(doc_.Data(n));
     std::string out;
-    std::vector<hdt::NodeId> stack(doc_.node(n).children.rbegin(),
-                                   doc_.node(n).children.rend());
+    const auto top = doc_.Children(n);
+    std::vector<hdt::NodeId> stack(top.rbegin(), top.rend());
     while (!stack.empty()) {
       hdt::NodeId cur = stack.back();
       stack.pop_back();
       if (doc_.HasData(cur)) out += std::string(doc_.Data(cur));
-      const auto& ch = doc_.node(cur).children;
+      const auto ch = doc_.Children(cur);
       for (auto it = ch.rbegin(); it != ch.rend(); ++it) stack.push_back(*it);
     }
     return out;
@@ -444,7 +444,7 @@ class Interpreter {
   }
 
   Status Walk(hdt::NodeId el, VarEnv* vars) {
-    for (hdt::NodeId child : sheet_.node(el).children) {
+    for (hdt::NodeId child : sheet_.Children(el)) {
       const std::string& tag = sheet_.NodeTagName(child);
       if (tag == "xsl:for-each") {
         std::string select = Attr(child, "select");
@@ -473,7 +473,7 @@ class Interpreter {
         }
       } else if (tag == "row") {
         hdt::Row row;
-        for (hdt::NodeId col : sheet_.node(child).children) {
+        for (hdt::NodeId col : sheet_.Children(child)) {
           if (sheet_.NodeTagName(col) != "col") continue;
           hdt::NodeId vo = FindByTag(col, "xsl:value-of");
           if (vo == hdt::kInvalidNode) {

@@ -170,6 +170,7 @@ int Synth(const std::map<std::string, std::string>& flags) {
 
   auto tree = ParseDoc(doc_it->second);
   if (!tree.ok()) return Fail(tree.status());
+  tree->FreezeIndex();
   auto table = LoadCsvTable(table_it->second);
   if (!table.ok()) return Fail(table.status());
 
@@ -219,6 +220,9 @@ int Apply(const std::map<std::string, std::string>& flags) {
   }
   auto tree = ParseDoc(doc_it->second);
   if (!tree.ok()) return Fail(tree.status());
+  // The apply path is the learn-small/execute-huge hot side: the frozen
+  // index (compact) turns descendant scans into posting-list slices.
+  tree->FreezeIndex();
   const int threads_flag = ThreadsFlag(flags);
   const unsigned threads =
       threads_flag == 0
@@ -280,6 +284,7 @@ int Migrate(const std::map<std::string, std::string>& flags) {
 
   auto tree = ParseDoc(doc_it->second);
   if (!tree.ok()) return Fail(tree.status());
+  tree->FreezeIndex();
 
   auto specs = ParseTablesFlag(tables_it->second);
   if (!specs.ok()) return Fail(specs.status());
@@ -327,8 +332,9 @@ int Migrate(const std::map<std::string, std::string>& flags) {
     auto parsed = ParseDoc(target_it->second);
     if (!parsed.ok()) return Fail(parsed.status());
     target.emplace(std::move(*parsed));
+    target->FreezeIndex();
   }
-  const hdt::Hdt* doc = target ? &*target : &*tree;
+  hdt::Hdt* doc = target ? &*target : &*tree;
   db::Database out = migrator.ExecuteTolerant({doc}, &*report, mopts);
 
   std::string outdir = ".";
