@@ -20,6 +20,7 @@
 #include "core/executor.h"
 #include "dsl/ast.h"
 #include "hdt/hdt.h"
+#include "obs/metrics.h"
 #include "workload/datasets.h"
 #include "xml/xml_parser.h"
 
@@ -222,6 +223,8 @@ int Run(int argc, char** argv) {
           .Int("max_elements", max_elements)
           .Int("reps", reps)
           .Raw("cases", bench::JsonArray(cases))
+          .Raw("metrics", obs::MetricsJson(obs::SnapshotMetrics(),
+                                           /*indent=*/false))
           .Build();
   bench::WriteFileOrWarn(args.Str("json", "BENCH_exec_index.json"),
                          json + "\n");

@@ -25,6 +25,7 @@
 #include "core/executor.h"
 #include "core/synthesizer.h"
 #include "json/json_parser.h"
+#include "obs/metrics.h"
 #include "workload/corpus.h"
 #include "workload/docgen.h"
 #include "xml/xml_parser.h"
@@ -250,6 +251,8 @@ int Run(int argc, char** argv) {
           .Num("synthesis_speedup", speedup)
           .Raw("synthesis", bench::JsonArray(report.synthesis_cases))
           .Raw("execution", bench::JsonArray(report.execution_cases))
+          .Raw("metrics", obs::MetricsJson(obs::SnapshotMetrics(),
+                                           /*indent=*/false))
           .Build();
   bench::WriteFileOrWarn(args.Str("json", "BENCH_perf_scaling.json"),
                          json + "\n");

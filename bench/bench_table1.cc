@@ -14,6 +14,7 @@
 
 #include "bench/bench_util.h"
 #include "core/synthesizer.h"
+#include "obs/metrics.h"
 #include "json/js_codegen.h"
 #include "json/json_parser.h"
 #include "workload/corpus.h"
@@ -183,6 +184,24 @@ int Run(int argc, char** argv) {
       "\nShape checks: solved %d/%d (paper: 92/98); per-bucket solved "
       "counts match Table 1 by construction of the corpus.\n",
       overall.solved, overall.total);
+
+  // --json FILE: machine-readable summary with the run's observability
+  // counters embedded, so a CI archive of BENCH_table1.json carries the
+  // search-space numbers (candidates enumerated, DFA sizes, memo hits)
+  // alongside the wall-clock ones.
+  std::string json_path = args.Str("json", "");
+  if (!json_path.empty()) {
+    bench::Json j;
+    j.Str("bench", "table1")
+        .Int("tasks_total", overall.total)
+        .Int("tasks_solved", overall.solved)
+        .Num("median_synth_seconds", bench::MedianOf(overall.synth_times))
+        .Num("avg_synth_seconds", bench::AvgOf(overall.synth_times))
+        .Int("threads", num_threads)
+        .Raw("metrics", obs::MetricsJson(obs::SnapshotMetrics(),
+                                         /*indent=*/false));
+    bench::WriteFileOrWarn(json_path, j.Build() + "\n");
+  }
   return 0;
 }
 

@@ -3,10 +3,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <numeric>
 #include <string>
 #include <vector>
+
+#include "common/fs.h"
+#include "common/status.h"
 
 /// \file bench_util.h
 /// Small shared helpers for the table-reproduction benchmark binaries.
@@ -91,6 +95,8 @@ class Json {
   }
 
   Json& Num(const std::string& key, double v) {
+    // NaN/Inf are not valid JSON; "null" keeps the report parseable.
+    if (!std::isfinite(v)) return Raw(key, "null");
     char buf[40];
     std::snprintf(buf, sizeof(buf), "%.6g", v);
     return Raw(key, buf);
@@ -121,16 +127,17 @@ inline std::string JsonArray(const std::vector<std::string>& items) {
   return out + "]";
 }
 
-/// Writes `content` to `path`; warns on stderr instead of failing the run.
+/// Writes `content` to `path` through the common::FileSystem seam (so
+/// fault-injecting filesystems apply); warns on stderr instead of failing
+/// the run.
 inline void WriteFileOrWarn(const std::string& path,
                             const std::string& content) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+  Status s = common::GetFileSystem()->WriteFile(path, content);
+  if (!s.ok()) {
+    std::fprintf(stderr, "warning: cannot write %s: %s\n", path.c_str(),
+                 s.ToString().c_str());
     return;
   }
-  std::fwrite(content.data(), 1, content.size(), f);
-  std::fclose(f);
   std::fprintf(stderr, "wrote %s\n", path.c_str());
 }
 

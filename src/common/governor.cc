@@ -2,11 +2,19 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace mitra::common {
 
 namespace {
 
 std::atomic<FaultProbe*> g_fault_probe{nullptr};
+
+/// Per-site charge counters, surfaced as gov/check/<site> etc. The caches
+/// key on the site pointer (always a literal), so the hot path adds ~2 ns
+/// to Check/Charge.
+MITRA_SITE_COUNTERS(g_check_sites, "gov/check/");
+MITRA_SITE_COUNTERS(g_charge_sites, "gov/charge/");
 
 /// Saturating add into a relaxed atomic counter.
 void SaturatingAdd(std::atomic<std::uint64_t>* counter, std::uint64_t n) {
@@ -97,6 +105,7 @@ Status Governor::Exhausted(const char* what, const char* site) const {
 
 Status Governor::Check(const char* site) const {
   checks_.fetch_add(1, std::memory_order_relaxed);
+  MITRA_SITE_COUNT(g_check_sites, site, 1);
   if (FaultProbe* probe = g_fault_probe.load(std::memory_order_relaxed)) {
     Status s = probe->OnProbe(site);
     if (!s.ok()) {
@@ -116,6 +125,7 @@ Status Governor::Check(const char* site) const {
 
 Status Governor::ChargeStates(std::uint64_t n, const char* site) {
   MITRA_RETURN_IF_ERROR(Check(site));
+  MITRA_SITE_COUNT(g_charge_sites, site, n);
   SaturatingAdd(&states_, n);
   if (limits_.max_states != 0 &&
       states_.load(std::memory_order_relaxed) > limits_.max_states) {
@@ -126,6 +136,7 @@ Status Governor::ChargeStates(std::uint64_t n, const char* site) {
 
 Status Governor::ChargeRows(std::uint64_t n, const char* site) {
   MITRA_RETURN_IF_ERROR(Check(site));
+  MITRA_SITE_COUNT(g_charge_sites, site, n);
   SaturatingAdd(&rows_, n);
   if (limits_.max_rows != 0 &&
       rows_.load(std::memory_order_relaxed) > limits_.max_rows) {
@@ -136,6 +147,7 @@ Status Governor::ChargeRows(std::uint64_t n, const char* site) {
 
 Status Governor::ChargeBytes(std::uint64_t n, const char* site) {
   MITRA_RETURN_IF_ERROR(Check(site));
+  MITRA_SITE_COUNT(g_charge_sites, site, n);
   SaturatingAdd(&bytes_, n);
   if (limits_.max_memory_bytes != 0 &&
       bytes_.load(std::memory_order_relaxed) > limits_.max_memory_bytes) {

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/governor.h"
+#include "obs/obs.h"
 
 namespace mitra::common {
 
@@ -44,6 +45,8 @@ void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    MITRA_COUNT("pool/tasks_submitted", 1);
+    MITRA_GAUGE_SET("pool/queue_depth", queue_.size());
   }
   cv_.notify_one();
 }
@@ -56,7 +59,17 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (!stopping_ && queue_.empty()) {
+#if MITRA_OBS
+        // Blocking wait: the time between going idle and claiming the
+        // next task is the pool's scheduling latency.
+        std::uint64_t wait_start = obs::NowNs();
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        MITRA_COUNT("pool/worker_wait_ns", obs::NowNs() - wait_start);
+#else
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+#endif
+      }
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -144,8 +157,11 @@ Status ParallelForStatus(ThreadPool* pool, size_t n,
                          const std::function<Status(size_t)>& body,
                          CancelToken* token) {
   if (n == 0) return Status::OK();
+  MITRA_COUNT("pool/parallel_for/calls", 1);
+  MITRA_COUNT("pool/parallel_for/items", n);
   if (pool == nullptr || pool->size() <= 1 || n == 1 ||
       pool->OnWorkerThread()) {
+    MITRA_COUNT("pool/parallel_for/inline", 1);
     return SequentialForStatus(n, body, token);
   }
 

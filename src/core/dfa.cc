@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "common/strings.h"
+#include "obs/obs.h"
 
 namespace mitra::core {
 
@@ -87,6 +88,7 @@ bool CoversTargets(const hdt::Hdt& tree, const std::vector<hdt::NodeId>& s,
 Result<Dfa> ConstructColumnDfa(const hdt::Hdt& tree,
                                const std::vector<std::string>& target_values,
                                ColSymbolPool* pool, const DfaOptions& opts) {
+  MITRA_SPAN(span, "dfa/construct");
   if (tree.empty()) {
     return Status::InvalidArgument("cannot build a DFA over an empty tree");
   }
@@ -163,10 +165,14 @@ Result<Dfa> ConstructColumnDfa(const hdt::Hdt& tree,
       dfa.delta[sid].emplace(sym.id, it->second);
     }
   }
+  MITRA_COUNT("dfa/construct/calls", 1);
+  MITRA_COUNT("dfa/construct/states", dfa.NumStates());
+  MITRA_COUNT("dfa/construct/transitions", dfa.NumTransitions());
   return dfa;
 }
 
 Result<Dfa> IntersectDfa(const Dfa& a, const Dfa& b, const DfaOptions& opts) {
+  MITRA_SPAN(span, "dfa/intersect");
   Dfa out;
   std::map<std::pair<int, int>, int> ids;
   std::deque<std::pair<int, int>> worklist;
@@ -214,6 +220,9 @@ Result<Dfa> IntersectDfa(const Dfa& a, const Dfa& b, const DfaOptions& opts) {
       out.delta[sid].emplace(sym, nid);
     }
   }
+  MITRA_COUNT("dfa/intersect/calls", 1);
+  MITRA_COUNT("dfa/intersect/states", out.NumStates());
+  MITRA_COUNT("dfa/intersect/transitions", out.NumTransitions());
   return out;
 }
 
@@ -268,6 +277,8 @@ std::vector<dsl::ColumnExtractor> EnumerateAcceptedPrograms(
       queue.push_back(std::move(next));
     }
   }
+  MITRA_COUNT("dfa/enumerate/expansions", expansions);
+  MITRA_COUNT("dfa/enumerate/programs", out.size());
   return out;
 }
 

@@ -52,6 +52,11 @@ struct Dfa {
   std::vector<bool> accepting;
 
   size_t NumStates() const { return delta.size(); }
+  size_t NumTransitions() const {
+    size_t n = 0;
+    for (const auto& d : delta) n += d.size();
+    return n;
+  }
 };
 
 struct DfaOptions {

@@ -9,6 +9,7 @@
 
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "obs/obs.h"
 
 namespace mitra::core {
 
@@ -90,8 +91,10 @@ class JoinIndex {
 
   void Add(const hdt::Hdt& tree, hdt::NodeId key_node, hdt::NodeId value) {
     if (frozen_) {
+      MITRA_COUNT("exec/join/frozen_keys", 1);
       by_id_[FrozenJoinKey(tree, key_node)].push_back(value);
     } else {
+      MITRA_COUNT("exec/join/string_keys", 1);
       by_string_[JoinKey(tree, key_node)].push_back(value);
     }
   }
@@ -136,8 +139,12 @@ const std::vector<hdt::NodeId>* ColumnCache::Lookup(
     const dsl::ColumnExtractor& pi) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(dsl::ToString(pi));
-  if (it == cache_.end()) return nullptr;
+  if (it == cache_.end()) {
+    MITRA_COUNT("exec/column_cache/misses", 1);
+    return nullptr;
+  }
   ++hits_;
+  MITRA_COUNT("exec/column_cache/hits", 1);
   return &it->second;
 }
 
@@ -248,6 +255,7 @@ void OptimizedExecutor::PlanClause(const std::vector<Literal>& clause) {
 
 Result<std::vector<dsl::NodeTuple>> OptimizedExecutor::ExecuteNodes(
     const hdt::Hdt& tree, const ExecuteOptions& opts) const {
+  MITRA_SPAN(span, "exec/execute_nodes");
   const size_t k = program_.columns.size();
   if (k > dsl::kMaxEvalColumns) {
     return Status::ResourceExhausted(
@@ -385,6 +393,9 @@ Result<std::vector<dsl::NodeTuple>> OptimizedExecutor::ExecuteNodes(
       dsl::NodeTuple tuple(k, hdt::kInvalidNode);
       bool stopped = false;
       uint64_t iters = 0;
+      // Candidate-loop iterations across all levels; accumulated locally
+      // and flushed once per range so the loop nest pays no atomic per row.
+      uint64_t scanned = 0;
       std::function<void(size_t)> rec = [&](size_t level) {
         if (stopped) return;
         if (opts.governor != nullptr && (++iters & 0xFFF) == 0) {
@@ -421,6 +432,7 @@ Result<std::vector<dsl::NodeTuple>> OptimizedExecutor::ExecuteNodes(
         const size_t begin = level == 0 ? first : 0;
         const size_t end = level == 0 ? last : cands->size();
         for (size_t ci = begin; ci < end; ++ci) {
+          ++scanned;
           tuple[static_cast<size_t>(lp.column)] = (*cands)[ci];
           bool pass = true;
           for (int li : lp.check_literals) {
@@ -438,6 +450,8 @@ Result<std::vector<dsl::NodeTuple>> OptimizedExecutor::ExecuteNodes(
         tuple[static_cast<size_t>(lp.column)] = hdt::kInvalidNode;
       };
       rec(0);
+      MITRA_COUNT("exec/rows/scanned", scanned);
+      (void)scanned;  // the no-op build compiles the flush away
       return !stopped;
     };
 
@@ -469,6 +483,7 @@ Result<std::vector<dsl::NodeTuple>> OptimizedExecutor::ExecuteNodes(
             return true;
           },
           &gov_status);
+      MITRA_COUNT("exec/rows/emitted", emitted);
       if (!gov_status.ok()) return gov_status;
       return overflow;
     };
@@ -540,6 +555,8 @@ Result<std::vector<dsl::NodeTuple>> OptimizedExecutor::ExecuteNodes(
         }
       }
     }
+    MITRA_COUNT("exec/rows/emitted", emitted);
+    (void)emitted;
   }
   return out;
 }

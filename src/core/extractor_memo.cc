@@ -1,10 +1,12 @@
 #include "core/extractor_memo.h"
 
+#include <chrono>
 #include <unordered_set>
 #include <utility>
 
 #include "common/strings.h"
 #include "dsl/eval.h"
+#include "obs/obs.h"
 
 namespace mitra::core {
 
@@ -48,6 +50,7 @@ std::shared_ptr<const T> ExtractorMemoCache::GetOrCompute(
   }
   if (owner) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    MITRA_COUNT("memo/extractor/misses", 1);
     try {
       promise.set_value(std::make_shared<const T>(compute()));
     } catch (...) {
@@ -57,6 +60,15 @@ std::shared_ptr<const T> ExtractorMemoCache::GetOrCompute(
     }
   } else {
     hits_.fetch_add(1, std::memory_order_relaxed);
+    MITRA_COUNT("memo/extractor/hits", 1);
+#if MITRA_OBS
+    // Single-flight collision: another thread owns this key and has not
+    // published the value yet, so this requester will block on the future.
+    if (future.wait_for(std::chrono::seconds(0)) !=
+        std::future_status::ready) {
+      MITRA_COUNT("memo/extractor/collisions", 1);
+    }
+#endif
   }
   return future.get();
 }

@@ -9,6 +9,7 @@
 
 #include "common/strings.h"
 #include "core/extractor_memo.h"
+#include "obs/obs.h"
 
 namespace mitra::core {
 
@@ -169,6 +170,7 @@ Result<PredicateUniverse> ConstructPredicateUniverse(
     const Examples& examples, const std::vector<dsl::ColumnExtractor>& psi,
     const std::vector<std::vector<dsl::NodeTuple>>& rows_per_example,
     const PredicateUniverseOptions& opts) {
+  MITRA_SPAN(span, "predicate/universe");
   const size_t k = psi.size();
   const size_t num_examples = examples.size();
   if (rows_per_example.size() != num_examples) {
@@ -300,6 +302,7 @@ Result<PredicateUniverse> ConstructPredicateUniverse(
   // EvalNodeConst. Constants are pooled across examples, so a value can be
   // present in one example's dictionary and absent from another's.
   std::vector<std::vector<hdt::DataId>> constant_ids(num_examples);
+  std::uint64_t dict_fastpath = 0;
   for (size_t e = 0; e < num_examples; ++e) {
     const hdt::Hdt& tree = *examples[e].tree;
     constant_ids[e].reserve(constants->size());
@@ -308,11 +311,15 @@ Result<PredicateUniverse> ConstructPredicateUniverse(
         constant_ids[e].push_back(kConstNoDict);
       } else if (auto d = tree.LookupDataId(c)) {
         constant_ids[e].push_back(*d);
+        ++dict_fastpath;
       } else {
         constant_ids[e].push_back(kConstAbsent);
       }
     }
   }
+  // Zero whenever every example tree is unfrozen (the id fast path only
+  // exists on frozen dictionaries) — asserted by metrics_invariant_test.
+  MITRA_COUNT("predicate/universe/dict_fastpath", dict_fastpath);
 
   std::vector<CmpOp> ops{CmpOp::kEq};
   if (opts.use_inequalities) {
@@ -354,6 +361,7 @@ Result<PredicateUniverse> ConstructPredicateUniverse(
       for (size_t ci = 0; ci < constants->size(); ++ci) {
         for (CmpOp op : ops) {
           if (collector.Full()) break;
+          MITRA_COUNT("predicate/universe/atoms_considered", 1);
           std::vector<std::vector<bool>> per_value(num_examples);
           DynBitset pattern(pattern_bits);
           size_t bit = 0;
@@ -369,10 +377,13 @@ Result<PredicateUniverse> ConstructPredicateUniverse(
               (v ? any_true : any_false) = true;
             }
           }
-          if (!any_true || !any_false) continue;  // constant per value ⇒
-                                                  // constant per row
+          if (!any_true || !any_false) {  // constant per value ⇒
+            MITRA_COUNT("predicate/universe/atoms_const_dropped", 1);
+            continue;                     // constant per row
+          }
           if (!pattern_dedup.IsNew(PatternDedup::UnaryTag(i),
                                    std::move(pattern))) {
+            MITRA_COUNT("predicate/universe/atoms_deduped", 1);
             continue;
           }
           if (opts.governor != nullptr) {
@@ -433,6 +444,7 @@ Result<PredicateUniverse> ConstructPredicateUniverse(
               continue;
             }
             if (op != CmpOp::kEq && i == j && pi1 == pi2) continue;
+            MITRA_COUNT("predicate/universe/atoms_considered", 1);
             const ExtractorFactsView& f1 = chi[i][pi1];
             const ExtractorFactsView& f2 = chi[j][pi2];
             // Evaluate per (value_i, value_j) pair, then broadcast.
@@ -455,9 +467,13 @@ Result<PredicateUniverse> ConstructPredicateUniverse(
                 }
               }
             }
-            if (!any_true || !any_false) continue;
+            if (!any_true || !any_false) {
+              MITRA_COUNT("predicate/universe/atoms_const_dropped", 1);
+              continue;
+            }
             if (!pattern_dedup.IsNew(PatternDedup::BinaryTag(i, j),
                                      std::move(pattern))) {
+              MITRA_COUNT("predicate/universe/atoms_deduped", 1);
               continue;
             }
             DynBitset bits(num_rows);
@@ -486,7 +502,11 @@ Result<PredicateUniverse> ConstructPredicateUniverse(
     }
   }
 
-  return collector.Take();
+  PredicateUniverse universe = collector.Take();
+  MITRA_COUNT("predicate/universe/calls", 1);
+  MITRA_COUNT("predicate/universe/atoms_kept", universe.atoms.size());
+  MITRA_COUNT("predicate/universe/rows", num_rows);
+  return universe;
 }
 
 }  // namespace mitra::core

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace mitra::core {
 
 namespace {
@@ -43,6 +45,7 @@ struct BnB {
   uint64_t budget;
   common::Governor* governor;
   uint64_t nodes = 0;
+  uint64_t bounded = 0;  ///< subtrees cut by the lower-bound test
   bool exhausted = false;
 
   std::vector<std::vector<int>> candidates_of;  // element → set ids
@@ -87,7 +90,10 @@ struct BnB {
     }
     // Lower bound with the static max set size.
     size_t lb = (remaining + max_set_size - 1) / max_set_size;
-    if (!best.empty() && current.size() + lb >= best.size()) return;
+    if (!best.empty() && current.size() + lb >= best.size()) {
+      ++bounded;
+      return;
+    }
 
     // Pivot: first uncovered element in static most-constrained order.
     int pivot = -1;
@@ -187,11 +193,15 @@ Result<SetCoverResult> MinSetCover(const std::vector<DynBitset>& sets,
                   incumbent.end());
 
   BnB solver{reduced, num_elements, opts.max_nodes, opts.governor,
-             0,       false,        {},             {},
-             1,       incumbent,    {}};
+             0,       0,            false,          {},
+             {},      1,            incumbent,      {}};
   solver.Init();
   DynBitset covered(num_elements);
   solver.Search(covered, num_elements);
+  MITRA_COUNT("setcover/bnb/calls", 1);
+  MITRA_COUNT("setcover/bnb/nodes_expanded", solver.nodes);
+  MITRA_COUNT("setcover/bnb/nodes_bounded", solver.bounded);
+  if (solver.exhausted) MITRA_COUNT("setcover/bnb/exhausted", 1);
   result.optimal = !solver.exhausted;
   result.chosen.reserve(solver.best.size());
   for (int i : solver.best) {

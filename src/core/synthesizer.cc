@@ -11,6 +11,7 @@
 #include "common/thread_pool.h"
 #include "core/extractor_memo.h"
 #include "dsl/eval.h"
+#include "obs/obs.h"
 
 namespace mitra::core {
 
@@ -101,6 +102,10 @@ struct RankedCost {
 
 Result<SynthesisResult> LearnTransformation(const Examples& examples,
                                             const SynthesisOptions& opts) {
+  MITRA_SPAN(span_learn, "synth/learn_transformation");
+  // Per-run metrics = global-registry delta across this call (exact for
+  // single-run callers; see SynthesisStats::metrics).
+  obs::MetricsSnapshot metrics_before = obs::SnapshotMetrics();
   auto start = std::chrono::steady_clock::now();
   auto elapsed = [&]() {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -163,29 +168,34 @@ Result<SynthesisResult> LearnTransformation(const Examples& examples,
   copts.dfa.governor = gov;
   copts.enumerate.governor = gov;
   std::vector<std::vector<dsl::ColumnExtractor>> candidates(k);
-  if (tpool != nullptr && k > 1) {
-    MITRA_RETURN_IF_ERROR(common::ParallelForStatus(
-        tpool, k,
-        [&](size_t j) -> Status {
-          ColSymbolPool col_pool;
-          MITRA_ASSIGN_OR_RETURN(
-              candidates[j],
-              LearnColumnExtractors(examples, static_cast<int>(j), &col_pool,
-                                    copts));
-          return Status::OK();
-        },
-        gov->token()));
-  } else {
-    ColSymbolPool pool;
-    for (size_t j = 0; j < k; ++j) {
-      MITRA_GOV_CHECK(gov, "synth/column");
-      MITRA_ASSIGN_OR_RETURN(
-          candidates[j],
-          LearnColumnExtractors(examples, static_cast<int>(j), &pool, copts));
+  {
+    MITRA_SPAN(span_phase1, "synth/phase1");
+    if (tpool != nullptr && k > 1) {
+      MITRA_RETURN_IF_ERROR(common::ParallelForStatus(
+          tpool, k,
+          [&](size_t j) -> Status {
+            ColSymbolPool col_pool;
+            MITRA_ASSIGN_OR_RETURN(
+                candidates[j],
+                LearnColumnExtractors(examples, static_cast<int>(j), &col_pool,
+                                      copts));
+            return Status::OK();
+          },
+          gov->token()));
+    } else {
+      ColSymbolPool pool;
+      for (size_t j = 0; j < k; ++j) {
+        MITRA_GOV_CHECK(gov, "synth/column");
+        MITRA_ASSIGN_OR_RETURN(
+            candidates[j],
+            LearnColumnExtractors(examples, static_cast<int>(j), &pool, copts));
+      }
     }
   }
+  MITRA_COUNT("synth/phase1/columns", k);
   for (size_t j = 0; j < k; ++j) {
     stats.candidates_per_column.push_back(candidates[j].size());
+    MITRA_COUNT("synth/phase1/column_candidates", candidates[j].size());
   }
 
   // Phase 2: iterate ψ ∈ Π1 × … × Πk cheapest-first (Alg. 1 lines 8-12).
@@ -246,6 +256,7 @@ Result<SynthesisResult> LearnTransformation(const Examples& examples,
   Status last_failure = Status::SynthesisFailure("no table extractor tried");
   const size_t wave_cap = tpool ? static_cast<size_t>(tpool->size()) * 2 : 1;
   bool done = false;
+  MITRA_SPAN(span_phase2, "synth/phase2");
   while (!done && !frontier.empty() &&
          stats.table_extractors_tried < opts.max_table_extractors) {
     // Pop a wave of combos. Successors are enqueued at pop time and
@@ -286,6 +297,8 @@ Result<SynthesisResult> LearnTransformation(const Examples& examples,
                           combo.total_cost >= best_cost.col_constructs);
       wave.push_back(std::move(combo));
     }
+    MITRA_COUNT("synth/phase2/waves", 1);
+    MITRA_HISTOGRAM("synth/phase2/wave_size", wave.size());
 
     // Evaluate the wave on the pool. Evaluation is speculative: pruning
     // and stopping decisions are re-applied at merge time below, where a
@@ -345,10 +358,18 @@ Result<SynthesisResult> LearnTransformation(const Examples& examples,
         }
         return gov_status;
       }
+      // Every combo that reaches this point is "enumerated"; it is then
+      // either pruned (cost prune, predicate failure, failed verification)
+      // or accepted, so pruned + accepted == enumerated holds exactly.
+      // These are counted in the merge loop — which replays the
+      // sequential pop order whatever the thread count — so they are
+      // bit-identical at --threads=1 and --threads=8.
+      MITRA_COUNT("synth/phase2/candidates_enumerated", 1);
       // Prune: even a predicate-free program over this ψ cannot beat the
       // incumbent when its extractor cost alone is not smaller.
       if (found && best_cost.atoms == 0 && best_cost.excess == 0 &&
           wave[i].total_cost >= best_cost.col_constructs) {
+        MITRA_COUNT("synth/phase2/candidates_pruned", 1);
         continue;
       }
       ++stats.table_extractors_tried;
@@ -356,6 +377,7 @@ Result<SynthesisResult> LearnTransformation(const Examples& examples,
       Outcome& out = outcomes[i];
       if (!out.failure.ok()) {
         last_failure = out.failure;
+        MITRA_COUNT("synth/phase2/candidates_pruned", 1);
         continue;
       }
       stats.max_universe_size =
@@ -363,8 +385,10 @@ Result<SynthesisResult> LearnTransformation(const Examples& examples,
       if (!out.verified) {
         last_failure = Status::SynthesisFailure(
             "candidate program failed end-to-end verification");
+        MITRA_COUNT("synth/phase2/candidates_pruned", 1);
         continue;
       }
+      MITRA_COUNT("synth/phase2/candidates_accepted", 1);
       ++stats.table_extractors_consistent;
       dsl::Cost cost = dsl::ProgramCost(out.program);
       RankedCost ranked{cost.atoms, out.excess, out.spread,
@@ -385,6 +409,7 @@ Result<SynthesisResult> LearnTransformation(const Examples& examples,
   stats.memo_misses = memo.misses();
   stats.seconds = elapsed();
   if (owned_gov) stats.usage = gov->Usage();
+  stats.metrics = obs::SnapshotDelta(metrics_before);
   if (!found) {
     // A tripped governor (budget overrun, cancellation) outranks the
     // generic synthesis failure: the caller must see kResourceExhausted,

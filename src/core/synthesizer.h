@@ -1,6 +1,9 @@
 #ifndef MITRA_CORE_SYNTHESIZER_H_
 #define MITRA_CORE_SYNTHESIZER_H_
 
+#include <cstdint>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "common/governor.h"
@@ -79,6 +82,13 @@ struct SynthesisStats {
   /// Governor accounting for the run (all-zero when an external governor
   /// was supplied — its owner reads the shared usage directly).
   common::BudgetUsage usage;
+  /// Observability snapshot (ISSUE 7): per-run delta of every `obs`
+  /// counter that moved during this LearnTransformation call, keyed by
+  /// the `layer/phase/name` scheme (see DESIGN.md). The underlying
+  /// registry is process-global, so concurrent synthesis runs in other
+  /// threads mix into the delta; single-run callers (the CLI, benches,
+  /// tests) get exact per-run numbers. Empty when MITRA_OBS=0.
+  std::map<std::string, std::uint64_t> metrics;
 };
 
 struct SynthesisResult {

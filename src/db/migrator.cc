@@ -447,7 +447,18 @@ std::string MigrationReport::ToJson() const {
     }
     out += "]}";
   }
-  out += "]}";
+  out += "]";
+  if (!metrics.empty()) {
+    out += ",\"metrics\":{";
+    bool first = true;
+    for (const auto& [name, value] : metrics) {
+      if (!first) out += ',';
+      first = false;
+      out += "\"" + JsonEscape(name) + "\":" + std::to_string(value);
+    }
+    out += "}";
+  }
+  out += "}";
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/strings.h"
+#include "obs/obs.h"
 
 namespace mitra::dsl {
 
@@ -224,6 +225,11 @@ Result<std::vector<NodeTuple>> EvalProgramNodeTuples(const hdt::Hdt& tree,
   for (NodeTuple& t : cross) {
     if (EvalDnf(tree, p.formula, p.atoms, t)) out.push_back(std::move(t));
   }
+  // Tuples are counted once per eval call, not per tuple: this is the
+  // synthesizer's innermost verification loop.
+  MITRA_COUNT("dsl/eval/calls", 1);
+  MITRA_COUNT("dsl/eval/tuples_considered", cross.size());
+  MITRA_COUNT("dsl/eval/tuples_kept", out.size());
   return out;
 }
 

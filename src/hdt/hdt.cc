@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/strings.h"
+#include "obs/obs.h"
 
 namespace mitra::hdt {
 
@@ -97,6 +98,7 @@ void Hdt::FreezeIndex(bool compact) {
     }
     return;
   }
+  MITRA_SPAN(span, "hdt/freeze_index");
   auto ix = std::make_shared<FrozenIndex>();
   const size_t n = nodes_.size();
   const size_t num_tags = tags_.size();
@@ -231,6 +233,9 @@ void Hdt::FreezeIndex(bool compact) {
     }
   }
 
+  MITRA_COUNT("hdt/freeze/calls", 1);
+  MITRA_COUNT("hdt/freeze/nodes", n);
+  MITRA_COUNT("hdt/freeze/dict_entries", ix->dict_values.size());
   index_ = std::move(ix);
   if (compact) {
     for (Node& nd : nodes_) {

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <cstdio>
 
+#include "obs/obs.h"
+
 namespace mitra::json {
 
 namespace {
@@ -324,13 +326,27 @@ class Parser {
 
 }  // namespace
 
+namespace {
+
+Result<hdt::Hdt> ParseCounted(std::string_view input,
+                              common::Governor* governor) {
+  MITRA_SPAN(span, "parse/json");
+  auto tree = Parser(input, governor).Parse();
+  MITRA_COUNT("parse/json/docs", 1);
+  MITRA_COUNT("parse/json/bytes", input.size());
+  if (tree.ok()) MITRA_COUNT("parse/json/nodes", tree->NumElements());
+  return tree;
+}
+
+}  // namespace
+
 Result<hdt::Hdt> ParseJson(std::string_view input) {
-  return Parser(input).Parse();
+  return ParseCounted(input, nullptr);
 }
 
 Result<hdt::Hdt> ParseJson(std::string_view input,
                            const JsonParseOptions& opts) {
-  return Parser(input, opts.governor).Parse();
+  return ParseCounted(input, opts.governor);
 }
 
 std::string EscapeJsonString(std::string_view s) {

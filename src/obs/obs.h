@@ -1,0 +1,91 @@
+#ifndef MITRA_OBS_OBS_H_
+#define MITRA_OBS_OBS_H_
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+/// \file obs.h
+/// Instrumentation macros (ISSUE 7). All call sites across the codebase go
+/// through these; they compile to *nothing* when `MITRA_OBS=0` (CMake:
+/// `-DMITRA_OBS=OFF`), so a no-op build carries zero instrumentation cost
+/// and registers zero metrics. Only the macros are gated — the obs classes
+/// themselves are identical under both settings, keeping mixed builds (a
+/// no-op test target inside an instrumented build tree) ODR-clean.
+///
+/// Naming scheme: `layer/phase/name`, e.g.
+///   synth/phase2/candidates_enumerated
+///   dfa/construct/states
+///   memo/extractor/hits
+///   gov/check/<site>
+/// See DESIGN.md "Observability" for the full catalogue and the rules for
+/// adding new metrics.
+///
+/// Hot-loop guidance: `MITRA_COUNT` is one relaxed add on a cached pointer
+/// (~1-2 ns), but inner loops that run millions of times should accumulate
+/// into a local and flush once per call (see executor.cc).
+
+#ifndef MITRA_OBS
+#define MITRA_OBS 1
+#endif
+
+#if MITRA_OBS
+
+/// Adds `n` to the counter `name` (a string literal). The registry lookup
+/// happens once per call site via a function-local static.
+#define MITRA_COUNT(name, n)                                       \
+  do {                                                             \
+    static ::mitra::obs::Counter* const mitra_obs_counter_ =       \
+        ::mitra::obs::GetCounter(name);                            \
+    mitra_obs_counter_->Add(static_cast<std::uint64_t>(n));        \
+  } while (0)
+
+/// Sets the gauge `name` (tracks last value and high-watermark).
+#define MITRA_GAUGE_SET(name, v)                                   \
+  do {                                                             \
+    static ::mitra::obs::Gauge* const mitra_obs_gauge_ =           \
+        ::mitra::obs::GetGauge(name);                              \
+    mitra_obs_gauge_->Set(static_cast<std::uint64_t>(v));          \
+  } while (0)
+
+/// Observes `v` in the histogram `name`.
+#define MITRA_HISTOGRAM(name, v)                                   \
+  do {                                                             \
+    static ::mitra::obs::Histogram* const mitra_obs_hist_ =        \
+        ::mitra::obs::GetHistogram(name);                          \
+    mitra_obs_hist_->Observe(static_cast<std::uint64_t>(v));       \
+  } while (0)
+
+/// Opens an RAII span named `name` (literal) covering the rest of the
+/// enclosing scope. `var` is the local variable name for the span object.
+#define MITRA_SPAN(var, name) ::mitra::obs::Span var(name)
+
+/// Declares a file-scope SiteCounterCache for `const char*` site keys.
+#define MITRA_SITE_COUNTERS(var, prefix) \
+  ::mitra::obs::SiteCounterCache var(prefix)
+
+/// Adds to a MITRA_SITE_COUNTERS cache.
+#define MITRA_SITE_COUNT(var, site, n) (var).Add((site), (n))
+
+#else  // MITRA_OBS == 0: every instrumentation site compiles away.
+
+#define MITRA_COUNT(name, n) \
+  do {                       \
+  } while (0)
+#define MITRA_GAUGE_SET(name, v) \
+  do {                           \
+  } while (0)
+#define MITRA_HISTOGRAM(name, v) \
+  do {                           \
+  } while (0)
+#define MITRA_SPAN(var, name) \
+  do {                        \
+  } while (0)
+#define MITRA_SITE_COUNTERS(var, prefix) \
+  static_assert(true, "")
+#define MITRA_SITE_COUNT(var, site, n) \
+  do {                                 \
+  } while (0)
+
+#endif  // MITRA_OBS
+
+#endif  // MITRA_OBS_OBS_H_

@@ -1,0 +1,126 @@
+#ifndef MITRA_OBS_TRACE_H_
+#define MITRA_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+/// \file trace.h
+/// Structured tracing (ISSUE 7): RAII spans recorded into lock-free
+/// per-thread ring buffers, exported as Chrome `trace_event` JSON
+/// (load the file in chrome://tracing or https://ui.perfetto.dev).
+///
+/// Recording is disabled by default; `Tracer::Global().SetEnabled(true)`
+/// turns it on (mitra_cli does this for `--trace=FILE`). A disabled Span
+/// costs one relaxed atomic load and writes nothing. An enabled Span costs
+/// two steady_clock reads plus one ring-buffer slot write — no allocation,
+/// no locks, so spans are safe inside the synthesizer's parallel waves.
+///
+/// Each thread owns a fixed-capacity ring; when it fills, the newest event
+/// overwrites the oldest (drops-oldest), and the exporter reports how many
+/// were lost via `dropped_events`. Collection (`Collect` / `ChromeTraceJson`)
+/// is intended for quiescent moments — after a synthesis run, not during.
+
+namespace mitra::obs {
+
+/// Monotonic nanoseconds (steady clock).
+std::uint64_t NowNs();
+
+/// One completed span. `name` must be a string with static storage duration
+/// (the MITRA_SPAN macro passes literals), so recording never copies.
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;    ///< dense per-thread id (registration order)
+  std::uint32_t depth = 0;  ///< span nesting depth on its thread (root = 0)
+};
+
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultRingCapacity = 1 << 14;
+
+  static Tracer& Global();
+
+  void SetEnabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Records a completed span on the calling thread's ring. Prefer the
+  /// Span RAII type / MITRA_SPAN macro over calling this directly.
+  void Record(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns,
+              std::uint32_t depth);
+
+  /// All retained events across threads, oldest-first by start time.
+  /// Call only while no spans are being recorded.
+  std::vector<TraceEvent> Collect() const;
+
+  /// Events lost to ring overflow since the last Clear().
+  std::uint64_t dropped_events() const;
+
+  /// Chrome trace_event JSON: {"traceEvents":[...], "displayTimeUnit":"ms",
+  /// "dropped_events": N}. Timestamps are microseconds relative to the
+  /// tracer's epoch (first use).
+  std::string ChromeTraceJson() const;
+
+  /// Drops all retained events (rings stay registered; cached thread-local
+  /// pointers remain valid).
+  void Clear();
+
+  /// Shrinks/grows every ring (existing and future) to `cap` slots,
+  /// discarding retained events. Test-only: callers must be quiescent.
+  void SetRingCapacityForTest(std::size_t cap);
+  std::size_t ring_capacity() const;
+
+  /// Epoch all exported timestamps are relative to.
+  std::uint64_t epoch_ns() const { return epoch_ns_; }
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t cap, std::uint32_t id)
+        : slots(cap), tid(id) {}
+    std::vector<TraceEvent> slots;
+    /// Monotonic count of events ever written; slot index = head % size.
+    std::atomic<std::uint64_t> head{0};
+    std::uint32_t tid;
+  };
+
+  Tracer();
+  Ring* ThisThreadRing();
+
+  std::atomic<bool> enabled_{false};
+  std::uint64_t epoch_ns_;
+  mutable std::mutex mu_;  ///< guards rings_ registration and capacity_
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::size_t capacity_ = kDefaultRingCapacity;
+};
+
+/// RAII span: records [construction, destruction) on the global tracer.
+/// When tracing is disabled at construction the span is inert.
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (Tracer::Global().enabled()) Begin(name);
+  }
+  ~Span() {
+    if (start_ns_ != 0) End();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void Begin(const char* name);
+  void End();
+
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;  ///< 0 = inert (tracing was off)
+  std::uint32_t depth_ = 0;
+};
+
+}  // namespace mitra::obs
+
+#endif  // MITRA_OBS_TRACE_H_

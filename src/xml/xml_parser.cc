@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/strings.h"
+#include "obs/obs.h"
 
 namespace mitra::xml {
 
@@ -267,13 +268,27 @@ class Parser {
 
 }  // namespace
 
+namespace {
+
+Result<hdt::Hdt> ParseCounted(std::string_view input,
+                              common::Governor* governor) {
+  MITRA_SPAN(span, "parse/xml");
+  auto tree = Parser(input, governor).Parse();
+  MITRA_COUNT("parse/xml/docs", 1);
+  MITRA_COUNT("parse/xml/bytes", input.size());
+  if (tree.ok()) MITRA_COUNT("parse/xml/nodes", tree->NumElements());
+  return tree;
+}
+
+}  // namespace
+
 Result<hdt::Hdt> ParseXml(std::string_view input) {
-  return Parser(input).Parse();
+  return ParseCounted(input, nullptr);
 }
 
 Result<hdt::Hdt> ParseXml(std::string_view input,
                           const XmlParseOptions& opts) {
-  return Parser(input, opts.governor).Parse();
+  return ParseCounted(input, opts.governor);
 }
 
 Result<std::string> DecodeEntities(std::string_view s) {

@@ -1,0 +1,59 @@
+/// Compiled with -DMITRA_OBS=0 (see tests/CMakeLists.txt): proves the
+/// no-op build contract of obs.h — every instrumentation macro compiles
+/// away, registering nothing, recording nothing, and still type-checks at
+/// file scope and inside functions. The obs *classes* remain fully
+/// functional (they are not gated), so direct use keeps working.
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+
+#if MITRA_OBS
+#error "obs_noop_test must be compiled with MITRA_OBS=0"
+#endif
+
+namespace mitra::obs {
+namespace {
+
+// File-scope declaration must still compile in the no-op build.
+MITRA_SITE_COUNTERS(g_noop_sites, "noop/site/");
+
+TEST(ObsNoop, MacrosRegisterNothing) {
+  MITRA_COUNT("noop/count", 7);
+  MITRA_GAUGE_SET("noop/gauge", 7);
+  MITRA_HISTOGRAM("noop/hist", 7);
+  MITRA_SITE_COUNT(g_noop_sites, "somewhere", 7);
+  {
+    MITRA_SPAN(span, "noop/span");
+  }
+
+  EXPECT_EQ(Registry::Global().FindCounter("noop/count"), nullptr);
+  EXPECT_EQ(Registry::Global().FindCounter("noop/site/somewhere"), nullptr);
+  MetricsSnapshot snap = SnapshotMetrics();
+  EXPECT_EQ(snap.count("noop/gauge/last"), 0u);
+  EXPECT_EQ(snap.count("noop/hist/count"), 0u);
+}
+
+TEST(ObsNoop, SpansRecordNothingEvenWhenTracerEnabled) {
+  Tracer::Global().Clear();
+  Tracer::Global().SetEnabled(true);
+  {
+    MITRA_SPAN(span, "noop/enabled_span");
+  }
+  Tracer::Global().SetEnabled(false);
+  EXPECT_TRUE(Tracer::Global().Collect().empty());
+}
+
+TEST(ObsNoop, ClassesStillWorkDirectly) {
+  // The gate is on instrumentation sites, not the library: direct calls
+  // (e.g. the CLI's --metrics export path) behave normally.
+  Counter* c = GetCounter("noop/direct");
+  c->Add(3);
+  EXPECT_EQ(c->Value(), 3u);
+  EXPECT_NE(MetricsJson().find("noop/direct"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mitra::obs

@@ -13,6 +13,12 @@
 /// --max-rows N, --max-memory-mb N. Overruns surface as clean
 /// ResourceExhausted errors, never crashes.
 ///
+/// Observability flags (all subcommands): --trace=FILE writes a Chrome
+/// trace_event JSON (load in chrome://tracing) of the run's spans;
+/// --metrics=FILE writes the flat `layer/phase/name` counter JSON (see
+/// DESIGN.md "Observability"). With `migrate --report=json`, the report
+/// embeds the same counters under "metrics".
+///
 /// `synth` learns a program from one input-output example (document +
 /// CSV of the desired rows, no header) and prints it in the paper's
 /// λ-syntax; `apply` loads a saved program and migrates a document,
@@ -46,6 +52,7 @@
 #include "dsl/parser.h"
 #include "json/js_codegen.h"
 #include "json/json_parser.h"
+#include "obs/obs.h"
 #include "xml/xml_parser.h"
 #include "xml/xslt_codegen.h"
 
@@ -121,6 +128,8 @@ int Usage() {
       "              [--report=json] [--threads N] [budget flags]\n"
       "budget flags: --time-limit SECONDS --max-states N --max-rows N\n"
       "              --max-memory-mb N\n"
+      "observability: --trace=FILE (Chrome trace JSON)\n"
+      "               --metrics=FILE (flat counter JSON)\n"
       "exit codes: 0 ok, 1 error, 2 usage, 3 partial migration,\n"
       "            4 budget exhausted, 5 parse error\n");
   return kExitUsage;
@@ -322,6 +331,7 @@ int Migrate(const std::map<std::string, std::string>& flags) {
   }
 
   db::Migrator migrator(schema);
+  obs::MetricsSnapshot metrics_before = obs::SnapshotMetrics();
   auto report = migrator.LearnTolerant(*tree, examples, mopts);
   if (!report.ok()) return Fail(report.status());
 
@@ -336,6 +346,9 @@ int Migrate(const std::map<std::string, std::string>& flags) {
   }
   hdt::Hdt* doc = target ? &*target : &*tree;
   db::Database out = migrator.ExecuteTolerant({doc}, &*report, mopts);
+  // Per-migration work counters (learn + execute), embedded in the
+  // --report=json output.
+  report->metrics = obs::SnapshotDelta(metrics_before);
 
   std::string outdir = ".";
   auto outdir_it = flags.find("outdir");
@@ -383,14 +396,60 @@ int Migrate(const std::map<std::string, std::string>& flags) {
   return kExitError;
 }
 
+/// Dispatches a subcommand with observability wrapped around it: when
+/// --trace/--metrics name a file, tracing is enabled for the whole run and
+/// the exports are written after the command finishes (whatever its exit
+/// code — a budget-exhausted run's telemetry is exactly what one wants to
+/// look at). An export write failure turns a successful exit into kExitError.
+int Run(const char* command,
+        const std::map<std::string, std::string>& flags) {
+  auto flag_path = [&](const char* name) -> const std::string* {
+    auto it = flags.find(name);
+    return it == flags.end() || it->second.empty() ? nullptr : &it->second;
+  };
+  const std::string* trace_path = flag_path("trace");
+  const std::string* metrics_path = flag_path("metrics");
+  if (trace_path != nullptr) obs::Tracer::Global().SetEnabled(true);
+
+  int code;
+  if (std::strcmp(command, "synth") == 0) {
+    code = Synth(flags);
+  } else if (std::strcmp(command, "apply") == 0) {
+    code = Apply(flags);
+  } else if (std::strcmp(command, "migrate") == 0) {
+    code = Migrate(flags);
+  } else {
+    return Usage();
+  }
+
+  if (trace_path != nullptr) {
+    obs::Tracer::Global().SetEnabled(false);
+    Status s = common::GetFileSystem()->WriteFile(
+        *trace_path, obs::Tracer::Global().ChromeTraceJson());
+    if (!s.ok()) {
+      std::fprintf(stderr, "error writing trace: %s\n", s.ToString().c_str());
+      if (code == kExitOk) code = kExitError;
+    }
+  }
+  if (metrics_path != nullptr) {
+    // The full snapshot (not a delta): the process runs one command, and
+    // zero-valued counters are meaningful ("the fast path never fired").
+    Status s = common::GetFileSystem()->WriteFile(*metrics_path,
+                                                  obs::MetricsJson());
+    if (!s.ok()) {
+      std::fprintf(stderr, "error writing metrics: %s\n",
+                   s.ToString().c_str());
+      if (code == kExitOk) code = kExitError;
+    }
+  }
+  return code;
+}
+
 }  // namespace
 }  // namespace mitra
 
 int main(int argc, char** argv) {
   if (argc < 2) return mitra::Usage();
   auto flags = mitra::ParseFlags(argc, argv, 2);
-  if (std::strcmp(argv[1], "synth") == 0) return mitra::Synth(flags);
-  if (std::strcmp(argv[1], "apply") == 0) return mitra::Apply(flags);
-  if (std::strcmp(argv[1], "migrate") == 0) return mitra::Migrate(flags);
-  return mitra::Usage();
+  return mitra::Run(argv[1], flags);
 }

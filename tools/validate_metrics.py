@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Validates mitra observability exports (ISSUE 7). Stdlib only.
+
+Usage:
+    validate_metrics.py --metrics METRICS.json [METRICS.json ...]
+                        [--trace TRACE.json ...]
+                        [--min-counters N] [--min-layers N]
+
+Checks, per metrics file:
+  - parses as a JSON object of name -> non-negative integer;
+  - at least --min-counters distinct counters (default 12);
+  - counter names span at least --min-layers distinct layers, where the
+    layer is the first '/'-separated segment (default 5).
+
+Checks, per trace file:
+  - parses as JSON with a `traceEvents` list;
+  - every event has name/ph/ts/pid/tid, ts >= 0;
+  - every complete ("X") event has dur >= 0;
+  - `dropped_events`, when present, is a non-negative integer.
+
+Exit code 0 when every file passes; 1 otherwise, with one line per
+failure on stderr.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"validate_metrics: {msg}", file=sys.stderr)
+    return False
+
+
+def validate_metrics(path, min_counters, min_layers):
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        return fail(f"{path}: unreadable or invalid JSON: {e}")
+    if not isinstance(data, dict):
+        return fail(f"{path}: top level must be an object, got {type(data).__name__}")
+
+    ok = True
+    layers = set()
+    for name, value in data.items():
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            ok = fail(f"{path}: {name!r} must be a non-negative integer, got {value!r}")
+            continue
+        layers.add(name.split("/", 1)[0])
+    if len(data) < min_counters:
+        ok = fail(f"{path}: only {len(data)} counters, need >= {min_counters}")
+    if len(layers) < min_layers:
+        ok = fail(
+            f"{path}: counters span {len(layers)} layers ({sorted(layers)}), "
+            f"need >= {min_layers}"
+        )
+    if ok:
+        print(f"{path}: OK ({len(data)} counters across {len(layers)} layers)")
+    return ok
+
+
+def validate_trace(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        return fail(f"{path}: unreadable or invalid JSON: {e}")
+    if not isinstance(data, dict) or not isinstance(data.get("traceEvents"), list):
+        return fail(f"{path}: expected an object with a traceEvents list")
+
+    ok = True
+    for i, ev in enumerate(data["traceEvents"]):
+        if not isinstance(ev, dict):
+            ok = fail(f"{path}: traceEvents[{i}] is not an object")
+            continue
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in ev:
+                ok = fail(f"{path}: traceEvents[{i}] lacks {key!r}")
+        if not isinstance(ev.get("ts"), (int, float)) or ev.get("ts", 0) < 0:
+            ok = fail(f"{path}: traceEvents[{i}] has bad ts {ev.get('ts')!r}")
+        if ev.get("ph") == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                ok = fail(f"{path}: traceEvents[{i}] has bad dur {dur!r}")
+    dropped = data.get("dropped_events", 0)
+    if not isinstance(dropped, int) or isinstance(dropped, bool) or dropped < 0:
+        ok = fail(f"{path}: bad dropped_events {dropped!r}")
+    if ok:
+        print(
+            f"{path}: OK ({len(data['traceEvents'])} events, "
+            f"{dropped} dropped)"
+        )
+    return ok
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--metrics", nargs="*", default=[])
+    parser.add_argument("--trace", nargs="*", default=[])
+    parser.add_argument("--min-counters", type=int, default=12)
+    parser.add_argument("--min-layers", type=int, default=5)
+    args = parser.parse_args()
+    if not args.metrics and not args.trace:
+        parser.error("nothing to validate: pass --metrics and/or --trace")
+
+    ok = True
+    for path in args.metrics:
+        ok &= validate_metrics(path, args.min_counters, args.min_layers)
+    for path in args.trace:
+        ok &= validate_trace(path)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
