@@ -1,6 +1,8 @@
 #include "common/fs.h"
 
+#include <algorithm>
 #include <atomic>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -21,12 +23,35 @@ class DiskFileSystem : public FileSystem {
 
   Status WriteFile(const std::string& path,
                    const std::string& content) override {
+    // Best-effort parent creation: the batch pipeline writes shards and
+    // cache entries under directories that need not pre-exist. Failure
+    // falls through to the ofstream error below.
+    std::filesystem::path p(path);
+    if (p.has_parent_path()) {
+      std::error_code ec;
+      std::filesystem::create_directories(p.parent_path(), ec);
+    }
     std::ofstream out(path, std::ios::binary);
     if (!out) return Status::InvalidArgument("cannot write " + path);
     out << content;
     out.flush();
     if (!out) return Status::InvalidArgument("write failed: " + path);
     return Status::OK();
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir, ec);
+    if (ec) {
+      return Status::InvalidArgument("cannot list " + dir + ": " +
+                                     ec.message());
+    }
+    std::vector<std::string> out;
+    for (const auto& entry : it) {
+      if (entry.is_regular_file(ec)) out.push_back(entry.path().string());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
   }
 };
 
@@ -64,9 +89,37 @@ Status MemoryFileSystem::WriteFile(const std::string& path,
   return Status::OK();
 }
 
+Result<std::vector<std::string>> MemoryFileSystem::ListDir(
+    const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Paths are flat keys; "inside dir" means the key extends `dir + '/'`
+  // with no further separator (mirroring the non-recursive disk listing).
+  std::string prefix = dir;
+  if (prefix.empty() || prefix.back() != '/') prefix += '/';
+  std::vector<std::string> out;
+  for (const auto& [path, content] : files_) {
+    if (path.size() <= prefix.size() || path.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    if (path.find('/', prefix.size()) != std::string::npos) continue;
+    out.push_back(path);  // map iteration: already sorted
+  }
+  return out;
+}
+
 bool MemoryFileSystem::Exists(const std::string& path) const {
   std::lock_guard<std::mutex> lock(mu_);
   return files_.count(path) != 0;
+}
+
+void MemoryFileSystem::Remove(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.erase(path);
+}
+
+Result<std::vector<std::string>> FileSystem::ListDir(const std::string& dir) {
+  return Status::InvalidArgument("ListDir not supported by this FileSystem (" +
+                                 dir + ")");
 }
 
 }  // namespace mitra::common

@@ -4,6 +4,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 
@@ -22,9 +23,17 @@ class FileSystem {
   virtual ~FileSystem() = default;
   /// Reads the whole file; InvalidArgument when it cannot be opened.
   virtual Result<std::string> ReadFile(const std::string& path) = 0;
-  /// Creates/truncates and writes the whole file.
+  /// Creates/truncates and writes the whole file. The disk implementation
+  /// creates missing parent directories (the batch pipeline writes shard
+  /// files under a fresh output directory).
   virtual Status WriteFile(const std::string& path,
                            const std::string& content) = 0;
+  /// Full paths of the regular files directly inside `dir`, sorted
+  /// lexicographically (the batch manifest's glob expansion relies on the
+  /// order being deterministic). Subdirectories are not listed. The base
+  /// implementation reports InvalidArgument so minimal test doubles that
+  /// only read/write keep compiling.
+  virtual Result<std::vector<std::string>> ListDir(const std::string& dir);
 };
 
 /// The real (disk-backed) filesystem; a process-wide singleton.
@@ -44,8 +53,11 @@ class MemoryFileSystem : public FileSystem {
   Result<std::string> ReadFile(const std::string& path) override;
   Status WriteFile(const std::string& path,
                    const std::string& content) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
 
   bool Exists(const std::string& path) const;
+  /// Removes the file if present (test setup for resume/poisoning cases).
+  void Remove(const std::string& path);
 
  private:
   mutable std::mutex mu_;

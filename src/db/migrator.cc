@@ -3,16 +3,79 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <set>
 
+#include "common/strings.h"
 #include "common/thread_pool.h"
 #include "core/column_learner.h"
 #include "core/node_extractor_enum.h"
 #include "dsl/eval.h"
 
 namespace mitra::db {
+
+namespace {
+
+/// Streams length-framed byte fields through two independently-seeded FNV
+/// states; the concatenated hex digests form the 128-bit cache key.
+class KeyHasher {
+ public:
+  void Bytes(std::string_view s) {
+    Int(s.size());
+    h1_ = Fnv1a64(s.data(), s.size(), h1_);
+    h2_ = Fnv1a64(s.data(), s.size(), h2_);
+  }
+  void Int(std::uint64_t v) {
+    char buf[8];
+    std::memcpy(buf, &v, sizeof(buf));
+    h1_ = Fnv1a64(buf, sizeof(buf), h1_);
+    h2_ = Fnv1a64(buf, sizeof(buf), h2_);
+  }
+  std::string Hex() const {
+    char buf[33];
+    std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                  static_cast<unsigned long long>(h1_),
+                  static_cast<unsigned long long>(h2_));
+    return buf;
+  }
+
+ private:
+  std::uint64_t h1_ = 1469598103934665603ULL;
+  std::uint64_t h2_ = 0x2f72c98b0a5a37b1ULL;
+};
+
+}  // namespace
+
+std::string ProgramCacheKey(const hdt::Hdt& tree, const hdt::Table& example) {
+  KeyHasher h;
+  h.Bytes(dsl::kDslVersion);
+  // Tree structure + data. Node ids are assigned in construction order by
+  // the parsers, so two textually-equal documents hash identically; the
+  // parent/flags framing makes structurally different trees collide only
+  // by genuine 128-bit accident (and hits are re-verified anyway).
+  h.Int(tree.size());
+  for (hdt::NodeId id = 0; id < static_cast<hdt::NodeId>(tree.size()); ++id) {
+    const hdt::Node& n = tree.node(id);
+    h.Bytes(tree.NodeTagName(id));
+    h.Int(static_cast<std::uint64_t>(n.parent + 1));
+    h.Int(static_cast<std::uint64_t>(n.pos));
+    h.Int((n.has_data ? 1u : 0u) | (n.is_attribute ? 2u : 0u) |
+          (n.is_text_run ? 4u : 0u));
+    if (n.has_data) h.Bytes(n.data);
+  }
+  // Expected table (row order matters for neither synthesis nor
+  // verification, but hashing it verbatim is simplest and examples are
+  // authored once).
+  h.Int(example.NumCols());
+  h.Int(example.NumRows());
+  for (const hdt::Row& row : example.rows()) {
+    for (const std::string& cell : row) h.Bytes(cell);
+  }
+  return h.Hex();
+}
 
 std::string KeyOf(int doc_index, const dsl::NodeTuple& nodes) {
   std::string key = std::to_string(doc_index);
@@ -48,6 +111,10 @@ Status Migrator::Learn(
           std::to_string(it->second.NumCols()) + " columns, schema has " +
           std::to_string(t.NumDataColumns()) + " data columns");
     }
+    Status cache_why;  // strict path has no retry trail; miss reasons drop
+    if (TryCachedProgram(t, example_tree, it->second, opts, &cache_why)) {
+      continue;
+    }
     auto start = std::chrono::steady_clock::now();
     auto result =
         core::LearnTransformation(example_tree, it->second, opts.synthesis);
@@ -69,6 +136,7 @@ Status Migrator::Learn(
       return Status::SynthesisFailure("program for table " + t.name +
                                       " yields no example rows");
     }
+    StoreCachedProgram(example_tree, it->second, opts, *result);
   }
   return LearnForeignKeys(example_tree, opts);
 }
@@ -433,6 +501,8 @@ std::string MigrationReport::ToJson() const {
     out += StatusCodeToString(t.status.code());
     out += "\",\"status\":\"" + JsonEscape(t.status.message()) + "\"";
     out += ",\"rung\":" + std::to_string(t.rung);
+    out += ",\"cache_hit\":";
+    out += t.cache_hit ? "true" : "false";
     out += ",\"learn_seconds\":" + JsonDouble(t.learn_seconds);
     out += ",\"execute_seconds\":" + JsonDouble(t.execute_seconds);
     out += ",\"rows_emitted\":" + std::to_string(t.rows_emitted);
@@ -462,10 +532,110 @@ std::string MigrationReport::ToJson() const {
   return out;
 }
 
+bool Migrator::TryCachedProgram(const TableDef& t, const hdt::Hdt& tree,
+                                const hdt::Table& example,
+                                const MigratorOptions& opts, Status* why) {
+  *why = Status::OK();
+  if (opts.program_cache == nullptr) return false;
+  std::optional<CachedProgram> entry =
+      opts.program_cache->Lookup(ProgramCacheKey(tree, example));
+  if (!entry.has_value()) return false;
+  // Re-verify against the example under a bounded governor, mirroring the
+  // synthesizer's own consistency check (VerifyProgram): a poisoned or
+  // colliding entry must read as a miss, never emit wrong tables, and
+  // never run unbudgeted.
+  common::ResourceLimits limits = opts.table_limits;
+  if (!limits.has_deadline()) {
+    limits.time_limit_seconds = opts.synthesis.time_limit_seconds;
+  }
+  common::Governor gov(limits);
+  auto start = std::chrono::steady_clock::now();
+  Status st = [&]() -> Status {
+    if (entry->program.columns.size() != example.NumCols()) {
+      return Status::InvalidArgument(
+          "cached program has " + std::to_string(entry->program.columns.size()) +
+          " columns, example has " + std::to_string(example.NumCols()));
+    }
+    dsl::EvalOptions ev = opts.synthesis.predicate.eval;
+    ev.governor = &gov;
+    MITRA_ASSIGN_OR_RETURN(std::vector<dsl::NodeTuple> tuples,
+                           dsl::EvalProgramNodeTuples(tree, entry->program, ev));
+    if (tuples.empty()) {
+      return Status::SynthesisFailure("cached program for table " + t.name +
+                                      " yields no example rows");
+    }
+    hdt::Table got(example.NumCols());
+    for (const dsl::NodeTuple& tuple : tuples) {
+      MITRA_RETURN_IF_ERROR(got.AppendRow(dsl::ProjectData(tree, tuple)));
+    }
+    got.Dedup();
+    got.SortRows();
+    hdt::Table want = example;
+    want.Dedup();
+    want.SortRows();
+    if (got.rows() != want.rows()) {
+      return Status::SynthesisFailure(
+          "cached program for table " + t.name +
+          " is inconsistent with the example");
+    }
+    programs_[t.name] = entry->program;
+    example_tuples_[t.name] = std::move(tuples);
+    info_.push_back(TableSynthesisInfo{
+        t.name,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count(),
+        entry->program});
+    return Status::OK();
+  }();
+  if (!st.ok()) {
+    *why = st;
+    return false;
+  }
+  return true;
+}
+
+void Migrator::StoreCachedProgram(const hdt::Hdt& tree,
+                                  const hdt::Table& example,
+                                  const MigratorOptions& opts,
+                                  const core::SynthesisResult& result) {
+  if (opts.program_cache == nullptr) return;
+  CachedProgram entry;
+  entry.program = result.program;
+  entry.synthesis_seconds = result.stats.seconds;
+  entry.table_extractors_tried = result.stats.table_extractors_tried;
+  entry.table_extractors_consistent = result.stats.table_extractors_consistent;
+  // Best effort: a full cache disk or injected I/O fault must not fail a
+  // migration that already has its program.
+  (void)opts.program_cache->Store(ProgramCacheKey(tree, example), entry);
+}
+
 Status Migrator::LearnTableLadder(const TableDef& t, const hdt::Hdt& tree,
                                   const hdt::Table& example,
                                   const MigratorOptions& opts,
                                   TableReport* report) {
+  // Cache first: a verified hit is a rung-0 result (only full-budget
+  // programs are ever stored) with no synthesis run at all.
+  {
+    Status cache_why;
+    auto cache_start = std::chrono::steady_clock::now();
+    bool hit = TryCachedProgram(t, tree, example, opts, &cache_why);
+    if (hit || !cache_why.ok()) {
+      report->learn_seconds += std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() -
+                                   cache_start)
+                                   .count();
+    }
+    if (hit) {
+      report->outcome = TableOutcome::kOk;
+      report->rung = 0;
+      report->cache_hit = true;
+      return Status::OK();
+    }
+    if (!cache_why.ok()) {
+      report->retry_trail.push_back("cache: " + cache_why.ToString());
+    }
+  }
+
   // One attempt = one fresh governor: rung failures must not eat into the
   // next rung's budget, and a poisoned table must not cancel its siblings.
   auto rung_limits = [&](double fallback_deadline) {
@@ -474,7 +644,8 @@ Status Migrator::LearnTableLadder(const TableDef& t, const hdt::Hdt& tree,
     return limits;
   };
 
-  auto attempt = [&](const core::SynthesisOptions& sopts) -> Status {
+  auto attempt = [&](const core::SynthesisOptions& sopts,
+                     bool store_in_cache) -> Status {
     common::Governor gov(rung_limits(sopts.time_limit_seconds));
     core::SynthesisOptions governed = sopts;
     governed.governor = &gov;
@@ -502,6 +673,7 @@ Status Migrator::LearnTableLadder(const TableDef& t, const hdt::Hdt& tree,
                                           start)
                 .count(),
             result->program});
+        if (store_in_cache) StoreCachedProgram(tree, example, opts, *result);
       }
     }
     report->learn_seconds +=
@@ -511,8 +683,10 @@ Status Migrator::LearnTableLadder(const TableDef& t, const hdt::Hdt& tree,
     return st;
   };
 
-  // Rung 0: full budgets.
-  Status st = attempt(opts.synthesis);
+  // Rung 0: full budgets. Only this rung stores into the cache — a
+  // degraded program must never shadow the full-budget result a later,
+  // better-budgeted run would synthesize (the key excludes budgets).
+  Status st = attempt(opts.synthesis, /*store_in_cache=*/true);
   if (st.ok()) {
     report->outcome = TableOutcome::kOk;
     report->rung = 0;
@@ -522,7 +696,7 @@ Status Migrator::LearnTableLadder(const TableDef& t, const hdt::Hdt& tree,
 
   // Rung 1: reduced caps.
   core::SynthesisOptions reduced = ReducedSynthesisOptions(opts.synthesis);
-  st = attempt(reduced);
+  st = attempt(reduced, /*store_in_cache=*/false);
   if (st.ok()) {
     report->outcome = TableOutcome::kDegraded;
     report->rung = 1;
@@ -694,10 +868,14 @@ Database Migrator::ExecuteTolerant(const std::vector<hdt::Hdt*>& docs,
   if (report == nullptr) report = &scratch;
 
   Database db;
-  // Cross-table memoization as in Execute(): extractions are pure
-  // functions of the tree, so a failing table cannot poison the cache
-  // for its siblings (only complete extractions are inserted).
-  core::ColumnCache column_cache;
+  // Cross-table memoization as in Execute(), but the cache is keyed by
+  // printed extractor only — an entry from one tree is garbage on
+  // another — so each document gets its own cache, shared across tables.
+  std::vector<std::unique_ptr<core::ColumnCache>> doc_caches;
+  doc_caches.reserve(docs.size());
+  for (size_t d = 0; d < docs.size(); ++d) {
+    doc_caches.push_back(std::make_unique<core::ColumnCache>());
+  }
 
   for (const TableDef& t : schema_.tables) {
     TableReport* tr = report->Find(t.name);
@@ -731,16 +909,18 @@ Database Migrator::ExecuteTolerant(const std::vector<hdt::Hdt*>& docs,
     common::Governor gov(opts.table_limits);
     core::ExecuteOptions exec_opts = opts.execute;
     exec_opts.governor = &gov;
-    if (exec_opts.column_cache == nullptr) {
-      exec_opts.column_cache = &column_cache;
-    }
 
     auto start = std::chrono::steady_clock::now();
     Status st;
     hdt::Table merged;
     bool first = true;
     for (size_t d = 0; d < docs.size(); ++d) {
-      auto built = BuildTable(t, *docs[d], static_cast<int>(d), exec_opts);
+      if (opts.execute.column_cache == nullptr) {
+        exec_opts.column_cache = doc_caches[d].get();
+      }
+      auto built = BuildTable(t, *docs[d],
+                              opts.doc_index_base + static_cast<int>(d),
+                              exec_opts);
       if (!built.ok()) {
         st = built.status();
         break;
@@ -776,8 +956,9 @@ Result<Database> Migrator::ExecuteAll(const std::vector<hdt::Hdt*>& docs,
                                       const MigratorOptions& opts) const {
   Database merged;
   for (size_t d = 0; d < docs.size(); ++d) {
-    MITRA_ASSIGN_OR_RETURN(Database part,
-                           Execute(*docs[d], static_cast<int>(d), opts));
+    MITRA_ASSIGN_OR_RETURN(
+        Database part,
+        Execute(*docs[d], opts.doc_index_base + static_cast<int>(d), opts));
     for (auto& [name, table] : part.tables) {
       auto it = merged.tables.find(name);
       if (it == merged.tables.end()) {

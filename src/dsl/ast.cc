@@ -50,6 +50,28 @@ int Program::NumUsedAtoms() const {
   return static_cast<int>(used.size());
 }
 
+void Program::Normalize() {
+  std::vector<Atom> kept;
+  for (auto& clause : formula.clauses) {
+    for (Literal& lit : clause) {
+      const Atom& a = atoms[static_cast<size_t>(lit.atom)];
+      int idx = -1;
+      for (size_t i = 0; i < kept.size(); ++i) {
+        if (kept[i] == a) {
+          idx = static_cast<int>(i);
+          break;
+        }
+      }
+      if (idx < 0) {
+        idx = static_cast<int>(kept.size());
+        kept.push_back(a);
+      }
+      lit.atom = idx;
+    }
+  }
+  atoms = std::move(kept);
+}
+
 Cost Cost::Max() {
   return Cost{std::numeric_limits<int>::max(),
               std::numeric_limits<int>::max(),

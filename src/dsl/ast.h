@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 /// \file ast.h
@@ -21,6 +22,13 @@
 /// is also exactly the word-view the DFA learner needs (§5.1).
 
 namespace mitra::dsl {
+
+/// Version tag for the DSL's *concrete syntax* (the printer/parser pair).
+/// The on-disk program cache (src/pipeline) keys entries on this string, so
+/// bump it whenever ToString output or ParseProgram acceptance changes in a
+/// way that is not round-trip compatible — stale cache entries then miss
+/// instead of being mis-parsed.
+inline constexpr std::string_view kDslVersion = "mitra-dsl-1";
 
 // ---------------------------------------------------------------------------
 // Column extractors
@@ -157,6 +165,13 @@ struct Program {
   /// Number of *distinct* atoms actually referenced by the formula
   /// (the paper's primary cost-function component).
   int NumUsedAtoms() const;
+  /// Canonicalizes the atom set to match the printed form (which is the
+  /// program-cache serialization): atoms are deduplicated and reordered
+  /// by first appearance in the formula, unreferenced atoms are dropped,
+  /// and literals are re-indexed. Evaluation semantics are unchanged.
+  /// After Normalize(), ParseProgram(ToString(*this)) reproduces this
+  /// AST exactly — the round-trip invariant fuzz_regression_test pins.
+  void Normalize();
 };
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,548 @@
+#include "pipeline/batch.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <set>
+
+#include "common/csv.h"
+#include "common/fs.h"
+#include "common/strings.h"
+#include "db/sql_codegen.h"
+#include "dsl/ast.h"
+#include "json/json_parser.h"
+#include "obs/obs.h"
+#include "xml/xml_parser.h"
+
+namespace mitra::pipeline {
+
+namespace {
+
+constexpr std::string_view kJournalMagic = "mitra-batch-journal v1";
+
+bool HasSuffix(const std::string& s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+Result<hdt::Hdt> ParseDocText(const std::string& path,
+                              std::string_view text) {
+  if (HasSuffix(path, ".json")) return json::ParseJson(text);
+  return xml::ParseXml(text);
+}
+
+/// Joins a base directory and a path, keeping absolute paths as-is.
+std::string Resolve(const std::string& base_dir, const std::string& path) {
+  if (base_dir.empty() || path.empty() || path[0] == '/') return path;
+  return base_dir + "/" + path;
+}
+
+std::string DirName(const std::string& path) {
+  size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+std::string BaseName(const std::string& path) {
+  size_t slash = path.rfind('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+/// '*'-only wildcard match (no '?' or character classes — manifests need
+/// "docs/batch-*.xml", nothing more).
+bool WildcardMatch(std::string_view pattern, std::string_view name) {
+  size_t star = pattern.find('*');
+  if (star == std::string_view::npos) return pattern == name;
+  if (name.size() < star ||
+      name.compare(0, star, pattern.substr(0, star)) != 0) {
+    return false;
+  }
+  std::string_view rest = pattern.substr(star + 1);
+  std::string_view tail = name.substr(star);
+  // Greedy from the left: try every split point for this star.
+  for (size_t skip = 0; skip <= tail.size(); ++skip) {
+    if (WildcardMatch(rest, tail.substr(skip))) return true;
+  }
+  return false;
+}
+
+/// Expands a glob against the FileSystem shim: lists the pattern's
+/// directory and keeps matching basenames, sorted (ListDir sorts).
+Result<std::vector<std::string>> ExpandGlob(const std::string& pattern) {
+  std::string dir = DirName(pattern);
+  std::string file_pattern = BaseName(pattern);
+  MITRA_ASSIGN_OR_RETURN(
+      std::vector<std::string> entries,
+      common::GetFileSystem()->ListDir(dir.empty() ? "." : dir));
+  std::vector<std::string> out;
+  for (const std::string& entry : entries) {
+    if (WildcardMatch(file_pattern, BaseName(entry))) out.push_back(entry);
+  }
+  if (out.empty()) {
+    return Status::InvalidArgument("glob matched no documents: " + pattern);
+  }
+  return out;
+}
+
+std::string ShardPath(const std::string& outdir, const std::string& table,
+                      size_t index) {
+  return outdir + "/shards/" + table + "." + std::to_string(index) + ".csv";
+}
+
+/// Two independently-seeded FNV states over length-framed fields, as in
+/// db::ProgramCacheKey (kept separate: this key covers a whole batch).
+class BatchHasher {
+ public:
+  void Bytes(std::string_view s) {
+    Int(s.size());
+    h1_ = Fnv1a64(s.data(), s.size(), h1_);
+    h2_ = Fnv1a64(s.data(), s.size(), h2_);
+  }
+  void Int(std::uint64_t v) {
+    char buf[8];
+    std::memcpy(buf, &v, sizeof(buf));
+    h1_ = Fnv1a64(buf, sizeof(buf), h1_);
+    h2_ = Fnv1a64(buf, sizeof(buf), h2_);
+  }
+  std::string Hex() const {
+    char buf[33];
+    std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                  static_cast<unsigned long long>(h1_),
+                  static_cast<unsigned long long>(h2_));
+    return buf;
+  }
+
+ private:
+  std::uint64_t h1_ = 0x9b0d3c5a7e1f2b47ULL;
+  std::uint64_t h2_ = 1469598103934665603ULL;
+};
+
+bool TableIsLive(const db::TableReport* tr) {
+  return tr != nullptr && tr->outcome != db::TableOutcome::kFailed &&
+         tr->outcome != db::TableOutcome::kSkipped;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* DocOutcomeName(DocOutcome outcome) {
+  switch (outcome) {
+    case DocOutcome::kDone: return "done";
+    case DocOutcome::kResumed: return "resumed";
+    case DocOutcome::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+std::string BatchKey(
+    const std::string& example_text,
+    const std::vector<std::pair<std::string, std::string>>& table_texts,
+    const std::vector<std::string>& doc_paths) {
+  BatchHasher h;
+  h.Bytes(dsl::kDslVersion);
+  h.Bytes(example_text);
+  h.Int(table_texts.size());
+  for (const auto& [name, csv] : table_texts) {
+    h.Bytes(name);
+    h.Bytes(csv);
+  }
+  h.Int(doc_paths.size());
+  for (const std::string& path : doc_paths) h.Bytes(path);
+  return h.Hex();
+}
+
+Result<BatchManifest> ParseManifest(const std::string& path) {
+  MITRA_ASSIGN_OR_RETURN(std::string text,
+                         common::GetFileSystem()->ReadFile(path));
+  return ParseManifestText(text, DirName(path));
+}
+
+Result<BatchManifest> ParseManifestText(std::string_view text,
+                                        const std::string& base_dir) {
+  MITRA_ASSIGN_OR_RETURN(hdt::Hdt tree, json::ParseJson(text));
+  BatchManifest m;
+  std::vector<std::string> doc_values;
+  for (hdt::NodeId child : tree.node(tree.root()).children) {
+    const std::string& tag = tree.NodeTagName(child);
+    if (tag == "example") {
+      if (!tree.HasData(child)) {
+        return Status::InvalidArgument("manifest: 'example' must be a path");
+      }
+      m.example_doc = Resolve(base_dir, std::string(tree.Data(child)));
+    } else if (tag == "tables") {
+      for (hdt::NodeId entry : tree.node(child).children) {
+        if (!tree.HasData(entry)) {
+          return Status::InvalidArgument(
+              "manifest: table '" + tree.NodeTagName(entry) +
+              "' must map to a CSV path");
+        }
+        m.tables.emplace_back(tree.NodeTagName(entry),
+                              Resolve(base_dir, std::string(tree.Data(entry))));
+      }
+    } else if (tag == "documents") {
+      // An array of paths arrives as repeated same-tag leaves; a single
+      // string is indistinguishable from a one-element array, so a value
+      // is a glob iff it contains '*'.
+      if (!tree.HasData(child)) {
+        return Status::InvalidArgument(
+            "manifest: 'documents' entries must be paths");
+      }
+      doc_values.push_back(std::string(tree.Data(child)));
+    } else {
+      return Status::InvalidArgument("manifest: unknown key '" + tag + "'");
+    }
+  }
+  if (m.example_doc.empty()) {
+    return Status::InvalidArgument("manifest: missing 'example'");
+  }
+  if (m.tables.empty()) {
+    return Status::InvalidArgument("manifest: missing 'tables'");
+  }
+  if (doc_values.empty()) {
+    return Status::InvalidArgument("manifest: missing 'documents'");
+  }
+  for (const std::string& value : doc_values) {
+    if (value.find('*') != std::string::npos) {
+      MITRA_ASSIGN_OR_RETURN(std::vector<std::string> expanded,
+                             ExpandGlob(Resolve(base_dir, value)));
+      m.documents.insert(m.documents.end(), expanded.begin(), expanded.end());
+    } else {
+      m.documents.push_back(Resolve(base_dir, value));
+    }
+  }
+  return m;
+}
+
+size_t BatchReport::docs_done() const {
+  return static_cast<size_t>(
+      std::count_if(docs.begin(), docs.end(), [](const DocReport& d) {
+        return d.outcome == DocOutcome::kDone;
+      }));
+}
+
+size_t BatchReport::docs_resumed() const {
+  return static_cast<size_t>(
+      std::count_if(docs.begin(), docs.end(), [](const DocReport& d) {
+        return d.outcome == DocOutcome::kResumed;
+      }));
+}
+
+size_t BatchReport::docs_failed() const {
+  return static_cast<size_t>(
+      std::count_if(docs.begin(), docs.end(), [](const DocReport& d) {
+        return d.outcome == DocOutcome::kFailed;
+      }));
+}
+
+bool BatchReport::complete() const {
+  return learn.complete() && docs_failed() == 0;
+}
+
+std::string BatchReport::ToJson() const {
+  std::string out = "{\"complete\":";
+  out += complete() ? "true" : "false";
+  out += ",\"batch_key\":\"" + JsonEscape(batch_key) + "\"";
+  out += ",\"docs_done\":" + std::to_string(docs_done());
+  out += ",\"docs_resumed\":" + std::to_string(docs_resumed());
+  out += ",\"docs_failed\":" + std::to_string(docs_failed());
+  out += ",\"learn\":" + learn.ToJson();
+  out += ",\"docs\":[";
+  for (size_t i = 0; i < docs.size(); ++i) {
+    const DocReport& d = docs[i];
+    if (i > 0) out += ',';
+    out += "{\"path\":\"" + JsonEscape(d.path) + "\"";
+    out += ",\"index\":" + std::to_string(d.index);
+    out += ",\"outcome\":\"";
+    out += DocOutcomeName(d.outcome);
+    out += "\",\"status\":\"" + JsonEscape(d.status.message()) + "\"";
+    out += ",\"seconds\":" + JsonDouble(d.seconds);
+    out += ",\"rows_emitted\":" + std::to_string(d.rows_emitted);
+    out += "}";
+  }
+  out += "]";
+  if (!metrics.empty()) {
+    out += ",\"metrics\":{";
+    bool first = true;
+    for (const auto& [name, value] : metrics) {
+      if (!first) out += ',';
+      first = false;
+      out += "\"" + JsonEscape(name) + "\":" + std::to_string(value);
+    }
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+Result<BatchReport> RunBatch(const BatchManifest& manifest,
+                             const BatchOptions& opts) {
+  common::FileSystem* fs = common::GetFileSystem();
+
+  // ---- Load the shared example (document + per-table CSVs). ----
+  MITRA_ASSIGN_OR_RETURN(std::string example_text,
+                         fs->ReadFile(manifest.example_doc));
+  MITRA_ASSIGN_OR_RETURN(hdt::Hdt example_tree,
+                         ParseDocText(manifest.example_doc, example_text));
+
+  db::DatabaseSchema schema;
+  std::map<std::string, hdt::Table> examples;
+  std::vector<std::pair<std::string, std::string>> table_texts;
+  for (const auto& [name, path] : manifest.tables) {
+    MITRA_ASSIGN_OR_RETURN(std::string csv, fs->ReadFile(path));
+    MITRA_ASSIGN_OR_RETURN(std::vector<hdt::Row> rows, ParseCsv(csv));
+    MITRA_ASSIGN_OR_RETURN(hdt::Table table,
+                           hdt::Table::FromRows(std::move(rows)));
+    // Data-only schema, columns c0..cK-1, matching `mitra migrate`.
+    db::TableDef def;
+    def.name = name;
+    for (size_t c = 0; c < table.NumCols(); ++c) {
+      def.columns.push_back(
+          db::ColumnDef{"c" + std::to_string(c), db::ColumnKind::kData, ""});
+    }
+    schema.tables.push_back(std::move(def));
+    examples.emplace(name, std::move(table));
+    table_texts.emplace_back(name, std::move(csv));
+  }
+
+  BatchReport report;
+  report.batch_key = BatchKey(example_text, table_texts, manifest.documents);
+
+  // ---- Learn once, cache-aware. ----
+  db::MigratorOptions mopts = opts.migrator;
+  mopts.program_cache = opts.cache;
+  db::Migrator migrator(schema);
+  MITRA_ASSIGN_OR_RETURN(report.learn,
+                         migrator.LearnTolerant(example_tree, examples, mopts));
+
+  std::vector<std::string> live;
+  for (const db::TableDef& t : schema.tables) {
+    if (TableIsLive(report.learn.Find(t.name))) live.push_back(t.name);
+  }
+
+  // ---- Journal: resume completed documents. ----
+  // A resumed document's shards are re-read and re-validated (ParseCsv);
+  // anything off — stale batch key, missing or torn shard — demotes the
+  // document back to execution. Journal loss is always benign.
+  const size_t n = manifest.documents.size();
+  report.docs.resize(n);
+  std::set<size_t> resumed;
+  std::vector<std::uint64_t> resumed_rows(n, 0);
+  if (!opts.journal.empty() && !opts.fresh) {
+    auto content = fs->ReadFile(opts.journal);
+    if (content.ok()) {
+      std::set<size_t> journaled;
+      size_t pos = 0;
+      std::string line;
+      auto next_line = [&](std::string* out) {
+        if (pos >= content->size()) return false;
+        size_t nl = content->find('\n', pos);
+        if (nl == std::string::npos) nl = content->size();
+        *out = content->substr(pos, nl - pos);
+        pos = nl + 1;
+        return true;
+      };
+      bool valid = next_line(&line) && line == kJournalMagic &&
+                   next_line(&line) && line == "batch " + report.batch_key;
+      while (valid && next_line(&line)) {
+        if (line.empty()) continue;
+        if (line.compare(0, 5, "done ") != 0) {
+          valid = false;
+          break;
+        }
+        size_t sp = line.find(' ', 5);
+        if (sp == std::string::npos) {
+          valid = false;
+          break;
+        }
+        size_t index = std::strtoull(line.substr(5, sp - 5).c_str(),
+                                     nullptr, 10);
+        if (index >= n || line.substr(sp + 1) != manifest.documents[index]) {
+          valid = false;
+          break;
+        }
+        journaled.insert(index);
+      }
+      if (valid) {
+        for (size_t d : journaled) {
+          bool shards_ok = true;
+          std::uint64_t rows = 0;
+          for (const std::string& name : live) {
+            auto shard = fs->ReadFile(ShardPath(opts.outdir, name, d));
+            if (!shard.ok()) {
+              shards_ok = false;
+              break;
+            }
+            auto parsed = ParseCsv(*shard);
+            if (!parsed.ok()) {
+              shards_ok = false;
+              break;
+            }
+            rows += parsed->size();
+          }
+          if (shards_ok) {
+            resumed.insert(d);
+            resumed_rows[d] = rows;
+          }
+        }
+      }
+    }
+  }
+
+  // ---- Fan the fleet out. ----
+  MITRA_COUNT("pipeline/batch/docs_scheduled", n - resumed.size());
+  MITRA_COUNT("pipeline/batch/docs_resumed", resumed.size());
+
+  std::mutex journal_mu;
+  std::set<size_t> done_set = resumed;
+  auto write_journal_locked = [&]() {
+    if (opts.journal.empty()) return;
+    std::string out(kJournalMagic);
+    out += "\nbatch " + report.batch_key + "\n";
+    for (size_t d : done_set) {
+      out += "done " + std::to_string(d) + " " + manifest.documents[d] + "\n";
+    }
+    // Best effort: a failed journal write only costs re-execution later.
+    (void)fs->WriteFile(opts.journal, out);
+  };
+  if (!opts.journal.empty()) {
+    std::lock_guard<std::mutex> lock(journal_mu);
+    write_journal_locked();
+  }
+
+  common::ParallelFor(opts.pool, n, [&](size_t d) {
+    DocReport& dr = report.docs[d];
+    dr.path = manifest.documents[d];
+    dr.index = static_cast<int>(d);
+    if (resumed.count(d) != 0) {
+      dr.outcome = DocOutcome::kResumed;
+      dr.rows_emitted = resumed_rows[d];
+      return;
+    }
+    auto start = std::chrono::steady_clock::now();
+    Status st = [&]() -> Status {
+      MITRA_ASSIGN_OR_RETURN(std::string text, fs->ReadFile(dr.path));
+      MITRA_ASSIGN_OR_RETURN(hdt::Hdt doc, ParseDocText(dr.path, text));
+      db::MigratorOptions dopts = mopts;
+      // Fleet position, so generated keys match a single sequential
+      // ExecuteAll over the whole fleet.
+      dopts.doc_index_base = static_cast<int>(d);
+      db::MigrationReport exec = report.learn;
+      db::Database out = migrator.ExecuteTolerant({&doc}, &exec, dopts);
+      // All-or-nothing per document: a document whose execution failed
+      // for *any* live table contributes no shards at all — a partial
+      // document would make the final tables mutually inconsistent.
+      for (const std::string& name : live) {
+        const db::TableReport* tr = exec.Find(name);
+        if (!TableIsLive(tr)) {
+          return tr != nullptr && !tr->status.ok()
+                     ? tr->status
+                     : Status::Internal("table " + name +
+                                        " lost during execution");
+        }
+      }
+      std::uint64_t rows = 0;
+      for (const std::string& name : live) {
+        auto it = out.tables.find(name);
+        std::string csv;
+        if (it != out.tables.end()) {
+          rows += it->second.NumRows();
+          csv = WriteCsv(it->second.rows());
+        }
+        MITRA_RETURN_IF_ERROR(
+            fs->WriteFile(ShardPath(opts.outdir, name, d), csv));
+      }
+      dr.rows_emitted = rows;
+      return Status::OK();
+    }();
+    dr.seconds = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+    if (!st.ok()) {
+      dr.outcome = DocOutcome::kFailed;
+      dr.status = st;
+      MITRA_COUNT("pipeline/batch/docs_failed", 1);
+      return;
+    }
+    dr.outcome = DocOutcome::kDone;
+    MITRA_COUNT("pipeline/batch/docs_done", 1);
+    std::lock_guard<std::mutex> lock(journal_mu);
+    done_set.insert(d);
+    write_journal_locked();
+  });
+
+  // ---- Deterministic merge: shard bytes in fleet order. ----
+  // WriteCsv is row-local with a trailing '\n' per row, so this is
+  // byte-identical to WriteCsv over the sequentially merged table.
+  db::Database merged;
+  for (const std::string& name : live) {
+    std::string bytes;
+    std::vector<hdt::Row> all_rows;
+    for (size_t d = 0; d < n; ++d) {
+      if (report.docs[d].outcome == DocOutcome::kFailed) continue;
+      MITRA_ASSIGN_OR_RETURN(std::string shard,
+                             fs->ReadFile(ShardPath(opts.outdir, name, d)));
+      bytes += shard;
+      if (opts.write_sql) {
+        MITRA_ASSIGN_OR_RETURN(std::vector<hdt::Row> rows, ParseCsv(shard));
+        all_rows.insert(all_rows.end(),
+                        std::make_move_iterator(rows.begin()),
+                        std::make_move_iterator(rows.end()));
+      }
+    }
+    MITRA_RETURN_IF_ERROR(
+        fs->WriteFile(opts.outdir + "/" + name + ".csv", bytes));
+    if (opts.write_sql) {
+      MITRA_ASSIGN_OR_RETURN(hdt::Table table,
+                             hdt::Table::FromRows(std::move(all_rows)));
+      merged.tables.emplace(name, std::move(table));
+    }
+  }
+  if (opts.write_sql && !live.empty()) {
+    // SQL output covers the live subset of the schema only (a failed
+    // table has no data; emitting its DDL would create an empty trap).
+    db::DatabaseSchema live_schema;
+    for (const db::TableDef& t : schema.tables) {
+      if (std::find(live.begin(), live.end(), t.name) != live.end()) {
+        live_schema.tables.push_back(t);
+      }
+    }
+    MITRA_ASSIGN_OR_RETURN(std::string ddl,
+                           db::GenerateSqlSchema(live_schema));
+    MITRA_ASSIGN_OR_RETURN(std::string inserts,
+                           db::GenerateSqlInserts(live_schema, merged));
+    MITRA_RETURN_IF_ERROR(
+        fs->WriteFile(opts.outdir + "/migration.sql", ddl + inserts));
+  }
+  return report;
+}
+
+}  // namespace mitra::pipeline

@@ -1,0 +1,132 @@
+#ifndef MITRA_PIPELINE_BATCH_H_
+#define MITRA_PIPELINE_BATCH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "db/migrator.h"
+
+/// \file batch.h
+/// Multi-document migration pipeline (ISSUE 8): learn the table programs
+/// once from a shared example (consulting a persistent program cache), fan
+/// the document fleet out across a thread pool, and merge per-document
+/// shards into final tables *bit-identically* to a sequential per-document
+/// run.
+///
+/// Determinism contract: common::WriteCsv emits each row independently
+/// with a trailing '\n', so concatenating the per-document shard files in
+/// fleet order is byte-equal to WriteCsv over the sequentially merged
+/// rows — regardless of thread count or completion order. Document keys
+/// embed the fleet index (MigratorOptions::doc_index_base), so per-doc
+/// execution emits keys identical to one ExecuteAll over the whole fleet.
+///
+/// Resumability: when a journal path is set, every completed document is
+/// recorded (whole-file rewrite — idempotent against torn writes: a lost
+/// journal entry only means benign re-execution). A restart validates the
+/// journal against the batch key (example + schema + fleet + DSL version)
+/// and re-reads completed documents' shards instead of re-executing them.
+
+namespace mitra::pipeline {
+
+/// A parsed batch manifest: one shared example, the target tables, and
+/// the document fleet in migration order.
+struct BatchManifest {
+  /// Path to the example document (.xml or .json).
+  std::string example_doc;
+  /// (table name, example CSV path) in schema order.
+  std::vector<std::pair<std::string, std::string>> tables;
+  /// Fleet document paths, in fleet order (index = key prefix).
+  std::vector<std::string> documents;
+};
+
+/// Parses a manifest file. JSON object with members:
+///   "example":   path to the example document;
+///   "tables":    object of table name -> example CSV path;
+///   "documents": array of document paths, or a single glob pattern
+///                (a string containing '*', expanded non-recursively
+///                against the filesystem shim, matches sorted).
+/// Relative paths are resolved against the manifest's directory.
+Result<BatchManifest> ParseManifest(const std::string& path);
+/// Same, from manifest text plus an explicit base directory ("" = cwd).
+Result<BatchManifest> ParseManifestText(std::string_view text,
+                                        const std::string& base_dir);
+
+struct BatchOptions {
+  /// Synthesis/execution budgets; `program_cache` here is set by RunBatch
+  /// from `cache` below, and `doc_index_base` per document.
+  db::MigratorOptions migrator;
+  /// Fan-out pool; null = sequential in fleet order.
+  common::ThreadPool* pool = nullptr;
+  /// Program cache; null = always synthesize fresh.
+  db::ProgramCache* cache = nullptr;
+  /// Output directory: final tables at `<outdir>/<table>.csv`, shards at
+  /// `<outdir>/shards/<table>.<index>.csv`.
+  std::string outdir = ".";
+  /// Journal file for resumable checkpoints ("" = no checkpointing).
+  std::string journal;
+  /// Ignore (and overwrite) an existing journal: start from scratch.
+  bool fresh = false;
+  /// Also emit `<outdir>/<table>.sql` (CREATE TABLE + INSERTs).
+  bool write_sql = false;
+};
+
+enum class DocOutcome {
+  kDone,     ///< migrated in this run
+  kResumed,  ///< found complete in the journal; shards re-read, not re-run
+  kFailed,   ///< execution or shard write failed; nothing emitted for it
+};
+const char* DocOutcomeName(DocOutcome outcome);
+
+struct DocReport {
+  std::string path;
+  int index = -1;
+  DocOutcome outcome = DocOutcome::kFailed;
+  Status status;
+  double seconds = 0.0;
+  std::uint64_t rows_emitted = 0;
+};
+
+/// Structured result of one batch run (mitra batch --report=json).
+struct BatchReport {
+  /// Per-table learning outcome, including TableReport::cache_hit.
+  db::MigrationReport learn;
+  /// Per-document outcome, in fleet order.
+  std::vector<DocReport> docs;
+  /// The batch key the journal is validated against.
+  std::string batch_key;
+  /// Registry delta covering the whole run (filled by the CLI).
+  std::map<std::string, std::uint64_t> metrics;
+
+  size_t docs_done() const;
+  size_t docs_resumed() const;
+  size_t docs_failed() const;
+  /// Every table learned at full budget and every document migrated.
+  bool complete() const;
+  std::string ToJson() const;
+};
+
+/// The key identifying one batch for journal validation: a content hash
+/// over the example document, the schema (table names + example CSVs),
+/// the fleet paths in order, and dsl::kDslVersion. A changed manifest or
+/// DSL version invalidates the journal (full re-run), never corrupts it.
+std::string BatchKey(const std::string& example_text,
+                     const std::vector<std::pair<std::string, std::string>>&
+                         table_texts,
+                     const std::vector<std::string>& doc_paths);
+
+/// Runs the full pipeline: load + learn (cache-aware) + fan-out + merge.
+/// Per-document failures are tolerated (recorded in the report, other
+/// documents and tables still emitted); a Status is returned only for
+/// whole-batch failures (unreadable manifest inputs, no learnable table,
+/// unwritable final outputs).
+Result<BatchReport> RunBatch(const BatchManifest& manifest,
+                             const BatchOptions& opts);
+
+}  // namespace mitra::pipeline
+
+#endif  // MITRA_PIPELINE_BATCH_H_

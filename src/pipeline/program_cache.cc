@@ -1,0 +1,154 @@
+#include "pipeline/program_cache.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/fs.h"
+#include "common/strings.h"
+#include "dsl/parser.h"
+#include "obs/obs.h"
+
+namespace mitra::pipeline {
+
+namespace {
+
+constexpr std::string_view kMagic = "mitra-program-cache v1";
+
+std::string Hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Reads one "\n"-terminated line starting at `pos`, advancing `pos` past
+/// the terminator. Returns false at end of input.
+bool NextLine(const std::string& s, size_t* pos, std::string* line) {
+  if (*pos >= s.size()) return false;
+  size_t nl = s.find('\n', *pos);
+  if (nl == std::string::npos) {
+    *line = s.substr(*pos);
+    *pos = s.size();
+  } else {
+    *line = s.substr(*pos, nl - *pos);
+    *pos = nl + 1;
+  }
+  return true;
+}
+
+/// Parses "<label> <value>" with an exact label match.
+bool Field(const std::string& line, std::string_view label,
+           std::string* value) {
+  if (line.size() <= label.size() || line.compare(0, label.size(), label) != 0 ||
+      line[label.size()] != ' ') {
+    return false;
+  }
+  *value = line.substr(label.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeCacheEntry(const std::string& key,
+                             const db::CachedProgram& entry) {
+  std::ostringstream payload;
+  payload << "seconds " << entry.synthesis_seconds << "\n"
+          << "tried " << entry.table_extractors_tried << "\n"
+          << "consistent " << entry.table_extractors_consistent << "\n"
+          << "program\n"
+          << dsl::ToString(entry.program);
+  const std::string body = payload.str();
+  std::string out;
+  out.reserve(body.size() + 96);
+  out += kMagic;
+  out += "\nkey ";
+  out += key;
+  out += "\ncheck ";
+  out += Hex16(Fnv1a64(body.data(), body.size()));
+  out += '\n';
+  out += body;
+  return out;
+}
+
+Result<db::CachedProgram> DecodeCacheEntry(const std::string& key,
+                                           const std::string& content) {
+  size_t pos = 0;
+  std::string line, value;
+  if (!NextLine(content, &pos, &line) || line != kMagic) {
+    return Status::InvalidArgument("bad cache entry magic");
+  }
+  if (!NextLine(content, &pos, &line) || !Field(line, "key", &value)) {
+    return Status::InvalidArgument("missing cache entry key");
+  }
+  if (value != key) {
+    return Status::InvalidArgument("cache entry key mismatch (want " + key +
+                                   ", got " + value + ")");
+  }
+  if (!NextLine(content, &pos, &line) || !Field(line, "check", &value)) {
+    return Status::InvalidArgument("missing cache entry checksum");
+  }
+  const std::string body = content.substr(pos);
+  if (Hex16(Fnv1a64(body.data(), body.size())) != value) {
+    return Status::InvalidArgument("cache entry checksum mismatch");
+  }
+  db::CachedProgram entry;
+  if (!NextLine(content, &pos, &line) || !Field(line, "seconds", &value)) {
+    return Status::InvalidArgument("missing cache entry seconds");
+  }
+  entry.synthesis_seconds = std::strtod(value.c_str(), nullptr);
+  if (!NextLine(content, &pos, &line) || !Field(line, "tried", &value)) {
+    return Status::InvalidArgument("missing cache entry tried");
+  }
+  entry.table_extractors_tried = std::strtoull(value.c_str(), nullptr, 10);
+  if (!NextLine(content, &pos, &line) || !Field(line, "consistent", &value)) {
+    return Status::InvalidArgument("missing cache entry consistent");
+  }
+  entry.table_extractors_consistent =
+      std::strtoull(value.c_str(), nullptr, 10);
+  if (!NextLine(content, &pos, &line) || line != "program") {
+    return Status::InvalidArgument("missing cache entry program");
+  }
+  MITRA_ASSIGN_OR_RETURN(entry.program,
+                         dsl::ParseProgram(content.substr(pos)));
+  return entry;
+}
+
+std::string FsProgramCache::EntryPath(const std::string& key) const {
+  return dir_ + "/" + key + ".mpc";
+}
+
+std::optional<db::CachedProgram> FsProgramCache::Lookup(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto content = common::GetFileSystem()->ReadFile(EntryPath(key));
+  if (!content.ok()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    MITRA_COUNT("pipeline/cache/miss", 1);
+    return std::nullopt;
+  }
+  auto entry = DecodeCacheEntry(key, *content);
+  if (!entry.ok()) {
+    // The file existed but was bad: a poisoned or torn entry. Reads as a
+    // miss so the migrator re-synthesizes (and Store overwrites it).
+    corrupt_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    MITRA_COUNT("pipeline/cache/corrupt", 1);
+    MITRA_COUNT("pipeline/cache/miss", 1);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  MITRA_COUNT("pipeline/cache/hit", 1);
+  return std::move(*entry);
+}
+
+Status FsProgramCache::Store(const std::string& key,
+                             const db::CachedProgram& entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MITRA_RETURN_IF_ERROR(common::GetFileSystem()->WriteFile(
+      EntryPath(key), EncodeCacheEntry(key, entry)));
+  stores_.fetch_add(1, std::memory_order_relaxed);
+  MITRA_COUNT("pipeline/cache/store", 1);
+  return Status::OK();
+}
+
+}  // namespace mitra::pipeline

@@ -74,6 +74,12 @@ Status FaultyFileSystem::WriteFile(const std::string& path,
   return base_->WriteFile(path, content);
 }
 
+Result<std::vector<std::string>> FaultyFileSystem::ListDir(
+    const std::string& dir) {
+  MITRA_RETURN_IF_ERROR(MaybeFail(dir, "list"));
+  return base_->ListDir(dir);
+}
+
 std::string PoisonedXmlDocument(int width) {
   // Many near-identical siblings with colliding values: every column DFA
   // has `width` candidate nodes per value and the predicate universe

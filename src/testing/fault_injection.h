@@ -102,6 +102,7 @@ class FaultyFileSystem : public common::FileSystem {
   Result<std::string> ReadFile(const std::string& path) override;
   Status WriteFile(const std::string& path,
                    const std::string& content) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
 
   std::uint64_t failures() const {
     return failures_.load(std::memory_order_relaxed);

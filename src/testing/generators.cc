@@ -275,6 +275,9 @@ dsl::Program GenerateProgram(Rng* rng, const hdt::Hdt& tree,
     }
     p.formula = std::move(f);
   }
+  // Random draws can repeat an atom or leave one unreferenced; canonical
+  // form is what the printer emits and the parser reconstructs.
+  p.Normalize();
   return p;
 }
 

@@ -7,7 +7,11 @@
 //    surfaced: the <text> element/text-run writer ambiguity, unquoted
 //    number-lookalike JSON strings, surrogate numeric character
 //    references, DSL constants containing quotes or backslashes, and
-//    unbounded parser recursion.
+//    unbounded parser recursion;
+//  - pins the DSL print → parse round-trip as a hard invariant (ISSUE 8:
+//    the printed program IS the on-disk program-cache format) over every
+//    program the synthesizer learns on the 98-task corpus, and over
+//    generator-produced programs.
 
 #include <gtest/gtest.h>
 
@@ -16,11 +20,16 @@
 #include <sstream>
 #include <string>
 
+#include "core/synthesizer.h"
 #include "dsl/ast.h"
 #include "dsl/parser.h"
 #include "json/json_parser.h"
 #include "json/json_writer.h"
+#include "test_util.h"
 #include "testing/fuzz_util.h"
+#include "testing/generators.h"
+#include "testing/rng.h"
+#include "workload/corpus.h"
 #include "xml/xml_parser.h"
 #include "xml/xml_writer.h"
 
@@ -208,6 +217,109 @@ TEST(FuzzRegression, DslConstantWithQuoteAndBackslashRoundTrips) {
   ASSERT_TRUE(back.ok()) << text << "\n" << back.status().ToString();
   ASSERT_EQ(back->atoms.size(), 1u);
   EXPECT_EQ(back->atoms[0].rhs_const, "q\"uo\\te");
+}
+
+// --- DSL round-trip as a hard invariant (program-cache format) ----------
+
+/// Print → parse → compare ASTs, and re-print for idempotence. Any
+/// divergence here would poison the on-disk program cache silently.
+void ExpectRoundTrips(const dsl::Program& p, const std::string& context) {
+  std::string text = dsl::ToString(p);
+  auto back = dsl::ParseProgram(text);
+  ASSERT_TRUE(back.ok()) << context << ": unparseable print\n"
+                         << text << "\n"
+                         << back.status().ToString();
+  EXPECT_TRUE(back->columns == p.columns)
+      << context << ": column extractors diverged\n" << text;
+  EXPECT_TRUE(back->atoms == p.atoms)
+      << context << ": predicate atoms diverged\n" << text;
+  EXPECT_TRUE(back->formula == p.formula)
+      << context << ": formula diverged\n" << text;
+  EXPECT_EQ(dsl::ToString(*back), text)
+      << context << ": re-print is not idempotent";
+}
+
+class DslRoundTripTest : public ::testing::TestWithParam<size_t> {};
+
+/// Every program the synthesizer actually learns on the benchmark corpus
+/// survives print → parse with an identical AST, and the re-parsed
+/// program still reproduces the example table.
+TEST_P(DslRoundTripTest, CorpusProgramRoundTrips) {
+  const workload::CorpusTask task = workload::FullCorpus()[GetParam()];
+  SCOPED_TRACE(task.id);
+  if (!task.expect_solvable) GTEST_SKIP() << "unsolvable task";
+  hdt::Hdt tree = task.format == workload::DocFormat::kXml
+                      ? test::ParseXmlOrDie(task.document)
+                      : test::ParseJsonOrDie(task.document);
+  hdt::Table table = test::MakeTable(task.output);
+  core::SynthesisOptions opts;
+  opts.time_limit_seconds = 30.0;
+  auto result = core::LearnTransformation(tree, table, opts);
+  ASSERT_TRUE(result.ok()) << task.id << ": " << result.status().ToString();
+
+  ExpectRoundTrips(result->program, task.id);
+  auto back = dsl::ParseProgram(dsl::ToString(result->program));
+  ASSERT_TRUE(back.ok());
+  test::ExpectProgramYields(tree, *back, table);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCorpusPrograms, DslRoundTripTest, ::testing::Range<size_t>(0, 98),
+    [](const ::testing::TestParamInfo<size_t>& info) {
+      std::string name = workload::FullCorpus()[info.param].id;
+      for (char& c : name) {
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// Round-trip fuzzing surfaced two ways a Program AST can differ from the
+// parse of its own print: duplicate atoms (the parser interns by value)
+// and atoms no literal references (never printed, so never recovered).
+// Program::Normalize() is the fix — it maps any program onto the
+// canonical AST its printed form denotes.
+TEST(FuzzRegression, NormalizeCanonicalizesDuplicateAndOrphanAtoms) {
+  dsl::Program p;
+  dsl::ColumnExtractor col;
+  col.steps.push_back({dsl::ColOp::kChildren, "a", 0});
+  p.columns.push_back(col);
+  dsl::Atom eq;
+  eq.lhs_col = 0;
+  eq.op = dsl::CmpOp::kEq;
+  eq.rhs_is_const = true;
+  eq.rhs_const = "x";
+  dsl::Atom orphan = eq;
+  orphan.rhs_const = "never printed";
+  p.atoms = {eq, orphan, eq};  // duplicate at index 2, orphan at 1
+  p.formula.clauses = {{{2, false}}, {{0, true}}};
+
+  std::string text = dsl::ToString(p);
+  auto back = dsl::ParseProgram(text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_FALSE(back->atoms == p.atoms) << "regression input lost";
+
+  p.Normalize();
+  ASSERT_EQ(p.atoms.size(), 1u);
+  EXPECT_EQ(dsl::ToString(p), text) << "Normalize must not change meaning";
+  EXPECT_TRUE(back->atoms == p.atoms);
+  EXPECT_TRUE(back->formula == p.formula);
+}
+
+/// Generator-produced programs (arbitrary extractors, predicates with
+/// constants drawn from document data) round-trip too — this is the fuzz
+/// side of the invariant, beyond what synthesis happens to emit.
+TEST(DslRoundTrip, GeneratedProgramsRoundTrip) {
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    Rng rng(seed);
+    DocGenOptions dopts;
+    dopts.max_nodes = 24;
+    hdt::Hdt doc = GenerateDocument(&rng, dopts);
+    ProgGenOptions popts;
+    popts.max_columns = 3;
+    popts.max_atoms = 2;
+    dsl::Program p = GenerateProgram(&rng, doc, popts);
+    ExpectRoundTrips(p, "seed " + std::to_string(seed));
+  }
 }
 
 }  // namespace

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/fs.h"
+#include "obs/metrics.h"
+#include "pipeline/batch.h"
+#include "pipeline/program_cache.h"
+#include "testing/fault_injection.h"
+
+/// pipeline_resume_test (ISSUE 8): crash a batch mid-run with injected
+/// I/O faults, restart it from the journal, and prove the final tables
+/// have no duplicated or missing rows — byte-identical to an undisturbed
+/// run — with completed documents not re-executed (counter-checked).
+
+namespace mitra::pipeline {
+namespace {
+
+BatchManifest InstallFleet(common::FileSystem* fs, int num_docs) {
+  BatchManifest m;
+  EXPECT_TRUE(fs->WriteFile("/fleet/example.xml",
+                            "<db><person><name>Alice</name><age>30</age>"
+                            "</person><person><name>Bob</name><age>41</age>"
+                            "</person></db>")
+                  .ok());
+  EXPECT_TRUE(fs->WriteFile("/fleet/people.csv", "Alice,30\nBob,41\n").ok());
+  m.example_doc = "/fleet/example.xml";
+  m.tables.emplace_back("people", "/fleet/people.csv");
+  for (int d = 0; d < num_docs; ++d) {
+    std::string path = "/fleet/docs/d" + std::to_string(d) + ".xml";
+    std::string doc = "<db><person><name>n" + std::to_string(d) +
+                      "</name><age>" + std::to_string(20 + d) +
+                      "</age></person></db>";
+    EXPECT_TRUE(fs->WriteFile(path, doc).ok());
+    m.documents.push_back(path);
+  }
+  return m;
+}
+
+Result<std::string> FinalTable(const std::string& outdir) {
+  return common::GetFileSystem()->ReadFile(outdir + "/people.csv");
+}
+
+TEST(PipelineResume, CrashMidBatchThenResumeNoDupesNoGaps) {
+  common::MemoryFileSystem mem;
+  common::SetFileSystemForTest(&mem);
+  BatchManifest manifest = InstallFleet(&mem, 10);
+
+  // Undisturbed reference run.
+  {
+    BatchOptions opts;
+    opts.outdir = "/ref";
+    opts.journal = "/ref/journal";
+    auto ref = RunBatch(manifest, opts);
+    ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+    ASSERT_TRUE(ref->complete());
+  }
+  auto want = FinalTable("/ref");
+  ASSERT_TRUE(want.ok());
+  ASSERT_FALSE(want->empty());
+
+  // Faulted run: shard writes for later documents fail (simulated crash
+  // after part of the fleet completed). The batch survives — failed docs
+  // are recorded, the journal holds the completed ones.
+  FsProgramCache cache("/cache");
+  size_t first_failed = 0;
+  {
+    test::FaultyFileSystem::Options fopts;
+    // Every write touching a shard of documents 6..9 fails.
+    fopts.fail_substring = "/crash/shards/people.6";
+    test::FaultyFileSystem faulty(&mem, fopts);
+    common::SetFileSystemForTest(&faulty);
+    BatchOptions opts;
+    opts.outdir = "/crash";
+    opts.journal = "/crash/journal";
+    opts.cache = &cache;
+    auto crashed = RunBatch(manifest, opts);
+    common::SetFileSystemForTest(&mem);
+    ASSERT_TRUE(crashed.ok()) << crashed.status().ToString();
+    EXPECT_FALSE(crashed->complete());
+    EXPECT_EQ(crashed->docs_failed(), 1u);
+    EXPECT_EQ(crashed->docs_done(), 9u);
+    EXPECT_GE(faulty.failures(), 1u);
+    for (const DocReport& dr : crashed->docs) {
+      if (dr.outcome == DocOutcome::kFailed) first_failed = dr.index;
+    }
+    EXPECT_EQ(first_failed, 6u);
+  }
+
+  // The final merged table was still written, minus the failed document:
+  // tolerant, but incomplete.
+  auto partial = FinalTable("/crash");
+  ASSERT_TRUE(partial.ok());
+  EXPECT_EQ(partial->find("n6"), std::string::npos);
+
+  // Resume with the fault gone: only the failed document re-executes.
+  {
+    obs::MetricsSnapshot before = obs::SnapshotMetrics();
+    BatchOptions opts;
+    opts.outdir = "/crash";
+    opts.journal = "/crash/journal";
+    opts.cache = &cache;
+    auto resumed = RunBatch(manifest, opts);
+    ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+    obs::MetricsSnapshot delta = obs::SnapshotDelta(before);
+    EXPECT_TRUE(resumed->complete());
+    EXPECT_EQ(resumed->docs_resumed(), 9u);
+    EXPECT_EQ(resumed->docs_done(), 1u);
+    EXPECT_EQ(resumed->docs_failed(), 0u);
+    // Counter proof that completed documents were not re-executed.
+    EXPECT_EQ(delta["pipeline/batch/docs_scheduled"], 1u);
+    EXPECT_EQ(delta["pipeline/batch/docs_resumed"], 9u);
+    EXPECT_EQ(delta["pipeline/batch/docs_done"], 1u);
+    // Learning came from the cache, not synthesis.
+    EXPECT_TRUE(resumed->learn.tables[0].cache_hit);
+    EXPECT_EQ(delta.count("synth/phase2/candidates_enumerated"), 0u);
+  }
+
+  // No duplicated rows, no missing rows: byte-identical to the reference.
+  auto healed = FinalTable("/crash");
+  ASSERT_TRUE(healed.ok());
+  EXPECT_EQ(*healed, *want);
+
+  common::SetFileSystemForTest(nullptr);
+}
+
+TEST(PipelineResume, StaleJournalIsIgnored) {
+  common::MemoryFileSystem mem;
+  common::SetFileSystemForTest(&mem);
+  BatchManifest manifest = InstallFleet(&mem, 3);
+
+  BatchOptions opts;
+  opts.outdir = "/out";
+  opts.journal = "/out/journal";
+  {
+    auto first = RunBatch(manifest, opts);
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(first->complete());
+  }
+  auto want = FinalTable("/out");
+  ASSERT_TRUE(want.ok());
+
+  // Change the fleet (new document): the batch key changes, the old
+  // journal must be discarded — every document re-executes, none is
+  // wrongly "resumed" into the new fleet.
+  EXPECT_TRUE(mem.WriteFile("/fleet/docs/d3.xml",
+                            "<db><person><name>n3</name><age>23</age>"
+                            "</person></db>")
+                  .ok());
+  manifest.documents.push_back("/fleet/docs/d3.xml");
+  auto second = RunBatch(manifest, opts);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->complete());
+  EXPECT_EQ(second->docs_resumed(), 0u);
+  EXPECT_EQ(second->docs_done(), 4u);
+  auto healed = FinalTable("/out");
+  ASSERT_TRUE(healed.ok());
+  EXPECT_NE(healed->find("n3"), std::string::npos);
+
+  // A garbage journal likewise reads as "nothing completed".
+  EXPECT_TRUE(mem.WriteFile("/out/journal", "not a journal\n").ok());
+  auto third = RunBatch(manifest, opts);
+  ASSERT_TRUE(third.ok());
+  EXPECT_TRUE(third->complete());
+  EXPECT_EQ(third->docs_resumed(), 0u);
+  auto again = FinalTable("/out");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *healed);
+
+  common::SetFileSystemForTest(nullptr);
+}
+
+TEST(PipelineResume, ResumedShardMissingForcesReexecution) {
+  common::MemoryFileSystem mem;
+  common::SetFileSystemForTest(&mem);
+  BatchManifest manifest = InstallFleet(&mem, 4);
+
+  BatchOptions opts;
+  opts.outdir = "/out";
+  opts.journal = "/out/journal";
+  {
+    auto first = RunBatch(manifest, opts);
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(first->complete());
+  }
+  auto want = FinalTable("/out");
+  ASSERT_TRUE(want.ok());
+
+  // A journaled document whose shard vanished (torn write, manual
+  // cleanup) is demoted back to execution, not trusted.
+  mem.Remove("/out/shards/people.2.csv");
+  auto second = RunBatch(manifest, opts);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->complete());
+  EXPECT_EQ(second->docs_resumed(), 3u);
+  EXPECT_EQ(second->docs_done(), 1u);
+  auto healed = FinalTable("/out");
+  ASSERT_TRUE(healed.ok());
+  EXPECT_EQ(*healed, *want);
+
+  common::SetFileSystemForTest(nullptr);
+}
+
+}  // namespace
+}  // namespace mitra::pipeline

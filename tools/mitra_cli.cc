@@ -53,6 +53,8 @@
 #include "json/js_codegen.h"
 #include "json/json_parser.h"
 #include "obs/obs.h"
+#include "pipeline/batch.h"
+#include "pipeline/program_cache.h"
 #include "xml/xml_parser.h"
 #include "xml/xslt_codegen.h"
 
@@ -126,6 +128,9 @@ int Usage() {
       "  mitra migrate --doc example.{xml,json} --tables name=ex.csv,...\n"
       "              [--target big.{xml,json}] [--outdir DIR]\n"
       "              [--report=json] [--threads N] [budget flags]\n"
+      "  mitra batch --manifest batch.json [--outdir DIR] [--cache DIR]\n"
+      "              [--journal FILE] [--fresh] [--sql] [--report=json]\n"
+      "              [--threads N] [budget flags]\n"
       "budget flags: --time-limit SECONDS --max-states N --max-rows N\n"
       "              --max-memory-mb N\n"
       "observability: --trace=FILE (Chrome trace JSON)\n"
@@ -396,6 +401,83 @@ int Migrate(const std::map<std::string, std::string>& flags) {
   return kExitError;
 }
 
+int Batch(const std::map<std::string, std::string>& flags) {
+  auto manifest_it = flags.find("manifest");
+  if (manifest_it == flags.end() || manifest_it->second.empty()) {
+    return Usage();
+  }
+  auto manifest = pipeline::ParseManifest(manifest_it->second);
+  if (!manifest.ok()) return Fail(manifest.status());
+
+  pipeline::BatchOptions bopts;
+  bopts.migrator.table_limits = LimitsFlags(flags);
+  auto outdir_it = flags.find("outdir");
+  if (outdir_it != flags.end() && !outdir_it->second.empty()) {
+    bopts.outdir = outdir_it->second;
+  }
+  // Checkpointing is on by default (the journal is cheap and a crash-free
+  // run leaves a complete one behind); --journal overrides the location.
+  auto journal_it = flags.find("journal");
+  bopts.journal = journal_it != flags.end() && !journal_it->second.empty()
+                      ? journal_it->second
+                      : bopts.outdir + "/batch.journal";
+  bopts.fresh = flags.count("fresh") != 0;
+  bopts.write_sql = flags.count("sql") != 0;
+
+  std::optional<pipeline::FsProgramCache> cache;
+  auto cache_it = flags.find("cache");
+  if (cache_it != flags.end() && !cache_it->second.empty()) {
+    cache.emplace(cache_it->second);
+    bopts.cache = &*cache;
+  }
+
+  const int threads_flag = ThreadsFlag(flags);
+  const unsigned threads =
+      threads_flag == 0
+          ? common::ThreadPool::HardwareThreads()
+          : static_cast<unsigned>(std::max(1, threads_flag));
+  std::optional<common::ThreadPool> pool;
+  if (threads > 1) {
+    pool.emplace(threads);
+    bopts.pool = &*pool;
+  }
+
+  obs::MetricsSnapshot metrics_before = obs::SnapshotMetrics();
+  auto report = pipeline::RunBatch(*manifest, bopts);
+  if (!report.ok()) return Fail(report.status());
+  report->metrics = obs::SnapshotDelta(metrics_before);
+
+  auto report_it = flags.find("report");
+  if (report_it != flags.end() && report_it->second == "json") {
+    std::printf("%s\n", report->ToJson().c_str());
+  } else {
+    for (const db::TableReport& tr : report->learn.tables) {
+      std::fprintf(stderr, "table %-20s %-9s rung=%d cache_hit=%d %s\n",
+                   tr.table.c_str(), db::TableOutcomeName(tr.outcome),
+                   tr.rung, tr.cache_hit ? 1 : 0,
+                   tr.status.ok() ? "" : tr.status.ToString().c_str());
+    }
+    std::fprintf(stderr,
+                 "docs: %zu done, %zu resumed, %zu failed (of %zu)\n",
+                 report->docs_done(), report->docs_resumed(),
+                 report->docs_failed(), report->docs.size());
+  }
+
+  if (report->complete()) return kExitOk;
+  const bool any_table =
+      report->learn.num_failed() < report->learn.tables.size();
+  const bool any_doc = report->docs_failed() < report->docs.size();
+  if (any_table && any_doc) return kExitPartialMigration;
+  // Nothing migrated: surface the first failure's class.
+  for (const db::TableReport& tr : report->learn.tables) {
+    if (!tr.status.ok()) return ExitCodeFor(tr.status);
+  }
+  for (const pipeline::DocReport& dr : report->docs) {
+    if (!dr.status.ok()) return ExitCodeFor(dr.status);
+  }
+  return kExitError;
+}
+
 /// Dispatches a subcommand with observability wrapped around it: when
 /// --trace/--metrics name a file, tracing is enabled for the whole run and
 /// the exports are written after the command finishes (whatever its exit
@@ -418,6 +500,8 @@ int Run(const char* command,
     code = Apply(flags);
   } else if (std::strcmp(command, "migrate") == 0) {
     code = Migrate(flags);
+  } else if (std::strcmp(command, "batch") == 0) {
+    code = Batch(flags);
   } else {
     return Usage();
   }
