@@ -1,14 +1,125 @@
 #include "common/fs.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#include "obs/obs.h"
+
 namespace mitra::common {
 
 namespace {
+
+constexpr std::string_view kTempSuffix = ".mitra-tmp";
+
+/// Maps an errno from a filesystem syscall to a Status class: the
+/// interrupted/again family is transient (kUnavailable — a retry may
+/// succeed), space exhaustion is kResourceExhausted, everything else is a
+/// permanent InvalidArgument.
+StatusCode CodeForErrno(int err) {
+  switch (err) {
+    case EINTR:
+    case EAGAIN:
+#if defined(EWOULDBLOCK) && EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+    case EBUSY:
+    case ETIMEDOUT:
+      return StatusCode::kUnavailable;
+    case ENOSPC:
+#ifdef EDQUOT
+    case EDQUOT:
+#endif
+    case EMFILE:
+    case ENFILE:
+      return StatusCode::kResourceExhausted;
+    default:
+      return StatusCode::kInvalidArgument;
+  }
+}
+
+Status ErrnoStatus(const char* op, const std::string& path, int err) {
+  return Status(CodeForErrno(err), std::string(op) + " failed: " + path +
+                                       " (" + std::strerror(err) + ")");
+}
+
+/// Writes all of `content` to `fd`, retrying EINTR-interrupted and short
+/// writes. Anything else is the caller's errno.
+bool WriteAll(int fd, const std::string& content) {
+  size_t off = 0;
+  while (off < content.size()) {
+    ssize_t n = ::write(fd, content.data() + off, content.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+Status CreateParents(const std::string& path) {
+  std::filesystem::path p(path);
+  if (!p.has_parent_path()) return Status::OK();
+  std::error_code ec;
+  std::filesystem::create_directories(p.parent_path(), ec);
+  // Racing creators and pre-existing directories are fine; a hard failure
+  // shows up when the file itself is opened.
+  return Status::OK();
+}
+
+/// Opens `path`, writes `content`, and (when `durable`) fsyncs before
+/// closing. Every syscall result is checked: a short write, failed flush,
+/// or failed close surfaces as a Status — a full disk must not report
+/// success.
+Status WriteWholeFile(const std::string& path, const std::string& content,
+                      bool durable) {
+  MITRA_RETURN_IF_ERROR(CreateParents(path));
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return ErrnoStatus("open", path, errno);
+  if (!WriteAll(fd, content)) {
+    Status st = ErrnoStatus("write", path, errno);
+    ::close(fd);
+    return st;
+  }
+  if (durable && ::fsync(fd) != 0) {
+    Status st = ErrnoStatus("fsync", path, errno);
+    ::close(fd);
+    return st;
+  }
+  if (::close(fd) != 0) return ErrnoStatus("close", path, errno);
+  return Status::OK();
+}
+
+/// fsyncs the directory containing `path`, making a just-committed rename
+/// durable. Best effort on filesystems that reject directory fds.
+Status SyncParentDir(const std::string& path) {
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    // Some filesystems refuse O_RDONLY on directories (EACCES/EINVAL);
+    // the rename itself already succeeded, so don't fail the write.
+    return Status::OK();
+  }
+  Status st;
+  if (::fsync(fd) != 0 && errno != EINVAL && errno != EROFS) {
+    st = ErrnoStatus("fsync dir", dir, errno);
+  }
+  ::close(fd);
+  return st;
+}
 
 class DiskFileSystem : public FileSystem {
  public:
@@ -23,19 +134,26 @@ class DiskFileSystem : public FileSystem {
 
   Status WriteFile(const std::string& path,
                    const std::string& content) override {
-    // Best-effort parent creation: the batch pipeline writes shards and
-    // cache entries under directories that need not pre-exist. Failure
-    // falls through to the ofstream error below.
-    std::filesystem::path p(path);
-    if (p.has_parent_path()) {
-      std::error_code ec;
-      std::filesystem::create_directories(p.parent_path(), ec);
+    return WriteWholeFile(path, content, /*durable=*/false);
+  }
+
+  Status WriteFileAtomic(const std::string& path,
+                         const std::string& content) override {
+    const std::string tmp = TempPathFor(path);
+    Status st = WriteWholeFile(tmp, content, /*durable=*/true);
+    if (st.ok()) {
+      if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        st = ErrnoStatus("rename", tmp + " -> " + path, errno);
+      } else {
+        st = SyncParentDir(path);
+      }
     }
-    std::ofstream out(path, std::ios::binary);
-    if (!out) return Status::InvalidArgument("cannot write " + path);
-    out << content;
-    out.flush();
-    if (!out) return Status::InvalidArgument("write failed: " + path);
+    if (!st.ok()) {
+      ::unlink(tmp.c_str());  // roll the staging file back, best effort
+      MITRA_COUNT("fs/atomic_rollback", 1);
+      return st;
+    }
+    MITRA_COUNT("fs/atomic_commit", 1);
     return Status::OK();
   }
 
@@ -48,16 +166,49 @@ class DiskFileSystem : public FileSystem {
     }
     std::vector<std::string> out;
     for (const auto& entry : it) {
-      if (entry.is_regular_file(ec)) out.push_back(entry.path().string());
+      if (!entry.is_regular_file(ec)) continue;
+      if (IsTempPath(entry.path().filename().string())) continue;
+      out.push_back(entry.path().string());
     }
     std::sort(out.begin(), out.end());
     return out;
+  }
+
+  bool Exists(const std::string& path) override {
+    std::error_code ec;
+    return std::filesystem::exists(path, ec);
+  }
+
+  Status Remove(const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);  // false (missing) is idempotent OK
+    if (ec) {
+      return Status::InvalidArgument("remove failed: " + path + " (" +
+                                     ec.message() + ")");
+    }
+    return Status::OK();
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename", from + " -> " + to, errno);
+    }
+    return Status::OK();
   }
 };
 
 std::atomic<FileSystem*> g_fs_override{nullptr};
 
 }  // namespace
+
+std::string TempPathFor(const std::string& path) {
+  return path + std::string(kTempSuffix);
+}
+
+bool IsTempPath(std::string_view path) {
+  return path.size() >= kTempSuffix.size() &&
+         path.substr(path.size() - kTempSuffix.size()) == kTempSuffix;
+}
 
 FileSystem* RealFileSystem() {
   static DiskFileSystem* fs = new DiskFileSystem();
@@ -71,6 +222,40 @@ FileSystem* GetFileSystem() {
 
 void SetFileSystemForTest(FileSystem* fs) {
   g_fs_override.store(fs, std::memory_order_release);
+}
+
+Status FileSystem::WriteFileAtomic(const std::string& path,
+                                   const std::string& content) {
+  // Two-phase protocol via the virtual primitives, so wrappers see (and
+  // can fail) each phase: a crash between WriteFile and Rename leaves the
+  // destination untouched with a temp sibling to be overwritten later.
+  const std::string tmp = TempPathFor(path);
+  MITRA_RETURN_IF_ERROR(WriteFile(tmp, content));
+  Status st = Rename(tmp, path);
+  if (!st.ok()) {
+    (void)Remove(tmp);
+    MITRA_COUNT("fs/atomic_rollback", 1);
+    return st;
+  }
+  MITRA_COUNT("fs/atomic_commit", 1);
+  return Status::OK();
+}
+
+bool FileSystem::Exists(const std::string& path) {
+  return ReadFile(path).ok();
+}
+
+Status FileSystem::Remove(const std::string& path) {
+  return Status::InvalidArgument("Remove not supported by this FileSystem (" +
+                                 path + ")");
+}
+
+Status FileSystem::Rename(const std::string& from, const std::string& to) {
+  // Non-atomic fallback for minimal doubles; real implementations
+  // override with an atomic move.
+  MITRA_ASSIGN_OR_RETURN(std::string content, ReadFile(from));
+  MITRA_RETURN_IF_ERROR(WriteFile(to, content));
+  return Remove(from);
 }
 
 Result<std::string> MemoryFileSystem::ReadFile(const std::string& path) {
@@ -102,19 +287,33 @@ Result<std::vector<std::string>> MemoryFileSystem::ListDir(
       continue;
     }
     if (path.find('/', prefix.size()) != std::string::npos) continue;
+    if (IsTempPath(path)) continue;  // atomic-write leftovers stay hidden
     out.push_back(path);  // map iteration: already sorted
   }
   return out;
 }
 
-bool MemoryFileSystem::Exists(const std::string& path) const {
+bool MemoryFileSystem::Exists(const std::string& path) {
   std::lock_guard<std::mutex> lock(mu_);
   return files_.count(path) != 0;
 }
 
-void MemoryFileSystem::Remove(const std::string& path) {
+Status MemoryFileSystem::Remove(const std::string& path) {
   std::lock_guard<std::mutex> lock(mu_);
-  files_.erase(path);
+  files_.erase(path);  // idempotent: removing a missing file is OK
+  return Status::OK();
+}
+
+Status MemoryFileSystem::Rename(const std::string& from,
+                                const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(from);
+  if (it == files_.end()) {
+    return Status::InvalidArgument("rename: no such file " + from);
+  }
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+  return Status::OK();
 }
 
 Result<std::vector<std::string>> FileSystem::ListDir(const std::string& dir) {

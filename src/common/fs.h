@@ -4,6 +4,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -15,8 +16,26 @@
 /// implementation (SetFileSystemForTest) and drive the "simulated I/O
 /// error" arm of the fault-injection harness without touching the real
 /// disk.
+///
+/// Crash consistency (ISSUE 9): WriteFileAtomic is the two-phase durable
+/// write every batch-pipeline output goes through — write a temp sibling
+/// (`<path>.mitra-tmp`), flush it to stable storage, rename it into place,
+/// then flush the parent directory. A crash leaves either the old file or
+/// the new one, never a torn mixture. The base-class implementation
+/// decomposes into this->WriteFile(temp) + this->Rename(temp, path), so
+/// wrapper filesystems (FaultyFileSystem, CrashPointFileSystem) interpose
+/// on each phase and can fail or "crash" inside the temp-write/rename
+/// window; the disk implementation overrides it with the full
+/// open/write/fsync/rename/fsync-dir protocol.
 
 namespace mitra::common {
+
+/// The temp sibling WriteFileAtomic stages into: `<path>.mitra-tmp`.
+std::string TempPathFor(const std::string& path);
+/// True for atomic-write staging files. ListDir implementations exclude
+/// them, so a crash-leftover temp never leaks into manifest glob
+/// expansion or directory scans.
+bool IsTempPath(std::string_view path);
 
 class FileSystem {
  public:
@@ -25,18 +44,43 @@ class FileSystem {
   virtual Result<std::string> ReadFile(const std::string& path) = 0;
   /// Creates/truncates and writes the whole file. The disk implementation
   /// creates missing parent directories (the batch pipeline writes shard
-  /// files under a fresh output directory).
+  /// files under a fresh output directory) and reports short writes and
+  /// close/flush failures as a Status (a full disk is an error, not a
+  /// silent success). Not crash-consistent: use WriteFileAtomic for
+  /// outputs that must never be observed torn.
   virtual Status WriteFile(const std::string& path,
                            const std::string& content) = 0;
+  /// Two-phase crash-consistent write: stage the content into
+  /// TempPathFor(path), then rename into place. After it returns OK the
+  /// content is durable (disk: fsync file + parent dir); after a crash at
+  /// any point the destination holds either its previous content or the
+  /// new content in full. The default implementation decomposes into
+  /// WriteFile + Rename on *this* (wrappers interpose per phase); a failed
+  /// rename removes the temp file (rollback).
+  virtual Status WriteFileAtomic(const std::string& path,
+                                 const std::string& content);
   /// Full paths of the regular files directly inside `dir`, sorted
   /// lexicographically (the batch manifest's glob expansion relies on the
-  /// order being deterministic). Subdirectories are not listed. The base
-  /// implementation reports InvalidArgument so minimal test doubles that
-  /// only read/write keep compiling.
+  /// order being deterministic). Subdirectories and atomic-write temp
+  /// files (IsTempPath) are not listed. The base implementation reports
+  /// InvalidArgument so minimal test doubles that only read/write keep
+  /// compiling.
   virtual Result<std::vector<std::string>> ListDir(const std::string& dir);
+  /// True if `path` exists. The base implementation probes with ReadFile.
+  virtual bool Exists(const std::string& path);
+  /// Removes the file. Idempotent: removing a missing file is OK (the
+  /// quarantine and atomic-rollback paths must tolerate replays).
+  virtual Status Remove(const std::string& path);
+  /// Atomically replaces `to` with `from` (disk: POSIX rename(2); the
+  /// in-memory implementation moves the map entry under its lock). The
+  /// base implementation is a non-atomic read+write+remove fallback for
+  /// minimal doubles.
+  virtual Status Rename(const std::string& from, const std::string& to);
 };
 
-/// The real (disk-backed) filesystem; a process-wide singleton.
+/// The real (disk-backed) filesystem; a process-wide singleton. Syscall
+/// failures in the EINTR/EAGAIN class surface as kUnavailable (transient,
+/// retryable); ENOSPC-class exhaustion as kResourceExhausted.
 FileSystem* RealFileSystem();
 
 /// The filesystem all mitra tools use. RealFileSystem() unless a test has
@@ -48,16 +92,18 @@ FileSystem* GetFileSystem();
 void SetFileSystemForTest(FileSystem* fs);
 
 /// An in-memory FileSystem for tests: a path→content map behind a mutex.
+/// WriteFileAtomic uses the inherited two-phase decomposition, so the
+/// temp-write/rename protocol is observable through wrappers exactly as
+/// on disk.
 class MemoryFileSystem : public FileSystem {
  public:
   Result<std::string> ReadFile(const std::string& path) override;
   Status WriteFile(const std::string& path,
                    const std::string& content) override;
   Result<std::vector<std::string>> ListDir(const std::string& dir) override;
-
-  bool Exists(const std::string& path) const;
-  /// Removes the file if present (test setup for resume/poisoning cases).
-  void Remove(const std::string& path);
+  bool Exists(const std::string& path) override;
+  Status Remove(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
 
  private:
   mutable std::mutex mu_;

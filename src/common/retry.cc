@@ -1,0 +1,71 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+namespace mitra::common {
+
+namespace {
+
+/// splitmix64 finalizer: decorrelates (seed, attempt) into jitter draws.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool IsTransient(const Status& status) {
+  return status.code() == StatusCode::kUnavailable;
+}
+
+double RetryPolicy::BackoffMs(int attempt) const {
+  double base = opts_.initial_backoff_ms;
+  for (int i = 1; i < attempt; ++i) base *= opts_.backoff_multiplier;
+  base = std::min(base, opts_.max_backoff_ms);
+  if (opts_.jitter > 0.0) {
+    const std::uint64_t draw =
+        Mix64(opts_.seed ^ (static_cast<std::uint64_t>(attempt) *
+                            0xD1B54A32D192ED03ull));
+    // Uniform in [-1, 1) from the top 53 bits, then scaled by jitter.
+    const double unit =
+        static_cast<double>(draw >> 11) * (1.0 / 9007199254740992.0);
+    base *= 1.0 + opts_.jitter * (2.0 * unit - 1.0);
+  }
+  return std::max(base, 0.0);
+}
+
+RetryResult RetryPolicy::Run(const std::function<Status()>& fn) const {
+  RetryResult result;
+  const int max_attempts = std::max(1, opts_.max_attempts);
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    result.attempts = attempt;
+    result.status = fn();
+    if (result.status.ok()) return result;
+    const bool transient = IsTransient(result.status);
+    const bool last = attempt == max_attempts || !transient;
+    const double backoff = last ? 0.0 : BackoffMs(attempt);
+    char line[64];
+    std::snprintf(line, sizeof(line), " (backoff %.2fms)", backoff);
+    result.trail.push_back("attempt " + std::to_string(attempt) + ": " +
+                           result.status.ToString() +
+                           (last ? "" : line));
+    if (!transient) return result;  // permanent: retrying cannot help
+    if (attempt == max_attempts) {
+      result.exhausted = true;
+      return result;
+    }
+    if (opts_.sleep_ms) {
+      opts_.sleep_ms(backoff);
+    } else if (backoff > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(backoff));
+    }
+  }
+  return result;  // unreachable
+}
+
+}  // namespace mitra::common

@@ -1,0 +1,83 @@
+#ifndef MITRA_COMMON_RETRY_H_
+#define MITRA_COMMON_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file retry.h
+/// Transient-fault retry with exponential backoff (ISSUE 9). The batch
+/// pipeline wraps per-document parse/execute/write in a RetryPolicy so an
+/// EINTR/EAGAIN-class I/O hiccup (StatusCode::kUnavailable) costs one
+/// backoff sleep, not a failed document. Jitter is derived
+/// deterministically from a seed, and the sleep function is injectable, so
+/// tests (and the 1-vs-8-thread smoke in CI) get bit-identical retry
+/// schedules with zero wall-clock cost.
+
+namespace mitra::common {
+
+/// True when a later retry of the same operation may cure the failure.
+/// Exactly the kUnavailable class: every other code (parse errors, budget
+/// exhaustion, invariant violations) is permanent and retrying would only
+/// burn the fleet's time.
+bool IsTransient(const Status& status);
+
+struct RetryOptions {
+  /// Total attempts, including the first (1 = no retry).
+  int max_attempts = 3;
+  /// Backoff before retry k (1-based) is
+  /// min(initial * multiplier^(k-1), max) * jitter_factor.
+  double initial_backoff_ms = 10.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 1000.0;
+  /// Jitter amplitude: the factor is uniform in [1-jitter, 1+jitter],
+  /// drawn deterministically from (seed, attempt). 0 disables jitter.
+  double jitter = 0.5;
+  std::uint64_t seed = 1;
+  /// Injectable sleep; nullptr = std::this_thread::sleep_for. Tests pass
+  /// a recorder/no-op so retries are instantaneous and observable.
+  std::function<void(double ms)> sleep_ms;
+};
+
+/// Outcome of RetryPolicy::Run, including the trail the quarantine report
+/// records.
+struct RetryResult {
+  Status status;       ///< final status (OK, first permanent, or last transient)
+  int attempts = 0;    ///< attempts actually made (>= 1)
+  bool exhausted = false;  ///< transient failures used up max_attempts
+  /// One human-readable line per failed attempt:
+  /// "attempt N: <status> (backoff X.XXms)".
+  std::vector<std::string> trail;
+
+  bool recovered() const { return status.ok() && attempts > 1; }
+};
+
+/// Runs an operation under RetryOptions. Thread-compatible: construct one
+/// per logical operation (the pipeline mixes the document index into the
+/// seed so schedules are deterministic per document, independent of
+/// thread interleaving).
+class RetryPolicy {
+ public:
+  explicit RetryPolicy(RetryOptions opts) : opts_(std::move(opts)) {}
+
+  /// The deterministic backoff before retry `attempt` (1-based: the sleep
+  /// after the attempt-th failure), jitter included.
+  double BackoffMs(int attempt) const;
+
+  /// Calls `fn` until it returns OK, returns a permanent (non-transient)
+  /// error, or max_attempts is exhausted. Sleeps BackoffMs(k) between
+  /// transient attempts.
+  RetryResult Run(const std::function<Status()>& fn) const;
+
+  const RetryOptions& options() const { return opts_; }
+
+ private:
+  RetryOptions opts_;
+};
+
+}  // namespace mitra::common
+
+#endif  // MITRA_COMMON_RETRY_H_

@@ -31,6 +31,11 @@ enum class StatusCode {
   kResourceExhausted,
   /// Internal invariant violation; indicates a bug in this library.
   kInternal,
+  /// A transient environment failure (interrupted syscall, EAGAIN-class
+  /// I/O error, injected transient fault): retrying the same operation may
+  /// succeed. common::IsTransient() keys off this code; every other code
+  /// is permanent.
+  kUnavailable,
 };
 
 /// Returns a human-readable name for a StatusCode (e.g. "ParseError").
@@ -65,6 +70,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

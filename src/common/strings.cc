@@ -97,4 +97,26 @@ uint64_t Fnv1a64(const void* data, size_t n, uint64_t seed) {
   return h;
 }
 
+uint32_t Crc32(const void* data, size_t n, uint32_t crc) {
+  // Table generated lazily from the reflected IEEE polynomial 0xEDB88320;
+  // thread-safe via the C++11 static-initialization guarantee.
+  static const auto* kTable = [] {
+    auto* table = new uint32_t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return table;
+  }();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = kTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
 }  // namespace mitra

@@ -41,6 +41,11 @@ std::string ReplaceAll(std::string_view s, std::string_view from,
 /// 64-bit FNV-1a hash, used for hashing node-set signatures.
 uint64_t Fnv1a64(const void* data, size_t n, uint64_t seed = 1469598103934665603ULL);
 
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/`cksum -o 3` variant). Used by
+/// the batch journal to detect torn-but-parseable shard files. Chainable:
+/// pass the previous return value as `crc` to extend over more data.
+uint32_t Crc32(const void* data, size_t n, uint32_t crc = 0);
+
 /// Hash combiner (boost-style).
 inline uint64_t HashCombine(uint64_t h, uint64_t v) {
   return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));

@@ -4,11 +4,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <mutex>
+#include <optional>
 #include <set>
 
 #include "common/csv.h"
 #include "common/fs.h"
+#include "common/retry.h"
 #include "common/strings.h"
 #include "db/sql_codegen.h"
 #include "dsl/ast.h"
@@ -20,7 +23,12 @@ namespace mitra::pipeline {
 
 namespace {
 
-constexpr std::string_view kJournalMagic = "mitra-batch-journal v1";
+/// Journal format v2: per-`done` line CRC-32 over the document's shard
+/// bytes (concatenated in live-table order), plus `quarantine` lines.
+/// v1 journals (no CRC, no quarantine) are still read — their documents
+/// are validated by re-parse only — and the next write upgrades to v2.
+constexpr std::string_view kJournalMagicV1 = "mitra-batch-journal v1";
+constexpr std::string_view kJournalMagicV2 = "mitra-batch-journal v2";
 
 bool HasSuffix(const std::string& s, std::string_view suffix) {
   return s.size() >= suffix.size() &&
@@ -152,6 +160,96 @@ std::string JsonDouble(double v) {
   return buf;
 }
 
+std::string Crc32Hex(std::uint32_t crc) {
+  char buf[9];
+  std::snprintf(buf, sizeof(buf), "%08x", crc);
+  return buf;
+}
+
+/// Everything the journal tells a resuming run. `done` maps document
+/// index to the recorded shard CRC (nullopt for v1 entries, which carry
+/// none).
+struct JournalState {
+  bool valid = false;
+  std::map<size_t, std::optional<std::uint32_t>> done;
+  std::set<size_t> quarantined;
+};
+
+/// Parses a journal (v1 or v2) against the expected batch key and fleet.
+/// Any structural violation invalidates the whole journal — resuming from
+/// garbage must degrade to a full (benign) re-run, never to corruption.
+JournalState ParseJournal(const std::string& content,
+                          const std::string& batch_key,
+                          const std::vector<std::string>& documents) {
+  JournalState js;
+  size_t pos = 0;
+  std::string line;
+  auto next_line = [&](std::string* out) {
+    if (pos >= content.size()) return false;
+    size_t nl = content.find('\n', pos);
+    if (nl == std::string::npos) nl = content.size();
+    *out = content.substr(pos, nl - pos);
+    pos = nl + 1;
+    return true;
+  };
+  if (!next_line(&line)) return js;
+  const bool v2 = line == kJournalMagicV2;
+  if (!v2 && line != kJournalMagicV1) return js;
+  if (!next_line(&line) || line != "batch " + batch_key) return js;
+  while (next_line(&line)) {
+    if (line.empty()) continue;
+    bool is_done = line.compare(0, 5, "done ") == 0;
+    bool is_quarantine = v2 && line.compare(0, 11, "quarantine ") == 0;
+    if (!is_done && !is_quarantine) return js;
+    size_t field = is_done ? 5 : 11;
+    size_t sp = line.find(' ', field);
+    if (sp == std::string::npos) return js;
+    size_t index =
+        std::strtoull(line.substr(field, sp - field).c_str(), nullptr, 10);
+    if (index >= documents.size()) return js;
+    std::optional<std::uint32_t> crc;
+    if (is_done && v2) {
+      // v2: "done <index> <crc8hex> <path>".
+      size_t crc_end = line.find(' ', sp + 1);
+      if (crc_end == std::string::npos || crc_end - sp - 1 != 8) return js;
+      const std::string hex = line.substr(sp + 1, 8);
+      char* end = nullptr;
+      crc = static_cast<std::uint32_t>(std::strtoul(hex.c_str(), &end, 16));
+      if (end != hex.c_str() + hex.size()) return js;
+      sp = crc_end;
+    }
+    if (line.substr(sp + 1) != documents[index]) return js;
+    if (is_done) {
+      js.done[index] = crc;
+    } else {
+      js.quarantined.insert(index);
+    }
+  }
+  js.valid = true;
+  return js;
+}
+
+std::string QuarantineReportPath(const std::string& qdir, size_t index) {
+  return qdir + "/doc." + std::to_string(index) + ".json";
+}
+
+/// The per-document quarantine report: the failing Status plus the full
+/// retry trail, so an operator can tell a poison document from a flaky
+/// environment without re-running the fleet.
+std::string QuarantineReportJson(const DocReport& dr) {
+  std::string out = "{\"path\":\"" + JsonEscape(dr.path) + "\"";
+  out += ",\"index\":" + std::to_string(dr.index);
+  out += ",\"status\":\"" + JsonEscape(dr.status.ToString()) + "\"";
+  out += ",\"attempts\":" + std::to_string(dr.attempts);
+  out += ",\"retry_trail\":[";
+  for (size_t i = 0; i < dr.retry_trail.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "\"" + JsonEscape(dr.retry_trail[i]) + "\"";
+  }
+  out += "]}";
+  return out;
+}
+
 }  // namespace
 
 const char* DocOutcomeName(DocOutcome outcome) {
@@ -159,6 +257,7 @@ const char* DocOutcomeName(DocOutcome outcome) {
     case DocOutcome::kDone: return "done";
     case DocOutcome::kResumed: return "resumed";
     case DocOutcome::kFailed: return "failed";
+    case DocOutcome::kQuarantined: return "quarantined";
   }
   return "unknown";
 }
@@ -263,8 +362,15 @@ size_t BatchReport::docs_failed() const {
       }));
 }
 
+size_t BatchReport::docs_quarantined() const {
+  return static_cast<size_t>(
+      std::count_if(docs.begin(), docs.end(), [](const DocReport& d) {
+        return d.outcome == DocOutcome::kQuarantined;
+      }));
+}
+
 bool BatchReport::complete() const {
-  return learn.complete() && docs_failed() == 0;
+  return learn.complete() && docs_failed() == 0 && docs_quarantined() == 0;
 }
 
 std::string BatchReport::ToJson() const {
@@ -274,6 +380,11 @@ std::string BatchReport::ToJson() const {
   out += ",\"docs_done\":" + std::to_string(docs_done());
   out += ",\"docs_resumed\":" + std::to_string(docs_resumed());
   out += ",\"docs_failed\":" + std::to_string(docs_failed());
+  out += ",\"docs_quarantined\":" + std::to_string(docs_quarantined());
+  if (!journal_status.ok()) {
+    out += ",\"journal_write_failed\":\"" +
+           JsonEscape(journal_status.ToString()) + "\"";
+  }
   out += ",\"learn\":" + learn.ToJson();
   out += ",\"docs\":[";
   for (size_t i = 0; i < docs.size(); ++i) {
@@ -286,6 +397,15 @@ std::string BatchReport::ToJson() const {
     out += "\",\"status\":\"" + JsonEscape(d.status.message()) + "\"";
     out += ",\"seconds\":" + JsonDouble(d.seconds);
     out += ",\"rows_emitted\":" + std::to_string(d.rows_emitted);
+    out += ",\"attempts\":" + std::to_string(d.attempts);
+    if (!d.retry_trail.empty()) {
+      out += ",\"retry_trail\":[";
+      for (size_t t = 0; t < d.retry_trail.size(); ++t) {
+        if (t > 0) out += ',';
+        out += "\"" + JsonEscape(d.retry_trail[t]) + "\"";
+      }
+      out += "]";
+    }
     out += "}";
   }
   out += "]";
@@ -307,9 +427,42 @@ Result<BatchReport> RunBatch(const BatchManifest& manifest,
                              const BatchOptions& opts) {
   common::FileSystem* fs = common::GetFileSystem();
 
+  // Transient-fault retry, deterministically seeded per call site: the
+  // salt (document index, or a path hash for batch-level I/O) is mixed
+  // into the configured seed, so backoff schedules are bit-identical at
+  // any thread count.
+  auto run_with_retry =
+      [&opts](std::uint64_t salt,
+              const std::function<Status()>& fn) -> common::RetryResult {
+    common::RetryOptions ropts = opts.retry;
+    ropts.seed = HashCombine(ropts.seed, salt);
+    common::RetryResult res = common::RetryPolicy(ropts).Run(fn);
+    if (res.attempts > 1) {
+      MITRA_COUNT("pipeline/retry/attempts", res.attempts - 1);
+      if (res.recovered()) MITRA_COUNT("pipeline/retry/recovered", 1);
+    }
+    if (res.exhausted) MITRA_COUNT("pipeline/retry/exhausted", 1);
+    return res;
+  };
+  auto path_salt = [](const std::string& path) {
+    return Fnv1a64(path.data(), path.size());
+  };
+  auto read_with_retry =
+      [&](const std::string& path) -> Result<std::string> {
+    std::string text;
+    common::RetryResult res = run_with_retry(path_salt(path), [&]() {
+      auto r = fs->ReadFile(path);
+      if (!r.ok()) return r.status();
+      text = std::move(*r);
+      return Status::OK();
+    });
+    if (!res.status.ok()) return res.status;
+    return text;
+  };
+
   // ---- Load the shared example (document + per-table CSVs). ----
   MITRA_ASSIGN_OR_RETURN(std::string example_text,
-                         fs->ReadFile(manifest.example_doc));
+                         read_with_retry(manifest.example_doc));
   MITRA_ASSIGN_OR_RETURN(hdt::Hdt example_tree,
                          ParseDocText(manifest.example_doc, example_text));
 
@@ -317,7 +470,7 @@ Result<BatchReport> RunBatch(const BatchManifest& manifest,
   std::map<std::string, hdt::Table> examples;
   std::vector<std::pair<std::string, std::string>> table_texts;
   for (const auto& [name, path] : manifest.tables) {
-    MITRA_ASSIGN_OR_RETURN(std::string csv, fs->ReadFile(path));
+    MITRA_ASSIGN_OR_RETURN(std::string csv, read_with_retry(path));
     MITRA_ASSIGN_OR_RETURN(std::vector<hdt::Row> rows, ParseCsv(csv));
     MITRA_ASSIGN_OR_RETURN(hdt::Table table,
                            hdt::Table::FromRows(std::move(rows)));
@@ -348,53 +501,29 @@ Result<BatchReport> RunBatch(const BatchManifest& manifest,
     if (TableIsLive(report.learn.Find(t.name))) live.push_back(t.name);
   }
 
-  // ---- Journal: resume completed documents. ----
-  // A resumed document's shards are re-read and re-validated (ParseCsv);
-  // anything off — stale batch key, missing or torn shard — demotes the
-  // document back to execution. Journal loss is always benign.
+  // ---- Journal: resume completed documents, honor quarantine. ----
+  // A resumed document's shards are re-read and re-validated: ParseCsv
+  // plus (journal v2) a CRC-32 match over the shard bytes, so a
+  // torn-but-parseable shard is detected and demoted back to execution
+  // instead of silently corrupting the merged output. Anything off —
+  // stale batch key, missing shard, CRC mismatch — demotes the document.
+  // Journal loss is always benign.
   const size_t n = manifest.documents.size();
   report.docs.resize(n);
   std::set<size_t> resumed;
+  std::set<size_t> journal_quarantined;
   std::vector<std::uint64_t> resumed_rows(n, 0);
+  std::vector<std::uint32_t> shard_crcs(n, 0);
   if (!opts.journal.empty() && !opts.fresh) {
     auto content = fs->ReadFile(opts.journal);
     if (content.ok()) {
-      std::set<size_t> journaled;
-      size_t pos = 0;
-      std::string line;
-      auto next_line = [&](std::string* out) {
-        if (pos >= content->size()) return false;
-        size_t nl = content->find('\n', pos);
-        if (nl == std::string::npos) nl = content->size();
-        *out = content->substr(pos, nl - pos);
-        pos = nl + 1;
-        return true;
-      };
-      bool valid = next_line(&line) && line == kJournalMagic &&
-                   next_line(&line) && line == "batch " + report.batch_key;
-      while (valid && next_line(&line)) {
-        if (line.empty()) continue;
-        if (line.compare(0, 5, "done ") != 0) {
-          valid = false;
-          break;
-        }
-        size_t sp = line.find(' ', 5);
-        if (sp == std::string::npos) {
-          valid = false;
-          break;
-        }
-        size_t index = std::strtoull(line.substr(5, sp - 5).c_str(),
-                                     nullptr, 10);
-        if (index >= n || line.substr(sp + 1) != manifest.documents[index]) {
-          valid = false;
-          break;
-        }
-        journaled.insert(index);
-      }
-      if (valid) {
-        for (size_t d : journaled) {
+      JournalState js =
+          ParseJournal(*content, report.batch_key, manifest.documents);
+      if (js.valid) {
+        for (const auto& [d, recorded_crc] : js.done) {
           bool shards_ok = true;
           std::uint64_t rows = 0;
+          std::uint32_t crc = 0;
           for (const std::string& name : live) {
             auto shard = fs->ReadFile(ShardPath(opts.outdir, name, d));
             if (!shard.ok()) {
@@ -406,32 +535,65 @@ Result<BatchReport> RunBatch(const BatchManifest& manifest,
               shards_ok = false;
               break;
             }
+            crc = Crc32(shard->data(), shard->size(), crc);
             rows += parsed->size();
+          }
+          if (shards_ok && recorded_crc.has_value() && crc != *recorded_crc) {
+            // Torn-but-parseable shard: the bytes on disk are not the
+            // bytes the journal committed. Re-execute the document.
+            MITRA_COUNT("pipeline/journal/crc_mismatch", 1);
+            shards_ok = false;
           }
           if (shards_ok) {
             resumed.insert(d);
             resumed_rows[d] = rows;
+            shard_crcs[d] = crc;
           }
+        }
+        if (opts.retry_quarantined) {
+          MITRA_COUNT("pipeline/quarantine/retried", js.quarantined.size());
+        } else {
+          journal_quarantined = js.quarantined;
         }
       }
     }
   }
 
+  const std::string quarantine_dir = opts.quarantine_dir.empty()
+                                         ? opts.outdir + "/quarantine"
+                                         : opts.quarantine_dir;
+
   // ---- Fan the fleet out. ----
-  MITRA_COUNT("pipeline/batch/docs_scheduled", n - resumed.size());
+  MITRA_COUNT("pipeline/batch/docs_scheduled",
+              n - resumed.size() - journal_quarantined.size());
   MITRA_COUNT("pipeline/batch/docs_resumed", resumed.size());
 
   std::mutex journal_mu;
   std::set<size_t> done_set = resumed;
+  std::set<size_t> quarantine_set = journal_quarantined;
   auto write_journal_locked = [&]() {
     if (opts.journal.empty()) return;
-    std::string out(kJournalMagic);
+    std::string out(kJournalMagicV2);
     out += "\nbatch " + report.batch_key + "\n";
     for (size_t d : done_set) {
-      out += "done " + std::to_string(d) + " " + manifest.documents[d] + "\n";
+      out += "done " + std::to_string(d) + " " + Crc32Hex(shard_crcs[d]) +
+             " " + manifest.documents[d] + "\n";
     }
-    // Best effort: a failed journal write only costs re-execution later.
-    (void)fs->WriteFile(opts.journal, out);
+    for (size_t d : quarantine_set) {
+      out += "quarantine " + std::to_string(d) + " " +
+             manifest.documents[d] + "\n";
+    }
+    // The journal itself is written atomically (a torn journal would
+    // discard every checkpoint) and retried on transient faults. Losing
+    // it is still tolerated — it only costs re-execution on resume — but
+    // the last failure is surfaced in the report.
+    common::RetryResult res = run_with_retry(
+        path_salt(opts.journal),
+        [&]() { return fs->WriteFileAtomic(opts.journal, out); });
+    if (!res.status.ok()) {
+      MITRA_COUNT("pipeline/journal/write_failed", 1);
+      report.journal_status = res.status;
+    }
   };
   if (!opts.journal.empty()) {
     std::lock_guard<std::mutex> lock(journal_mu);
@@ -447,8 +609,22 @@ Result<BatchReport> RunBatch(const BatchManifest& manifest,
       dr.rows_emitted = resumed_rows[d];
       return;
     }
+    if (journal_quarantined.count(d) != 0) {
+      // A previous run exhausted this document's retries or hit a
+      // permanent fault; don't let it wedge the re-run. Clearable with
+      // BatchOptions::retry_quarantined or --fresh.
+      dr.outcome = DocOutcome::kQuarantined;
+      dr.status = Status::InvalidArgument(
+          "quarantined by journal (pass retry_quarantined to re-run)");
+      MITRA_COUNT("pipeline/quarantine/resumed", 1);
+      return;
+    }
     auto start = std::chrono::steady_clock::now();
-    Status st = [&]() -> Status {
+    std::uint64_t rows = 0;
+    std::uint32_t crc = 0;
+    common::RetryResult res = run_with_retry(d, [&]() -> Status {
+      rows = 0;
+      crc = 0;
       MITRA_ASSIGN_OR_RETURN(std::string text, fs->ReadFile(dr.path));
       MITRA_ASSIGN_OR_RETURN(hdt::Hdt doc, ParseDocText(dr.path, text));
       db::MigratorOptions dopts = mopts;
@@ -469,7 +645,6 @@ Result<BatchReport> RunBatch(const BatchManifest& manifest,
                                         " lost during execution");
         }
       }
-      std::uint64_t rows = 0;
       for (const std::string& name : live) {
         auto it = out.tables.find(name);
         std::string csv;
@@ -477,25 +652,38 @@ Result<BatchReport> RunBatch(const BatchManifest& manifest,
           rows += it->second.NumRows();
           csv = WriteCsv(it->second.rows());
         }
+        crc = Crc32(csv.data(), csv.size(), crc);
         MITRA_RETURN_IF_ERROR(
-            fs->WriteFile(ShardPath(opts.outdir, name, d), csv));
+            fs->WriteFileAtomic(ShardPath(opts.outdir, name, d), csv));
       }
       dr.rows_emitted = rows;
       return Status::OK();
-    }();
+    });
     dr.seconds = std::chrono::duration<double>(
                      std::chrono::steady_clock::now() - start)
                      .count();
-    if (!st.ok()) {
-      dr.outcome = DocOutcome::kFailed;
-      dr.status = st;
-      MITRA_COUNT("pipeline/batch/docs_failed", 1);
+    dr.attempts = res.attempts;
+    dr.retry_trail = res.trail;
+    if (!res.status.ok()) {
+      // Permanent fault or retries exhausted: quarantine the document so
+      // this one input never wedges the fleet. The report write and the
+      // journal entry are both best-effort (and atomic) — if the process
+      // dies right here, the next run simply re-executes the document.
+      dr.outcome = DocOutcome::kQuarantined;
+      dr.status = res.status;
+      MITRA_COUNT("pipeline/quarantine/docs", 1);
+      (void)fs->WriteFileAtomic(QuarantineReportPath(quarantine_dir, d),
+                                QuarantineReportJson(dr));
+      std::lock_guard<std::mutex> lock(journal_mu);
+      quarantine_set.insert(d);
+      write_journal_locked();
       return;
     }
     dr.outcome = DocOutcome::kDone;
     MITRA_COUNT("pipeline/batch/docs_done", 1);
     std::lock_guard<std::mutex> lock(journal_mu);
     done_set.insert(d);
+    shard_crcs[d] = crc;
     write_journal_locked();
   });
 
@@ -507,9 +695,13 @@ Result<BatchReport> RunBatch(const BatchManifest& manifest,
     std::string bytes;
     std::vector<hdt::Row> all_rows;
     for (size_t d = 0; d < n; ++d) {
-      if (report.docs[d].outcome == DocOutcome::kFailed) continue;
-      MITRA_ASSIGN_OR_RETURN(std::string shard,
-                             fs->ReadFile(ShardPath(opts.outdir, name, d)));
+      if (report.docs[d].outcome == DocOutcome::kFailed ||
+          report.docs[d].outcome == DocOutcome::kQuarantined) {
+        continue;
+      }
+      MITRA_ASSIGN_OR_RETURN(
+          std::string shard,
+          read_with_retry(ShardPath(opts.outdir, name, d)));
       bytes += shard;
       if (opts.write_sql) {
         MITRA_ASSIGN_OR_RETURN(std::vector<hdt::Row> rows, ParseCsv(shard));
@@ -518,8 +710,11 @@ Result<BatchReport> RunBatch(const BatchManifest& manifest,
                         std::make_move_iterator(rows.end()));
       }
     }
-    MITRA_RETURN_IF_ERROR(
-        fs->WriteFile(opts.outdir + "/" + name + ".csv", bytes));
+    const std::string final_path = opts.outdir + "/" + name + ".csv";
+    common::RetryResult res = run_with_retry(path_salt(final_path), [&]() {
+      return fs->WriteFileAtomic(final_path, bytes);
+    });
+    MITRA_RETURN_IF_ERROR(res.status);
     if (opts.write_sql) {
       MITRA_ASSIGN_OR_RETURN(hdt::Table table,
                              hdt::Table::FromRows(std::move(all_rows)));
@@ -539,8 +734,11 @@ Result<BatchReport> RunBatch(const BatchManifest& manifest,
                            db::GenerateSqlSchema(live_schema));
     MITRA_ASSIGN_OR_RETURN(std::string inserts,
                            db::GenerateSqlInserts(live_schema, merged));
-    MITRA_RETURN_IF_ERROR(
-        fs->WriteFile(opts.outdir + "/migration.sql", ddl + inserts));
+    const std::string sql_path = opts.outdir + "/migration.sql";
+    common::RetryResult res = run_with_retry(path_salt(sql_path), [&]() {
+      return fs->WriteFileAtomic(sql_path, ddl + inserts);
+    });
+    MITRA_RETURN_IF_ERROR(res.status);
   }
   return report;
 }

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "db/migrator.h"
@@ -25,11 +26,27 @@
 /// embed the fleet index (MigratorOptions::doc_index_base), so per-doc
 /// execution emits keys identical to one ExecuteAll over the whole fleet.
 ///
-/// Resumability: when a journal path is set, every completed document is
-/// recorded (whole-file rewrite — idempotent against torn writes: a lost
-/// journal entry only means benign re-execution). A restart validates the
-/// journal against the batch key (example + schema + fleet + DSL version)
-/// and re-reads completed documents' shards instead of re-executing them.
+/// Resumability & crash consistency (ISSUE 9): every output — shard
+/// files, merged CSVs, migration.sql, the journal itself — goes through
+/// FileSystem::WriteFileAtomic, so a crash at any point leaves each file
+/// either absent/previous or complete, never torn. The journal (format
+/// v2) records a CRC-32 over each completed document's shard bytes; a
+/// restart validates the journal against the batch key (example + schema
+/// + fleet + DSL version) and re-reads completed documents' shards,
+/// demoting any CRC mismatch back to execution instead of trusting a
+/// torn-but-parseable shard. v1 journals (no CRC) are still accepted —
+/// their documents are validated by re-parse only and the next journal
+/// write upgrades the file to v2.
+///
+/// Self-healing: per-document work (read, parse, execute, shard write)
+/// runs under a common::RetryPolicy — transient faults
+/// (StatusCode::kUnavailable) are retried with seeded-jitter exponential
+/// backoff before the document is demoted. Documents that fail
+/// permanently or exhaust retries are QUARANTINED: recorded in the
+/// journal (so a fleet re-run never re-burns budget on a poison
+/// document unless retry_quarantined is set), reported under
+/// `<quarantine_dir>/doc.<index>.json` with the failing Status and retry
+/// trail, and excluded from the merged output without failing the batch.
 
 namespace mitra::pipeline {
 
@@ -73,12 +90,24 @@ struct BatchOptions {
   bool fresh = false;
   /// Also emit `<outdir>/<table>.sql` (CREATE TABLE + INSERTs).
   bool write_sql = false;
+  /// Transient-fault retry for per-document work and batch-level I/O.
+  /// The document index is mixed into the seed, so schedules are
+  /// deterministic per document at any thread count.
+  common::RetryOptions retry;
+  /// Where quarantined documents' reports go ("" = `<outdir>/quarantine`).
+  std::string quarantine_dir;
+  /// Re-execute documents the journal lists as quarantined instead of
+  /// skipping them (a fleet operator's "the environment is fixed, try
+  /// the poison docs again").
+  bool retry_quarantined = false;
 };
 
 enum class DocOutcome {
-  kDone,     ///< migrated in this run
-  kResumed,  ///< found complete in the journal; shards re-read, not re-run
-  kFailed,   ///< execution or shard write failed; nothing emitted for it
+  kDone,         ///< migrated in this run
+  kResumed,      ///< found complete in the journal; shards re-read, not re-run
+  kFailed,       ///< execution or shard write failed; nothing emitted for it
+  kQuarantined,  ///< permanent fault or exhausted retries; journaled so a
+                 ///< re-run skips it (see BatchOptions::retry_quarantined)
 };
 const char* DocOutcomeName(DocOutcome outcome);
 
@@ -89,6 +118,12 @@ struct DocReport {
   Status status;
   double seconds = 0.0;
   std::uint64_t rows_emitted = 0;
+  /// Attempts actually made (1 = first try succeeded; 0 = not executed
+  /// this run, i.e. resumed or journal-quarantined).
+  int attempts = 0;
+  /// One line per failed attempt, from common::RetryResult::trail; also
+  /// written into the quarantine report.
+  std::vector<std::string> retry_trail;
 };
 
 /// Structured result of one batch run (mitra batch --report=json).
@@ -101,11 +136,18 @@ struct BatchReport {
   std::string batch_key;
   /// Registry delta covering the whole run (filled by the CLI).
   std::map<std::string, std::uint64_t> metrics;
+  /// Last journal-write failure, if any (OK otherwise). Journal writes
+  /// are retried then tolerated — losing one costs only re-execution on
+  /// resume — but the failure is surfaced here and counted under
+  /// `pipeline/journal/write_failed`.
+  Status journal_status;
 
   size_t docs_done() const;
   size_t docs_resumed() const;
   size_t docs_failed() const;
-  /// Every table learned at full budget and every document migrated.
+  size_t docs_quarantined() const;
+  /// Every table learned at full budget and every document migrated
+  /// (nothing failed, nothing quarantined).
   bool complete() const;
   std::string ToJson() const;
 };

@@ -144,7 +144,10 @@ std::optional<db::CachedProgram> FsProgramCache::Lookup(
 Status FsProgramCache::Store(const std::string& key,
                              const db::CachedProgram& entry) {
   std::lock_guard<std::mutex> lock(mu_);
-  MITRA_RETURN_IF_ERROR(common::GetFileSystem()->WriteFile(
+  // Atomic so a concurrent Lookup (or a crash mid-store) never observes a
+  // torn entry; the checksum in the payload is then a second line of
+  // defense against bit rot rather than the only one against tearing.
+  MITRA_RETURN_IF_ERROR(common::GetFileSystem()->WriteFileAtomic(
       EntryPath(key), EncodeCacheEntry(key, entry)));
   stores_.fetch_add(1, std::memory_order_relaxed);
   MITRA_COUNT("pipeline/cache/store", 1);

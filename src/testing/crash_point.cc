@@ -1,0 +1,58 @@
+#include "testing/crash_point.h"
+
+namespace mitra::test {
+
+Status CrashPointFileSystem::DeadStatus(const std::string& path,
+                                        const char* op) const {
+  // kUnavailable, like a real dead process's I/O: the pipeline's retry
+  // loop may re-attempt, and every re-attempt fails the same way.
+  return Status::Unavailable(std::string("simulated crash: ") + op + " " +
+                             path);
+}
+
+Status CrashPointFileSystem::OnMutation(const std::string& path,
+                                        const char* op) {
+  if (crashed_.load(std::memory_order_acquire)) return DeadStatus(path, op);
+  const std::uint64_t n =
+      mutations_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (crash_at_ != 0 && n >= crash_at_) {
+    crashed_.store(true, std::memory_order_release);
+    return DeadStatus(path, op);
+  }
+  return Status::OK();
+}
+
+Result<std::string> CrashPointFileSystem::ReadFile(const std::string& path) {
+  if (crashed()) return DeadStatus(path, "read");
+  return base_->ReadFile(path);
+}
+
+Status CrashPointFileSystem::WriteFile(const std::string& path,
+                                       const std::string& content) {
+  MITRA_RETURN_IF_ERROR(OnMutation(path, "write"));
+  return base_->WriteFile(path, content);
+}
+
+Result<std::vector<std::string>> CrashPointFileSystem::ListDir(
+    const std::string& dir) {
+  if (crashed()) return DeadStatus(dir, "list");
+  return base_->ListDir(dir);
+}
+
+bool CrashPointFileSystem::Exists(const std::string& path) {
+  if (crashed()) return false;
+  return base_->Exists(path);
+}
+
+Status CrashPointFileSystem::Remove(const std::string& path) {
+  MITRA_RETURN_IF_ERROR(OnMutation(path, "remove"));
+  return base_->Remove(path);
+}
+
+Status CrashPointFileSystem::Rename(const std::string& from,
+                                    const std::string& to) {
+  MITRA_RETURN_IF_ERROR(OnMutation(to, "rename"));
+  return base_->Rename(from, to);
+}
+
+}  // namespace mitra::test

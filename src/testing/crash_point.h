@@ -1,0 +1,66 @@
+#ifndef MITRA_TESTING_CRASH_POINT_H_
+#define MITRA_TESTING_CRASH_POINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/fs.h"
+#include "common/status.h"
+
+/// \file crash_point.h
+/// Crash-torture harness (ISSUE 9): a FileSystem wrapper that simulates a
+/// process crash at the k-th filesystem MUTATION. Mutations are WriteFile,
+/// Rename, and Remove — and because FileSystem::WriteFileAtomic decomposes
+/// into WriteFile(temp) + Rename through the wrapper's own virtuals, the
+/// sweep over k automatically lands one crash point INSIDE every atomic
+/// write, between temp-write and rename (temp staged, destination
+/// untouched).
+///
+/// Semantics of "crash": the k-th mutation is NOT applied and the wrapper
+/// goes dead — every subsequent operation (reads included) fails, exactly
+/// as if the process had been killed: the base filesystem retains the
+/// state as of mutation k-1, plus whatever staging temp files were
+/// already written. The torture test then "reboots" by dropping the
+/// wrapper and re-running the batch with --resume against the base.
+///
+/// All counters are atomics; the pipeline probes from pool workers.
+
+namespace mitra::test {
+
+class CrashPointFileSystem : public common::FileSystem {
+ public:
+  /// Crashes at the `crash_at`-th mutation, 1-based (0 = never crash —
+  /// used to count a run's total mutations and size the sweep).
+  CrashPointFileSystem(common::FileSystem* base, std::uint64_t crash_at)
+      : base_(base), crash_at_(crash_at) {}
+
+  Result<std::string> ReadFile(const std::string& path) override;
+  Status WriteFile(const std::string& path,
+                   const std::string& content) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  bool Exists(const std::string& path) override;
+  Status Remove(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+
+  /// Mutations observed so far (applied or crashed-on).
+  std::uint64_t mutations() const {
+    return mutations_.load(std::memory_order_relaxed);
+  }
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+
+ private:
+  /// Counts a mutation; non-OK when this one (or an earlier one) crashed.
+  Status OnMutation(const std::string& path, const char* op);
+  Status DeadStatus(const std::string& path, const char* op) const;
+
+  common::FileSystem* base_;
+  const std::uint64_t crash_at_;
+  std::atomic<std::uint64_t> mutations_{0};
+  std::atomic<bool> crashed_{false};
+};
+
+}  // namespace mitra::test
+
+#endif  // MITRA_TESTING_CRASH_POINT_H_

@@ -51,14 +51,23 @@ Status FaultyFileSystem::MaybeFail(const std::string& path, const char* op) {
   if (!opts_.fail_substring.empty() &&
       path.find(opts_.fail_substring) != std::string::npos) {
     failures_.fetch_add(1, std::memory_order_relaxed);
-    return Status::Internal(std::string("injected I/O error: ") + op + " " +
-                            path);
+    return Status(opts_.code,
+                  std::string("injected I/O error: ") + op + " " + path);
   }
   const std::uint64_t n = ops_.fetch_add(1, std::memory_order_relaxed) + 1;
   if (opts_.fail_after_ops != 0 && n > opts_.fail_after_ops) {
     failures_.fetch_add(1, std::memory_order_relaxed);
-    return Status::Internal(std::string("injected I/O error (op budget): ") +
-                            op + " " + path);
+    return Status(opts_.code,
+                  std::string("injected I/O error (op budget): ") + op + " " +
+                      path);
+  }
+  if (opts_.fail_one_in != 0 &&
+      Mix64(n ^ (opts_.seed * 0x9E3779B97F4A7C15ull)) % opts_.fail_one_in ==
+          0) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    return Status(opts_.code, std::string("injected I/O error (1-in-") +
+                                  std::to_string(opts_.fail_one_in) + "): " +
+                                  op + " " + path);
   }
   return Status::OK();
 }
@@ -78,6 +87,22 @@ Result<std::vector<std::string>> FaultyFileSystem::ListDir(
     const std::string& dir) {
   MITRA_RETURN_IF_ERROR(MaybeFail(dir, "list"));
   return base_->ListDir(dir);
+}
+
+bool FaultyFileSystem::Exists(const std::string& path) {
+  // Existence probes cannot report an error; pass through unfaulted.
+  return base_->Exists(path);
+}
+
+Status FaultyFileSystem::Remove(const std::string& path) {
+  MITRA_RETURN_IF_ERROR(MaybeFail(path, "remove"));
+  return base_->Remove(path);
+}
+
+Status FaultyFileSystem::Rename(const std::string& from,
+                                const std::string& to) {
+  MITRA_RETURN_IF_ERROR(MaybeFail(to, "rename"));
+  return base_->Rename(from, to);
 }
 
 std::string PoisonedXmlDocument(int width) {

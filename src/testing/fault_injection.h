@@ -88,12 +88,25 @@ class ScopedFaultInjector {
 
 /// A FileSystem wrapper that injects I/O errors: any operation whose path
 /// contains `fail_substring` fails, as does every operation past
-/// `fail_after_ops` successful ones (0 = unlimited).
+/// `fail_after_ops` successful ones (0 = unlimited), as does a
+/// pseudo-random 1-in-`fail_one_in` sample (transient-fault soak: with
+/// `code = kUnavailable` the pipeline's RetryPolicy recovers, since the
+/// retried operation draws a fresh sample). WriteFileAtomic is inherited
+/// from the base class and decomposes into WriteFile(temp) + Rename, so
+/// faults land on each phase of the two-phase protocol independently.
 class FaultyFileSystem : public common::FileSystem {
  public:
   struct Options {
     std::string fail_substring;
     std::uint64_t fail_after_ops = 0;
+    /// Additionally fail ~1-in-N operations, sampled deterministically
+    /// from (seed, op index). 0 disables.
+    std::uint64_t fail_one_in = 0;
+    std::uint64_t seed = 1;
+    /// Status class injected faults surface as. kInternal mimics an
+    /// environment failure (permanent); kUnavailable marks the fault
+    /// transient so common::RetryPolicy will retry it.
+    StatusCode code = StatusCode::kInternal;
   };
 
   FaultyFileSystem(common::FileSystem* base, Options opts)
@@ -103,6 +116,9 @@ class FaultyFileSystem : public common::FileSystem {
   Status WriteFile(const std::string& path,
                    const std::string& content) override;
   Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  bool Exists(const std::string& path) override;
+  Status Remove(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
 
   std::uint64_t failures() const {
     return failures_.load(std::memory_order_relaxed);

@@ -1,5 +1,13 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <cmath>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/fs.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "common/strings.h"
 
@@ -90,6 +98,207 @@ TEST(Strings, ReplaceAll) {
 TEST(Strings, StartsWith) {
   EXPECT_TRUE(StartsWith("abcdef", "abc"));
   EXPECT_FALSE(StartsWith("ab", "abc"));
+}
+
+TEST(Strings, Crc32KnownVectorsAndChaining) {
+  // The IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+  // Chaining: feeding a prefix's CRC as the seed of the suffix must equal
+  // the one-shot CRC (the journal chains per-table shard bytes this way).
+  std::uint32_t part = Crc32("12345", 5);
+  EXPECT_EQ(Crc32("6789", 4, part), Crc32("123456789", 9));
+  EXPECT_NE(Crc32("12345678 ", 9), Crc32("123456789", 9));
+}
+
+TEST(Status, UnavailableIsTheTransientClass) {
+  Status u = Status::Unavailable("socket hiccup");
+  EXPECT_EQ(u.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(u.ToString(), "Unavailable: socket hiccup");
+  EXPECT_TRUE(common::IsTransient(u));
+  EXPECT_FALSE(common::IsTransient(Status::OK()));
+  EXPECT_FALSE(common::IsTransient(Status::InvalidArgument("bad")));
+  EXPECT_FALSE(common::IsTransient(Status::ResourceExhausted("full")));
+  EXPECT_FALSE(common::IsTransient(Status::ParseError("syntax")));
+}
+
+TEST(Retry, BackoffIsDeterministicJitteredAndCapped) {
+  common::RetryOptions opts;
+  opts.initial_backoff_ms = 10.0;
+  opts.backoff_multiplier = 2.0;
+  opts.max_backoff_ms = 35.0;
+  opts.jitter = 0.5;
+  opts.seed = 42;
+  common::RetryPolicy a(opts), b(opts);
+  for (int k = 1; k <= 6; ++k) {
+    // Same (seed, attempt) → bit-identical backoff.
+    EXPECT_DOUBLE_EQ(a.BackoffMs(k), b.BackoffMs(k)) << "attempt " << k;
+    double base = std::min(10.0 * std::pow(2.0, k - 1), 35.0);
+    EXPECT_GE(a.BackoffMs(k), base * 0.5) << "attempt " << k;
+    EXPECT_LE(a.BackoffMs(k), base * 1.5) << "attempt " << k;
+  }
+  // A different seed shifts the jitter somewhere in the schedule.
+  opts.seed = 43;
+  common::RetryPolicy c(opts);
+  bool any_differs = false;
+  for (int k = 1; k <= 6; ++k) any_differs |= c.BackoffMs(k) != a.BackoffMs(k);
+  EXPECT_TRUE(any_differs);
+  // jitter = 0 → the exact exponential schedule.
+  opts.jitter = 0.0;
+  common::RetryPolicy exact(opts);
+  EXPECT_DOUBLE_EQ(exact.BackoffMs(1), 10.0);
+  EXPECT_DOUBLE_EQ(exact.BackoffMs(2), 20.0);
+  EXPECT_DOUBLE_EQ(exact.BackoffMs(3), 35.0);  // capped
+  EXPECT_DOUBLE_EQ(exact.BackoffMs(4), 35.0);
+}
+
+TEST(Retry, RecoversAfterTransientFailures) {
+  common::RetryOptions opts;
+  opts.max_attempts = 5;
+  std::vector<double> slept;
+  opts.sleep_ms = [&](double ms) { slept.push_back(ms); };
+  common::RetryPolicy policy(opts);
+  int calls = 0;
+  common::RetryResult res = policy.Run([&]() -> Status {
+    return ++calls < 3 ? Status::Unavailable("flaky") : Status::OK();
+  });
+  EXPECT_TRUE(res.status.ok());
+  EXPECT_EQ(res.attempts, 3);
+  EXPECT_TRUE(res.recovered());
+  EXPECT_FALSE(res.exhausted);
+  ASSERT_EQ(res.trail.size(), 2u);
+  EXPECT_NE(res.trail[0].find("attempt 1"), std::string::npos);
+  EXPECT_NE(res.trail[0].find("flaky"), std::string::npos);
+  // The injected sleep saw exactly the deterministic schedule.
+  ASSERT_EQ(slept.size(), 2u);
+  EXPECT_DOUBLE_EQ(slept[0], policy.BackoffMs(1));
+  EXPECT_DOUBLE_EQ(slept[1], policy.BackoffMs(2));
+}
+
+TEST(Retry, PermanentErrorIsNotRetried) {
+  common::RetryOptions opts;
+  opts.max_attempts = 5;
+  opts.sleep_ms = [](double) { FAIL() << "must not sleep"; };
+  int calls = 0;
+  common::RetryResult res = common::RetryPolicy(opts).Run([&]() -> Status {
+    ++calls;
+    return Status::InvalidArgument("poison");
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(res.attempts, 1);
+  EXPECT_FALSE(res.exhausted);
+  EXPECT_FALSE(res.recovered());
+  EXPECT_EQ(res.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Retry, TransientExhaustionStopsAtMaxAttempts) {
+  common::RetryOptions opts;
+  opts.max_attempts = 4;
+  opts.sleep_ms = [](double) {};
+  int calls = 0;
+  common::RetryResult res = common::RetryPolicy(opts).Run([&]() -> Status {
+    ++calls;
+    return Status::Unavailable("still down");
+  });
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(res.attempts, 4);
+  EXPECT_TRUE(res.exhausted);
+  EXPECT_EQ(res.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(res.trail.size(), 4u);
+}
+
+TEST(Fs, TempPathRoundTrip) {
+  EXPECT_EQ(common::TempPathFor("/a/b.csv"), "/a/b.csv.mitra-tmp");
+  EXPECT_TRUE(common::IsTempPath("/a/b.csv.mitra-tmp"));
+  EXPECT_FALSE(common::IsTempPath("/a/b.csv"));
+  EXPECT_FALSE(common::IsTempPath("tmp"));
+}
+
+TEST(MemoryFs, WriteFileAtomicCommitsAndLeavesNoTemp) {
+  common::MemoryFileSystem fs;
+  EXPECT_TRUE(fs.WriteFile("/d/x", "old").ok());
+  EXPECT_TRUE(fs.WriteFileAtomic("/d/x", "new").ok());
+  EXPECT_EQ(*fs.ReadFile("/d/x"), "new");
+  EXPECT_FALSE(fs.Exists(common::TempPathFor("/d/x")));
+}
+
+// A filesystem whose rename phase always fails: WriteFileAtomic must roll
+// the staging temp back and leave the destination untouched.
+class RenameFailsFileSystem : public common::MemoryFileSystem {
+ public:
+  Status Rename(const std::string& from, const std::string& to) override {
+    return Status::Unavailable("rename refused: " + from + " -> " + to);
+  }
+};
+
+TEST(MemoryFs, WriteFileAtomicRollsBackWhenRenameFails) {
+  RenameFailsFileSystem fs;
+  EXPECT_TRUE(fs.WriteFile("/d/x", "old").ok());
+  Status st = fs.WriteFileAtomic("/d/x", "new");
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(*fs.ReadFile("/d/x"), "old");          // destination untouched
+  EXPECT_FALSE(fs.Exists(common::TempPathFor("/d/x")));  // temp rolled back
+}
+
+TEST(MemoryFs, ListDirEdgeCases) {
+  common::MemoryFileSystem fs;
+  // Missing and empty directories list as empty, not as errors.
+  EXPECT_EQ(fs.ListDir("/nowhere")->size(), 0u);
+  EXPECT_TRUE(fs.WriteFile("/d/a.csv", "1").ok());
+  EXPECT_TRUE(fs.WriteFile("/d/b.csv", "2").ok());
+  EXPECT_TRUE(fs.WriteFile("/d/sub/c.csv", "3").ok());      // not direct
+  EXPECT_TRUE(fs.WriteFile("/d/e.csv.mitra-tmp", "x").ok());  // staging
+  auto listed = fs.ListDir("/d");
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(*listed, (std::vector<std::string>{"/d/a.csv", "/d/b.csv"}));
+}
+
+TEST(DiskFs, AtomicWriteListDirAndLifecycle) {
+  namespace stdfs = std::filesystem;
+  common::FileSystem* fs = common::RealFileSystem();
+  stdfs::path root =
+      stdfs::temp_directory_path() /
+      ("mitra_fs_test_" + std::to_string(::getpid()));
+  stdfs::remove_all(root);
+  const std::string dir = root.string();
+
+  // Missing directory is an explicit error on disk.
+  EXPECT_FALSE(fs->ListDir(dir).ok());
+
+  const std::string path = dir + "/out.csv";
+  EXPECT_TRUE(fs->WriteFileAtomic(path, "r1\n").ok());  // creates parents
+  EXPECT_EQ(*fs->ReadFile(path), "r1\n");
+  EXPECT_TRUE(fs->WriteFileAtomic(path, "r2\n").ok());  // atomic overwrite
+  EXPECT_EQ(*fs->ReadFile(path), "r2\n");
+  EXPECT_FALSE(fs->Exists(common::TempPathFor(path)));
+
+  // ListDir: skips subdirectories and atomic-staging temp files, sorts.
+  EXPECT_TRUE(fs->WriteFile(dir + "/a.csv", "a").ok());
+  EXPECT_TRUE(fs->WriteFile(dir + "/sub/c.csv", "c").ok());
+  EXPECT_TRUE(fs->WriteFile(dir + "/b.csv.mitra-tmp", "b").ok());
+  auto listed = fs->ListDir(dir);
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(*listed,
+            (std::vector<std::string>{dir + "/a.csv", dir + "/out.csv"}));
+  auto empty = fs->ListDir(dir + "/empty_missing");
+  EXPECT_FALSE(empty.ok());
+  stdfs::create_directories(root / "empty");
+  EXPECT_EQ(fs->ListDir(dir + "/empty")->size(), 0u);
+
+  // Exists / Rename / idempotent Remove.
+  EXPECT_TRUE(fs->Exists(path));
+  EXPECT_TRUE(fs->Rename(path, dir + "/moved.csv").ok());
+  EXPECT_FALSE(fs->Exists(path));
+  EXPECT_EQ(*fs->ReadFile(dir + "/moved.csv"), "r2\n");
+  EXPECT_TRUE(fs->Remove(dir + "/moved.csv").ok());
+  EXPECT_FALSE(fs->Exists(dir + "/moved.csv"));
+  EXPECT_TRUE(fs->Remove(dir + "/moved.csv").ok());  // missing → still OK
+
+  // A write whose parent "directory" is a regular file reports the open
+  // failure instead of silently succeeding.
+  EXPECT_FALSE(fs->WriteFile(dir + "/a.csv/impossible", "x").ok());
+
+  stdfs::remove_all(root);
 }
 
 }  // namespace

@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/fs.h"
+#include "common/retry.h"
+#include "obs/metrics.h"
+#include "pipeline/batch.h"
+#include "testing/crash_point.h"
+#include "testing/fault_injection.h"
+
+/// crash_torture_test (ISSUE 9): the crash-recovery torture harness.
+///
+/// The centerpiece sweeps EVERY filesystem mutation point of a batch run:
+/// for each k in 1..M (M = the clean run's mutation count), the run is
+/// killed at its k-th mutation via CrashPointFileSystem — including the
+/// points INSIDE WriteFileAtomic, between temp-write and rename — then
+/// "rebooted" and resumed from the journal. Every crash point must
+/// recover to output byte-identical to an undisturbed run, re-executing
+/// only documents the surviving journal does not list as done.
+///
+/// Around it: a 1-in-50 transient-fault soak that must complete with zero
+/// failed documents (RetryPolicy absorbs the faults) while a permanently
+/// poisoned document is quarantined without failing the batch, and a
+/// 1-vs-8-thread smoke proving retry schedules are deterministic per
+/// document, independent of thread interleaving.
+
+namespace mitra::pipeline {
+namespace {
+
+BatchManifest InstallFleet(common::FileSystem* fs, int num_docs) {
+  BatchManifest m;
+  EXPECT_TRUE(fs->WriteFile("/fleet/example.xml",
+                            "<db><person><name>Alice</name><age>30</age>"
+                            "</person><person><name>Bob</name><age>41</age>"
+                            "</person></db>")
+                  .ok());
+  EXPECT_TRUE(fs->WriteFile("/fleet/people.csv", "Alice,30\nBob,41\n").ok());
+  m.example_doc = "/fleet/example.xml";
+  m.tables.emplace_back("people", "/fleet/people.csv");
+  for (int d = 0; d < num_docs; ++d) {
+    std::string path = "/fleet/docs/d" + std::to_string(d) + ".xml";
+    std::string doc = "<db><person><name>n" + std::to_string(d) +
+                      "</name><age>" + std::to_string(20 + d) +
+                      "</age></person></db>";
+    EXPECT_TRUE(fs->WriteFile(path, doc).ok());
+    m.documents.push_back(path);
+  }
+  return m;
+}
+
+BatchOptions TortureOptions() {
+  BatchOptions opts;
+  opts.outdir = "/out";
+  opts.journal = "/out/batch.journal";
+  // Two attempts with a no-op sleep: enough to prove retries re-fail
+  // against a dead filesystem without slowing the sweep down.
+  opts.retry.max_attempts = 2;
+  opts.retry.sleep_ms = [](double) {};
+  return opts;
+}
+
+/// Counts `done` lines in a journal that validates against `batch_key`
+/// (the number of documents a resuming run may trust); -1 when the
+/// journal is absent or belongs to a different batch.
+int JournalDoneCount(common::FileSystem* fs, const std::string& path,
+                     const std::string& batch_key) {
+  auto content = fs->ReadFile(path);
+  if (!content.ok()) return -1;
+  if (content->find("batch " + batch_key + "\n") == std::string::npos) {
+    return -1;
+  }
+  int count = 0;
+  size_t pos = 0;
+  while ((pos = content->find("done ", pos)) != std::string::npos) {
+    if (pos == 0 || (*content)[pos - 1] == '\n') ++count;
+    pos += 5;
+  }
+  return count;
+}
+
+TEST(CrashTorture, EverySingleCrashPointRecoversByteIdentical) {
+  constexpr int kDocs = 10;
+
+  // Undisturbed reference: the byte-identity target for every crash point.
+  std::string want_table, want_journal, batch_key;
+  {
+    common::MemoryFileSystem mem;
+    common::SetFileSystemForTest(&mem);
+    BatchManifest manifest = InstallFleet(&mem, kDocs);
+    auto ref = RunBatch(manifest, TortureOptions());
+    ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+    ASSERT_TRUE(ref->complete());
+    batch_key = ref->batch_key;
+    want_table = *mem.ReadFile("/out/people.csv");
+    want_journal = *mem.ReadFile("/out/batch.journal");
+    ASSERT_FALSE(want_table.empty());
+  }
+
+  // Size the sweep: a crash_at of 0 never fires, so this counts the
+  // mutations of a clean run through the wrapper.
+  std::uint64_t total_mutations = 0;
+  {
+    common::MemoryFileSystem mem;
+    BatchManifest manifest = InstallFleet(&mem, kDocs);
+    test::CrashPointFileSystem counter(&mem, 0);
+    common::SetFileSystemForTest(&counter);
+    auto clean = RunBatch(manifest, TortureOptions());
+    common::SetFileSystemForTest(nullptr);
+    ASSERT_TRUE(clean.ok());
+    ASSERT_TRUE(clean->complete());
+    total_mutations = counter.mutations();
+  }
+  // 2 per atomic write (temp + rename): journal checkpoints, one shard
+  // per document, the final CSV. The floor proves the sweep really does
+  // visit points inside every document's shard write.
+  ASSERT_GE(total_mutations, static_cast<std::uint64_t>(2 * kDocs + 4));
+
+  bool saw_staged_temp = false;  // a crash strictly inside WriteFileAtomic
+  for (std::uint64_t k = 1; k <= total_mutations; ++k) {
+    SCOPED_TRACE("crash at mutation " + std::to_string(k));
+    common::MemoryFileSystem mem;
+    BatchManifest manifest = InstallFleet(&mem, kDocs);
+
+    // Doomed run: dies at its k-th mutation. Whatever it reports (a
+    // batch-level error once the filesystem goes dead, or a report full
+    // of quarantines) is irrelevant — only the on-"disk" state matters.
+    {
+      test::CrashPointFileSystem doomed(&mem, k);
+      common::SetFileSystemForTest(&doomed);
+      auto crashed = RunBatch(manifest, TortureOptions());
+      (void)crashed;
+      EXPECT_TRUE(doomed.crashed());
+    }
+    common::SetFileSystemForTest(&mem);
+
+    // Did this crash land between temp-write and rename of an atomic
+    // write? Then a staging file is visible but the destination is not
+    // yet updated — the window the two-phase protocol exists for.
+    std::vector<std::string> temp_candidates = {
+        common::TempPathFor("/out/batch.journal"),
+        common::TempPathFor("/out/people.csv"),
+    };
+    for (int d = 0; d < kDocs; ++d) {
+      temp_candidates.push_back(common::TempPathFor(
+          "/out/shards/people." + std::to_string(d) + ".csv"));
+    }
+    for (const std::string& tmp : temp_candidates) {
+      if (mem.Exists(tmp)) saw_staged_temp = true;
+    }
+    // Crash-leftover temps never leak into directory listings.
+    auto listed = mem.ListDir("/out/shards");
+    ASSERT_TRUE(listed.ok());
+    for (const std::string& path : *listed) {
+      EXPECT_FALSE(common::IsTempPath(path)) << path;
+    }
+
+    // How much completed work survived the crash? Exactly the journal's
+    // `done` lines — the only state a resuming run may trust.
+    const int journal_done =
+        JournalDoneCount(&mem, "/out/batch.journal", batch_key);
+    const int resumable = journal_done < 0 ? 0 : journal_done;
+
+    // Reboot: same options, base filesystem healthy again.
+    obs::MetricsSnapshot before = obs::SnapshotMetrics();
+    auto recovered = RunBatch(manifest, TortureOptions());
+    obs::MetricsSnapshot delta = obs::SnapshotDelta(before);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    EXPECT_TRUE(recovered->complete());
+
+    // No duplicated work beyond in-flight: every journaled document is
+    // resumed, every other one (including any whose shards landed but
+    // whose journal entry didn't) re-executes exactly once.
+    EXPECT_EQ(recovered->docs_resumed(), static_cast<size_t>(resumable));
+    EXPECT_EQ(recovered->docs_done(), static_cast<size_t>(kDocs - resumable));
+    EXPECT_EQ(delta["pipeline/batch/docs_done"],
+              static_cast<std::uint64_t>(kDocs - resumable));
+
+    // Byte identity: merged table and journal match the undisturbed run.
+    EXPECT_EQ(*mem.ReadFile("/out/people.csv"), want_table);
+    EXPECT_EQ(*mem.ReadFile("/out/batch.journal"), want_journal);
+
+    // Recovery rewrites every interrupted atomic target, so no staging
+    // temp survives it.
+    for (const std::string& tmp : temp_candidates) {
+      EXPECT_FALSE(mem.Exists(tmp)) << tmp;
+    }
+  }
+  // The sweep must have exercised the mid-atomic window at least once.
+  EXPECT_TRUE(saw_staged_temp);
+
+  common::SetFileSystemForTest(nullptr);
+}
+
+TEST(CrashTorture, TransientSoakCompletesAndPoisonDocIsQuarantined) {
+  constexpr int kDocs = 10;
+  common::MemoryFileSystem mem;
+  BatchManifest manifest = InstallFleet(&mem, kDocs);
+
+  // Layered faults: document 3's shard writes fail PERMANENTLY
+  // (kInternal), and on top of that every filesystem operation fails
+  // transiently ~1-in-50 (kUnavailable) — the soak the retry policy must
+  // absorb without a single lost document.
+  test::FaultyFileSystem::Options poison_opts;
+  poison_opts.fail_substring = "/out/shards/people.3";
+  test::FaultyFileSystem poison(&mem, poison_opts);
+  test::FaultyFileSystem::Options soak_opts;
+  soak_opts.fail_one_in = 50;
+  // This seed's deterministic 1-in-50 sample fires several times within
+  // the run's ~65 filesystem operations (the whole soak is reproducible).
+  soak_opts.seed = 5;
+  soak_opts.code = StatusCode::kUnavailable;
+  test::FaultyFileSystem soak(&poison, soak_opts);
+  common::SetFileSystemForTest(&soak);
+
+  BatchOptions opts;
+  opts.outdir = "/out";
+  opts.journal = "/out/batch.journal";
+  opts.retry.max_attempts = 6;
+  opts.retry.sleep_ms = [](double) {};
+
+  obs::MetricsSnapshot before = obs::SnapshotMetrics();
+  auto report = RunBatch(manifest, opts);
+  common::SetFileSystemForTest(&mem);
+  obs::MetricsSnapshot delta = obs::SnapshotDelta(before);
+
+  // The poisoned document is quarantined; the batch itself survives and
+  // every other document completes despite the transient weather.
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->complete());
+  EXPECT_EQ(report->docs_failed(), 0u);
+  EXPECT_EQ(report->docs_quarantined(), 1u);
+  EXPECT_EQ(report->docs_done(), static_cast<size_t>(kDocs - 1));
+  EXPECT_EQ(report->docs[3].outcome, DocOutcome::kQuarantined);
+  EXPECT_GT(soak.failures(), 0u);
+  // Retries actually fired and recovered.
+  EXPECT_GT(delta["pipeline/retry/attempts"], 0u);
+  EXPECT_GT(delta["pipeline/retry/recovered"], 0u);
+  // The quarantine report survived the weather too.
+  EXPECT_TRUE(mem.Exists("/out/quarantine/doc.3.json"));
+
+  // Merged output excludes only the quarantined document.
+  auto merged = mem.ReadFile("/out/people.csv");
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->find("n3"), std::string::npos);
+  EXPECT_NE(merged->find("n0"), std::string::npos);
+  EXPECT_NE(merged->find("n9"), std::string::npos);
+
+  common::SetFileSystemForTest(nullptr);
+}
+
+TEST(CrashTorture, RetrySchedulesAreIdenticalAtOneAndEightThreads) {
+  constexpr int kDocs = 8;
+  // A per-path fault (thread-interleaving independent): document 5's
+  // shard writes always fail transiently, so its retries exhaust and it
+  // quarantines — with a backoff trail drawn from the per-document seed.
+  auto run_with_threads = [&](unsigned threads) {
+    common::MemoryFileSystem mem;
+    BatchManifest manifest = InstallFleet(&mem, kDocs);
+    test::FaultyFileSystem::Options fopts;
+    fopts.fail_substring = "/out/shards/people.5";
+    fopts.code = StatusCode::kUnavailable;
+    test::FaultyFileSystem faulty(&mem, fopts);
+    common::SetFileSystemForTest(&faulty);
+    BatchOptions opts;
+    opts.outdir = "/out";
+    opts.journal = "/out/batch.journal";
+    opts.retry.max_attempts = 4;
+    opts.retry.seed = 99;
+    opts.retry.sleep_ms = [](double) {};
+    std::optional<common::ThreadPool> pool;
+    if (threads > 1) {
+      pool.emplace(threads);
+      opts.pool = &*pool;
+    }
+    auto report = RunBatch(manifest, opts);
+    EXPECT_TRUE(report.ok());
+    std::string table = mem.ReadFile("/out/people.csv").value_or("");
+    common::SetFileSystemForTest(nullptr);
+    return std::make_pair(*std::move(report), table);
+  };
+
+  auto [seq, seq_table] = run_with_threads(1);
+  auto [par, par_table] = run_with_threads(8);
+
+  // Same outcomes, same retry trails (backoff values included, down to
+  // the formatted millisecond), same merged bytes.
+  ASSERT_EQ(seq.docs.size(), par.docs.size());
+  for (size_t d = 0; d < seq.docs.size(); ++d) {
+    EXPECT_EQ(seq.docs[d].outcome, par.docs[d].outcome) << "doc " << d;
+    EXPECT_EQ(seq.docs[d].attempts, par.docs[d].attempts) << "doc " << d;
+    EXPECT_EQ(seq.docs[d].retry_trail, par.docs[d].retry_trail)
+        << "doc " << d;
+  }
+  EXPECT_EQ(seq.docs[5].outcome, DocOutcome::kQuarantined);
+  EXPECT_EQ(seq.docs[5].attempts, 4);
+  ASSERT_EQ(seq.docs[5].retry_trail.size(), 4u);
+  EXPECT_NE(seq.docs[5].retry_trail[0].find("backoff"), std::string::npos);
+  EXPECT_EQ(seq_table, par_table);
+}
+
+}  // namespace
+}  // namespace mitra::pipeline

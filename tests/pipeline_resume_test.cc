@@ -61,14 +61,15 @@ TEST(PipelineResume, CrashMidBatchThenResumeNoDupesNoGaps) {
   ASSERT_TRUE(want.ok());
   ASSERT_FALSE(want->empty());
 
-  // Faulted run: shard writes for later documents fail (simulated crash
-  // after part of the fleet completed). The batch survives — failed docs
-  // are recorded, the journal holds the completed ones.
+  // Faulted run: shard writes for document 6 fail with a PERMANENT fault
+  // (kInternal — not retryable). The batch survives: the document is
+  // quarantined, recorded in the journal, and reported under
+  // `<outdir>/quarantine/`; the other nine complete.
   FsProgramCache cache("/cache");
-  size_t first_failed = 0;
   {
     test::FaultyFileSystem::Options fopts;
-    // Every write touching a shard of documents 6..9 fails.
+    // Every write touching a shard of document 6 fails — including the
+    // `.mitra-tmp` staging file inside WriteFileAtomic.
     fopts.fail_substring = "/crash/shards/people.6";
     test::FaultyFileSystem faulty(&mem, fopts);
     common::SetFileSystemForTest(&faulty);
@@ -80,28 +81,56 @@ TEST(PipelineResume, CrashMidBatchThenResumeNoDupesNoGaps) {
     common::SetFileSystemForTest(&mem);
     ASSERT_TRUE(crashed.ok()) << crashed.status().ToString();
     EXPECT_FALSE(crashed->complete());
-    EXPECT_EQ(crashed->docs_failed(), 1u);
+    EXPECT_EQ(crashed->docs_failed(), 0u);
+    EXPECT_EQ(crashed->docs_quarantined(), 1u);
     EXPECT_EQ(crashed->docs_done(), 9u);
     EXPECT_GE(faulty.failures(), 1u);
-    for (const DocReport& dr : crashed->docs) {
-      if (dr.outcome == DocOutcome::kFailed) first_failed = dr.index;
-    }
-    EXPECT_EQ(first_failed, 6u);
+    const DocReport& poison = crashed->docs[6];
+    EXPECT_EQ(poison.outcome, DocOutcome::kQuarantined);
+    EXPECT_FALSE(poison.status.ok());
+    // Permanent fault: one attempt, no retries burned.
+    EXPECT_EQ(poison.attempts, 1);
   }
 
-  // The final merged table was still written, minus the failed document:
-  // tolerant, but incomplete.
+  // The quarantine report names the document and its failing Status.
+  auto qreport = mem.ReadFile("/crash/quarantine/doc.6.json");
+  ASSERT_TRUE(qreport.ok());
+  EXPECT_NE(qreport->find("\"index\":6"), std::string::npos);
+  EXPECT_NE(qreport->find("d6.xml"), std::string::npos);
+
+  // The final merged table was still written, minus the quarantined
+  // document: tolerant, but incomplete.
   auto partial = FinalTable("/crash");
   ASSERT_TRUE(partial.ok());
   EXPECT_EQ(partial->find("n6"), std::string::npos);
 
-  // Resume with the fault gone: only the failed document re-executes.
+  // A plain re-run honors the journal's quarantine entry: the poison
+  // document is skipped (zero budget re-burned), nothing re-executes.
   {
     obs::MetricsSnapshot before = obs::SnapshotMetrics();
     BatchOptions opts;
     opts.outdir = "/crash";
     opts.journal = "/crash/journal";
     opts.cache = &cache;
+    auto rerun = RunBatch(manifest, opts);
+    ASSERT_TRUE(rerun.ok()) << rerun.status().ToString();
+    obs::MetricsSnapshot delta = obs::SnapshotDelta(before);
+    EXPECT_FALSE(rerun->complete());
+    EXPECT_EQ(rerun->docs_resumed(), 9u);
+    EXPECT_EQ(rerun->docs_quarantined(), 1u);
+    EXPECT_EQ(delta["pipeline/batch/docs_scheduled"], 0u);
+    EXPECT_EQ(delta["pipeline/quarantine/resumed"], 1u);
+  }
+
+  // Resume with the fault gone and retry_quarantined set: only the
+  // quarantined document re-executes, and the batch heals.
+  {
+    obs::MetricsSnapshot before = obs::SnapshotMetrics();
+    BatchOptions opts;
+    opts.outdir = "/crash";
+    opts.journal = "/crash/journal";
+    opts.cache = &cache;
+    opts.retry_quarantined = true;
     auto resumed = RunBatch(manifest, opts);
     ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
     obs::MetricsSnapshot delta = obs::SnapshotDelta(before);
@@ -109,10 +138,12 @@ TEST(PipelineResume, CrashMidBatchThenResumeNoDupesNoGaps) {
     EXPECT_EQ(resumed->docs_resumed(), 9u);
     EXPECT_EQ(resumed->docs_done(), 1u);
     EXPECT_EQ(resumed->docs_failed(), 0u);
+    EXPECT_EQ(resumed->docs_quarantined(), 0u);
     // Counter proof that completed documents were not re-executed.
     EXPECT_EQ(delta["pipeline/batch/docs_scheduled"], 1u);
     EXPECT_EQ(delta["pipeline/batch/docs_resumed"], 9u);
     EXPECT_EQ(delta["pipeline/batch/docs_done"], 1u);
+    EXPECT_EQ(delta["pipeline/quarantine/retried"], 1u);
     // Learning came from the cache, not synthesis.
     EXPECT_TRUE(resumed->learn.tables[0].cache_hit);
     EXPECT_EQ(delta.count("synth/phase2/candidates_enumerated"), 0u);
@@ -199,6 +230,91 @@ TEST(PipelineResume, ResumedShardMissingForcesReexecution) {
   auto healed = FinalTable("/out");
   ASSERT_TRUE(healed.ok());
   EXPECT_EQ(*healed, *want);
+
+  common::SetFileSystemForTest(nullptr);
+}
+
+TEST(PipelineResume, TornButParseableShardIsDetectedByCrc) {
+  common::MemoryFileSystem mem;
+  common::SetFileSystemForTest(&mem);
+  BatchManifest manifest = InstallFleet(&mem, 4);
+
+  BatchOptions opts;
+  opts.outdir = "/out";
+  opts.journal = "/out/journal";
+  {
+    auto first = RunBatch(manifest, opts);
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(first->complete());
+  }
+  auto want = FinalTable("/out");
+  ASSERT_TRUE(want.ok());
+
+  // Corrupt a journaled shard with bytes that still parse as CSV. A
+  // re-parse alone would trust it; the journal v2 CRC catches it and the
+  // document is re-executed.
+  EXPECT_TRUE(mem.WriteFile("/out/shards/people.1.csv", "zz,99\n").ok());
+  obs::MetricsSnapshot before = obs::SnapshotMetrics();
+  auto second = RunBatch(manifest, opts);
+  ASSERT_TRUE(second.ok());
+  obs::MetricsSnapshot delta = obs::SnapshotDelta(before);
+  EXPECT_TRUE(second->complete());
+  EXPECT_EQ(second->docs_resumed(), 3u);
+  EXPECT_EQ(second->docs_done(), 1u);
+  EXPECT_EQ(delta["pipeline/journal/crc_mismatch"], 1u);
+  auto healed = FinalTable("/out");
+  ASSERT_TRUE(healed.ok());
+  EXPECT_EQ(*healed, *want);
+  EXPECT_EQ(healed->find("zz"), std::string::npos);
+
+  common::SetFileSystemForTest(nullptr);
+}
+
+TEST(PipelineResume, V1JournalIsAcceptedAndUpgradedToV2) {
+  common::MemoryFileSystem mem;
+  common::SetFileSystemForTest(&mem);
+  BatchManifest manifest = InstallFleet(&mem, 4);
+
+  BatchOptions opts;
+  opts.outdir = "/out";
+  opts.journal = "/out/journal";
+  std::string key;
+  {
+    auto first = RunBatch(manifest, opts);
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(first->complete());
+    key = first->batch_key;
+  }
+  auto want = FinalTable("/out");
+  ASSERT_TRUE(want.ok());
+
+  // Rewrite the journal in the v1 format (no CRCs, no quarantine lines),
+  // listing only documents 0 and 2 as done: an upgrade-in-place scenario.
+  std::string v1 = "mitra-batch-journal v1\nbatch " + key + "\n";
+  v1 += "done 0 " + manifest.documents[0] + "\n";
+  v1 += "done 2 " + manifest.documents[2] + "\n";
+  EXPECT_TRUE(mem.WriteFile("/out/journal", v1).ok());
+
+  auto second = RunBatch(manifest, opts);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->complete());
+  // v1 `done` documents resume (validated by re-parse only — v1 carries
+  // no CRC to check); the rest re-execute.
+  EXPECT_EQ(second->docs_resumed(), 2u);
+  EXPECT_EQ(second->docs_done(), 2u);
+  auto healed = FinalTable("/out");
+  ASSERT_TRUE(healed.ok());
+  EXPECT_EQ(*healed, *want);
+
+  // The journal was upgraded: v2 magic, one CRC-carrying done line per
+  // document.
+  auto journal = mem.ReadFile("/out/journal");
+  ASSERT_TRUE(journal.ok());
+  EXPECT_EQ(journal->rfind("mitra-batch-journal v2\n", 0), 0u);
+  for (int d = 0; d < 4; ++d) {
+    EXPECT_NE(journal->find("done " + std::to_string(d) + " "),
+              std::string::npos);
+  }
 
   common::SetFileSystemForTest(nullptr);
 }

@@ -8,6 +8,10 @@
 ///   mitra migrate --doc example.{xml,json} --tables name=ex.csv,...
 ///                 [--target big.{xml,json}] [--outdir DIR]
 ///                 [--report=json] [--threads N] [budget flags]
+///   mitra batch   --manifest batch.json [--outdir DIR] [--cache DIR]
+///                 [--journal FILE] [--fresh] [--sql] [--retries N]
+///                 [--quarantine-dir DIR] [--retry-quarantined]
+///                 [--report=json] [--threads N] [budget flags]
 ///
 /// Budget flags (all optional): --time-limit SECONDS, --max-states N,
 /// --max-rows N, --max-memory-mb N. Overruns surface as clean
@@ -129,8 +133,9 @@ int Usage() {
       "              [--target big.{xml,json}] [--outdir DIR]\n"
       "              [--report=json] [--threads N] [budget flags]\n"
       "  mitra batch --manifest batch.json [--outdir DIR] [--cache DIR]\n"
-      "              [--journal FILE] [--fresh] [--sql] [--report=json]\n"
-      "              [--threads N] [budget flags]\n"
+      "              [--journal FILE] [--fresh] [--sql] [--retries N]\n"
+      "              [--quarantine-dir DIR] [--retry-quarantined]\n"
+      "              [--report=json] [--threads N] [budget flags]\n"
       "budget flags: --time-limit SECONDS --max-states N --max-rows N\n"
       "              --max-memory-mb N\n"
       "observability: --trace=FILE (Chrome trace JSON)\n"
@@ -210,7 +215,7 @@ int Synth(const std::map<std::string, std::string>& flags) {
   auto save = [&](const char* flag, const std::string& content) {
     auto it = flags.find(flag);
     if (it == flags.end()) return Status::OK();
-    return common::GetFileSystem()->WriteFile(it->second, content);
+    return common::GetFileSystem()->WriteFileAtomic(it->second, content);
   };
   Status s = save("save", text + "\n");
   if (s.ok()) s = save("xslt", xml::GenerateXslt(result->program));
@@ -259,7 +264,7 @@ int Apply(const std::map<std::string, std::string>& flags) {
   std::string csv = WriteCsv(out->rows());
   auto out_it = flags.find("out");
   if (out_it != flags.end()) {
-    Status s = common::GetFileSystem()->WriteFile(out_it->second, csv);
+    Status s = common::GetFileSystem()->WriteFileAtomic(out_it->second, csv);
     if (!s.ok()) return Fail(s);
     std::fprintf(stderr, "wrote %zu rows to %s\n", out->NumRows(),
                  out_it->second.c_str());
@@ -362,7 +367,7 @@ int Migrate(const std::map<std::string, std::string>& flags) {
   }
   Status write_status;
   for (const auto& [name, table] : out.tables) {
-    Status s = common::GetFileSystem()->WriteFile(
+    Status s = common::GetFileSystem()->WriteFileAtomic(
         outdir + "/" + name + ".csv", WriteCsv(table.rows()));
     if (!s.ok()) {
       db::TableReport* tr = report->Find(name);
@@ -423,6 +428,18 @@ int Batch(const std::map<std::string, std::string>& flags) {
                       : bopts.outdir + "/batch.journal";
   bopts.fresh = flags.count("fresh") != 0;
   bopts.write_sql = flags.count("sql") != 0;
+  // Transient-fault retry and poison-document quarantine (see DESIGN.md
+  // "Durability & crash consistency"). `--retries N` is total attempts
+  // per document, not retries-after-first-failure; 1 disables retrying.
+  auto retries_it = flags.find("retries");
+  if (retries_it != flags.end() && !retries_it->second.empty()) {
+    bopts.retry.max_attempts = std::max(1, std::atoi(retries_it->second.c_str()));
+  }
+  auto qdir_it = flags.find("quarantine-dir");
+  if (qdir_it != flags.end() && !qdir_it->second.empty()) {
+    bopts.quarantine_dir = qdir_it->second;
+  }
+  bopts.retry_quarantined = flags.count("retry-quarantined") != 0;
 
   std::optional<pipeline::FsProgramCache> cache;
   auto cache_it = flags.find("cache");
@@ -458,15 +475,24 @@ int Batch(const std::map<std::string, std::string>& flags) {
                    tr.status.ok() ? "" : tr.status.ToString().c_str());
     }
     std::fprintf(stderr,
-                 "docs: %zu done, %zu resumed, %zu failed (of %zu)\n",
+                 "docs: %zu done, %zu resumed, %zu failed, %zu quarantined "
+                 "(of %zu)\n",
                  report->docs_done(), report->docs_resumed(),
-                 report->docs_failed(), report->docs.size());
+                 report->docs_failed(), report->docs_quarantined(),
+                 report->docs.size());
+    if (!report->journal_status.ok()) {
+      std::fprintf(stderr, "warning: journal write failed: %s\n",
+                   report->journal_status.ToString().c_str());
+    }
   }
 
   if (report->complete()) return kExitOk;
   const bool any_table =
       report->learn.num_failed() < report->learn.tables.size();
-  const bool any_doc = report->docs_failed() < report->docs.size();
+  // Quarantined docs count as casualties for exit-code purposes: the
+  // batch still emitted the others (partial migration, exit 3).
+  const bool any_doc = report->docs_failed() + report->docs_quarantined() <
+                       report->docs.size();
   if (any_table && any_doc) return kExitPartialMigration;
   // Nothing migrated: surface the first failure's class.
   for (const db::TableReport& tr : report->learn.tables) {
@@ -508,7 +534,7 @@ int Run(const char* command,
 
   if (trace_path != nullptr) {
     obs::Tracer::Global().SetEnabled(false);
-    Status s = common::GetFileSystem()->WriteFile(
+    Status s = common::GetFileSystem()->WriteFileAtomic(
         *trace_path, obs::Tracer::Global().ChromeTraceJson());
     if (!s.ok()) {
       std::fprintf(stderr, "error writing trace: %s\n", s.ToString().c_str());
@@ -518,8 +544,8 @@ int Run(const char* command,
   if (metrics_path != nullptr) {
     // The full snapshot (not a delta): the process runs one command, and
     // zero-valued counters are meaningful ("the fast path never fired").
-    Status s = common::GetFileSystem()->WriteFile(*metrics_path,
-                                                  obs::MetricsJson());
+    Status s = common::GetFileSystem()->WriteFileAtomic(*metrics_path,
+                                                        obs::MetricsJson());
     if (!s.ok()) {
       std::fprintf(stderr, "error writing metrics: %s\n",
                    s.ToString().c_str());
