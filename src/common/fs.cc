@@ -9,8 +9,6 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
 
 #include "obs/obs.h"
 
@@ -124,12 +122,39 @@ Status SyncParentDir(const std::string& path) {
 class DiskFileSystem : public FileSystem {
  public:
   Result<std::string> ReadFile(const std::string& path) override {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) return Status::InvalidArgument("cannot open " + path);
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    if (in.bad()) return Status::InvalidArgument("read failed: " + path);
-    return ss.str();
+    // Raw open/read so errno survives to classification: EINTR is retried
+    // in place, and the transient/exhausted errno families map to
+    // kUnavailable/kResourceExhausted exactly as the write path does —
+    // the batch retry policy keys off those classes. A plain missing file
+    // keeps the historical "cannot open" InvalidArgument shape.
+    int fd;
+    do {
+      fd = ::open(path.c_str(), O_RDONLY);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) {
+      if (errno == ENOENT || errno == ENOTDIR) {
+        return Status::InvalidArgument("cannot open " + path);
+      }
+      return ErrnoStatus("open", path, errno);
+    }
+    std::string out;
+    char buf[1 << 16];
+    for (;;) {
+      ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        // EAGAIN on a regular file means someone handed us a non-blocking
+        // descriptor's path semantics (or a weird FUSE); both it and
+        // EINTR are retry-in-place, everything else aborts the read.
+        if (errno == EINTR || errno == EAGAIN) continue;
+        Status st = ErrnoStatus("read", path, errno);
+        ::close(fd);
+        return st;
+      }
+      if (n == 0) break;
+      out.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return out;
   }
 
   Status WriteFile(const std::string& path,

@@ -1,0 +1,323 @@
+#include "common/subprocess.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+extern char** environ;
+
+namespace mitra::common {
+
+namespace {
+
+/// Little-endian u32, independent of host order.
+void PutU32(char* out, std::uint32_t v) {
+  out[0] = static_cast<char>(v & 0xff);
+  out[1] = static_cast<char>((v >> 8) & 0xff);
+  out[2] = static_cast<char>((v >> 16) & 0xff);
+  out[3] = static_cast<char>((v >> 24) & 0xff);
+}
+
+std::uint32_t GetU32(const char* in) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(in[0])) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(in[1])) << 8) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(in[2])) << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(in[3])) << 24);
+}
+
+bool WriteAllFd(int fd, const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    ssize_t w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+/// Reads exactly n bytes. Returns bytes read (short only at EOF/error;
+/// errno left for the caller on error).
+size_t ReadFullFd(int fd, char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    ssize_t r = ::read(fd, data + off, n - off);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return off;
+    }
+    if (r == 0) return off;  // EOF
+    off += static_cast<size_t>(r);
+  }
+  return off;
+}
+
+ExitInfo ExitInfoFrom(int wstatus, const struct rusage& ru) {
+  ExitInfo info;
+  if (WIFSIGNALED(wstatus)) {
+    info.signaled = true;
+    info.signal = WTERMSIG(wstatus);
+  } else if (WIFEXITED(wstatus)) {
+    info.exit_code = WEXITSTATUS(wstatus);
+  }
+  info.max_rss_kb = static_cast<std::uint64_t>(ru.ru_maxrss);
+  info.user_seconds = static_cast<double>(ru.ru_utime.tv_sec) +
+                      static_cast<double>(ru.ru_utime.tv_usec) * 1e-6;
+  info.system_seconds = static_cast<double>(ru.ru_stime.tv_sec) +
+                        static_cast<double>(ru.ru_stime.tv_usec) * 1e-6;
+  return info;
+}
+
+void SetLimit(int resource, std::uint64_t soft, std::uint64_t hard) {
+  struct rlimit rl;
+  rl.rlim_cur = soft;
+  rl.rlim_max = hard;
+  (void)::setrlimit(resource, &rl);  // post-exec failure surfaces as death
+}
+
+}  // namespace
+
+std::string SignalName(int sig) {
+  switch (sig) {
+    case SIGABRT: return "SIGABRT";
+    case SIGBUS: return "SIGBUS";
+    case SIGFPE: return "SIGFPE";
+    case SIGILL: return "SIGILL";
+    case SIGINT: return "SIGINT";
+    case SIGKILL: return "SIGKILL";
+    case SIGPIPE: return "SIGPIPE";
+    case SIGSEGV: return "SIGSEGV";
+    case SIGTERM: return "SIGTERM";
+    case SIGXCPU: return "SIGXCPU";
+    case SIGXFSZ: return "SIGXFSZ";
+    default: return "SIG" + std::to_string(sig);
+  }
+}
+
+Result<std::unique_ptr<Subprocess>> Subprocess::Spawn(
+    const SubprocessOptions& opts) {
+  if (opts.argv.empty()) {
+    return Status::InvalidArgument("Subprocess: empty argv");
+  }
+
+  // Everything the child needs is materialized before fork: exec arrays
+  // and the merged environment (async-signal-safety — between fork and
+  // exec only raw syscalls are allowed).
+  std::vector<char*> argv;
+  argv.reserve(opts.argv.size() + 1);
+  for (const std::string& a : opts.argv) {
+    argv.push_back(const_cast<char*>(a.c_str()));
+  }
+  argv.push_back(nullptr);
+
+  std::vector<std::string> env_storage;
+  for (char** e = environ; e != nullptr && *e != nullptr; ++e) {
+    std::string_view entry(*e);
+    size_t eq = entry.find('=');
+    std::string_view key = entry.substr(0, eq);
+    bool overridden = false;
+    for (const std::string& o : opts.env) {
+      if (o.compare(0, key.size(), key) == 0 && o.size() > key.size() &&
+          o[key.size()] == '=') {
+        overridden = true;
+        break;
+      }
+    }
+    if (!overridden) env_storage.emplace_back(entry);
+  }
+  for (const std::string& o : opts.env) env_storage.push_back(o);
+  std::vector<char*> envp;
+  envp.reserve(env_storage.size() + 1);
+  for (const std::string& e : env_storage) {
+    envp.push_back(const_cast<char*>(e.c_str()));
+  }
+  envp.push_back(nullptr);
+
+  int to_child[2];   // parent writes [1], child stdin [0]
+  int from_child[2]; // child stdout [1], parent reads [0]
+  if (::pipe(to_child) != 0) {
+    return Status::Internal(std::string("pipe: ") + std::strerror(errno));
+  }
+  if (::pipe(from_child) != 0) {
+    int err = errno;
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    return Status::Internal(std::string("pipe: ") + std::strerror(err));
+  }
+
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    int err = errno;
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    return Status(StatusCode::kResourceExhausted,
+                  std::string("fork: ") + std::strerror(err));
+  }
+
+  if (pid == 0) {
+    // Child. dup2 the pipe ends over stdin/stdout, close everything else
+    // we opened, reset SIGPIPE, apply rlimits, exec.
+    ::dup2(to_child[0], 0);
+    ::dup2(from_child[1], 1);
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    if (opts.reset_sigpipe) ::signal(SIGPIPE, SIG_DFL);
+    if (opts.rlimit_as_bytes > 0) {
+      SetLimit(RLIMIT_AS, opts.rlimit_as_bytes, opts.rlimit_as_bytes);
+    }
+    if (opts.rlimit_cpu_seconds > 0) {
+      // Soft delivers SIGXCPU (attributable); hard is a SIGKILL backstop
+      // two seconds later in case the worker catches/ignores it.
+      SetLimit(RLIMIT_CPU, opts.rlimit_cpu_seconds,
+               opts.rlimit_cpu_seconds + 2);
+    }
+    if (opts.rlimit_nofile > 0) {
+      SetLimit(RLIMIT_NOFILE, opts.rlimit_nofile, opts.rlimit_nofile);
+    }
+    ::execve(argv[0], argv.data(), envp.data());
+    // exec failed: nothing sane to do but die with a recognizable code.
+    _exit(127);
+  }
+
+  // Parent.
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  ::fcntl(to_child[1], F_SETFD, FD_CLOEXEC);
+  ::fcntl(from_child[0], F_SETFD, FD_CLOEXEC);
+
+  auto proc = std::unique_ptr<Subprocess>(new Subprocess());
+  proc->pid_ = pid;
+  proc->in_fd_ = to_child[1];
+  proc->out_fd_ = from_child[0];
+  return proc;
+}
+
+Subprocess::~Subprocess() {
+  if (!exit_info_.has_value() && pid_ > 0) {
+    Kill();
+    Wait();
+  }
+  CloseIn();
+  if (out_fd_ >= 0) {
+    ::close(out_fd_);
+    out_fd_ = -1;
+  }
+}
+
+void Subprocess::CloseIn() {
+  if (in_fd_ >= 0) {
+    ::close(in_fd_);
+    in_fd_ = -1;
+  }
+}
+
+std::optional<ExitInfo> Subprocess::TryWait() {
+  if (exit_info_.has_value()) return exit_info_;
+  int wstatus = 0;
+  struct rusage ru;
+  std::memset(&ru, 0, sizeof(ru));
+  pid_t r;
+  do {
+    r = ::wait4(pid_, &wstatus, WNOHANG, &ru);
+  } while (r < 0 && errno == EINTR);
+  if (r == pid_) exit_info_ = ExitInfoFrom(wstatus, ru);
+  return exit_info_;
+}
+
+ExitInfo Subprocess::Wait() {
+  if (exit_info_.has_value()) return *exit_info_;
+  int wstatus = 0;
+  struct rusage ru;
+  std::memset(&ru, 0, sizeof(ru));
+  pid_t r;
+  do {
+    r = ::wait4(pid_, &wstatus, 0, &ru);
+  } while (r < 0 && errno == EINTR);
+  if (r == pid_) {
+    exit_info_ = ExitInfoFrom(wstatus, ru);
+  } else {
+    exit_info_ = ExitInfo{};  // unreapable (not our child?) — never hang
+  }
+  return *exit_info_;
+}
+
+void Subprocess::Kill(int sig) {
+  if (!exit_info_.has_value() && pid_ > 0) ::kill(pid_, sig);
+}
+
+Status WriteFrame(int fd, char type, std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload too large: " +
+                                   std::to_string(payload.size()));
+  }
+  char header[5];
+  PutU32(header, static_cast<std::uint32_t>(payload.size()));
+  header[4] = type;
+  // One buffered write per frame so interleaved writers (worker main loop
+  // vs heartbeat probe under a mutex) never tear a frame.
+  std::string frame;
+  frame.reserve(sizeof(header) + payload.size());
+  frame.append(header, sizeof(header));
+  frame.append(payload.data(), payload.size());
+  if (!WriteAllFd(fd, frame.data(), frame.size())) {
+    if (errno == EPIPE) {
+      return Status::Unavailable("frame write: peer closed the pipe");
+    }
+    return Status::Internal(std::string("frame write: ") +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<std::optional<std::pair<char, std::string>>> ReadFrame(int fd) {
+  char header[5];
+  size_t got = ReadFullFd(fd, header, sizeof(header));
+  if (got == 0) return std::optional<std::pair<char, std::string>>{};
+  if (got < sizeof(header)) {
+    return Status::Internal("frame read: truncated header");
+  }
+  std::uint32_t len = GetU32(header);
+  if (len > kMaxFramePayload) {
+    return Status::Internal("frame read: oversized payload " +
+                            std::to_string(len));
+  }
+  std::string payload(len, '\0');
+  if (ReadFullFd(fd, payload.data(), len) < len) {
+    return Status::Internal("frame read: truncated payload");
+  }
+  return std::optional<std::pair<char, std::string>>(
+      std::in_place, header[4], std::move(payload));
+}
+
+Result<std::optional<std::pair<char, std::string>>> FrameBuffer::Next() {
+  if (poisoned_) return Status::Internal("frame stream: poisoned");
+  if (buf_.size() < 5) return std::optional<std::pair<char, std::string>>{};
+  std::uint32_t len = GetU32(buf_.data());
+  if (len > kMaxFramePayload) {
+    poisoned_ = true;
+    return Status::Internal("frame stream: oversized payload " +
+                            std::to_string(len));
+  }
+  if (buf_.size() < 5 + static_cast<size_t>(len)) {
+    return std::optional<std::pair<char, std::string>>{};
+  }
+  char type = buf_[4];
+  std::string payload = buf_.substr(5, len);
+  buf_.erase(0, 5 + static_cast<size_t>(len));
+  return std::optional<std::pair<char, std::string>>(std::in_place, type,
+                                                     std::move(payload));
+}
+
+}  // namespace mitra::common

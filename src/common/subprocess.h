@@ -1,0 +1,143 @@
+#ifndef MITRA_COMMON_SUBPROCESS_H_
+#define MITRA_COMMON_SUBPROCESS_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file subprocess.h
+/// Minimal supervised-subprocess support for the process-isolated batch
+/// pipeline (ISSUE 10): fork/exec with per-child rlimits, pipes wired to
+/// the child's stdin/stdout, non-blocking status polls, and rusage
+/// capture on reap — plus the length-prefixed frame codec both ends of
+/// the worker IPC speak.
+///
+/// The frame format (all integers little-endian):
+///
+///     u32 payload_length | u8 type | payload bytes
+///
+/// A frame is the unit of IPC; payload encoding is the caller's business
+/// (see pipeline/worker.h for the worker protocol). The codec is split
+/// into a blocking writer/reader pair (for the worker, which owns its
+/// fds exclusively) and an incremental FrameBuffer decoder (for the
+/// supervisor, which interleaves many children through one poll loop and
+/// must tolerate frames arriving split across reads).
+
+namespace mitra::common {
+
+struct SubprocessOptions {
+  /// argv[0] is the executable path (execve, no PATH search).
+  std::vector<std::string> argv;
+  /// Extra environment entries ("KEY=value"), merged over the parent's
+  /// environment (entries here win). The merged block is built *before*
+  /// fork — setenv after fork in a multithreaded parent is undefined.
+  std::vector<std::string> env;
+  /// Address-space limit (RLIMIT_AS) in bytes; 0 = inherit.
+  std::uint64_t rlimit_as_bytes = 0;
+  /// CPU-seconds limit (RLIMIT_CPU); 0 = inherit. The soft limit delivers
+  /// SIGXCPU at `n`, the hard limit SIGKILLs at `n + 2` as a backstop.
+  std::uint64_t rlimit_cpu_seconds = 0;
+  /// Open-file-descriptor limit (RLIMIT_NOFILE); 0 = inherit.
+  std::uint64_t rlimit_nofile = 0;
+  /// Reset SIGPIPE to SIG_DFL in the child (the CLI ignores it process-
+  /// wide; workers must not inherit that disposition through exec).
+  bool reset_sigpipe = true;
+};
+
+/// How a reaped child ended.
+struct ExitInfo {
+  bool signaled = false;
+  int signal = 0;     ///< valid when signaled
+  int exit_code = 0;  ///< valid when !signaled
+  /// Child rusage at reap time (wait4).
+  std::uint64_t max_rss_kb = 0;
+  double user_seconds = 0.0;
+  double system_seconds = 0.0;
+};
+
+/// Human-readable name for a signal number ("SIGSEGV", or "SIG42").
+std::string SignalName(int sig);
+
+/// One spawned child with pipes to its stdin (`in_fd`, parent writes) and
+/// from its stdout (`out_fd`, parent reads); stderr is inherited. The
+/// destructor SIGKILLs and reaps a still-running child — a Subprocess
+/// never outlives its owner as a zombie or an orphan.
+class Subprocess {
+ public:
+  static Result<std::unique_ptr<Subprocess>> Spawn(
+      const SubprocessOptions& opts);
+
+  ~Subprocess();
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+
+  int pid() const { return pid_; }
+  /// Parent->child pipe (child's stdin). -1 after CloseIn.
+  int in_fd() const { return in_fd_; }
+  /// Child->parent pipe (child's stdout).
+  int out_fd() const { return out_fd_; }
+
+  /// Closes the write end, delivering EOF to the child's stdin.
+  void CloseIn();
+
+  /// Non-blocking reap: nullopt while the child is still running.
+  /// After the first successful reap, returns the cached ExitInfo.
+  std::optional<ExitInfo> TryWait();
+
+  /// Blocking reap.
+  ExitInfo Wait();
+
+  /// Sends `sig` (default SIGKILL). No-op once reaped.
+  void Kill(int sig = 9);
+
+ private:
+  Subprocess() = default;
+
+  int pid_ = -1;
+  int in_fd_ = -1;
+  int out_fd_ = -1;
+  std::optional<ExitInfo> exit_info_;
+};
+
+/// Maximum accepted frame payload. Programs, paths, and result trails are
+/// tiny; anything near this size is a corrupt stream, not a real frame.
+constexpr std::uint32_t kMaxFramePayload = 64u << 20;
+
+/// Writes one frame, retrying EINTR and short writes. EPIPE (reader gone)
+/// maps to kUnavailable so a dead supervisor/worker surfaces as a clean
+/// Status, not a signal (the CLI ignores SIGPIPE).
+Status WriteFrame(int fd, char type, std::string_view payload);
+
+/// Blocking read of one frame. Returns nullopt on clean EOF at a frame
+/// boundary; mid-frame EOF and oversized lengths are errors.
+Result<std::optional<std::pair<char, std::string>>> ReadFrame(int fd);
+
+/// Incremental decoder for the supervisor's poll loop: feed raw bytes in
+/// with Append, pull complete frames out with Next. Tolerates frames
+/// split across arbitrarily many reads.
+class FrameBuffer {
+ public:
+  void Append(const char* data, size_t n) { buf_.append(data, n); }
+
+  /// Extracts the next complete frame, or nullopt if more bytes are
+  /// needed. A declared payload length beyond kMaxFramePayload poisons
+  /// the buffer (error sticks; the stream is garbage from here on).
+  Result<std::optional<std::pair<char, std::string>>> Next();
+
+  /// True when a partial frame is buffered (EOF now = truncated stream).
+  bool MidFrame() const { return !buf_.empty(); }
+
+  void Reset() { buf_.clear(); poisoned_ = false; }
+
+ private:
+  std::string buf_;
+  bool poisoned_ = false;
+};
+
+}  // namespace mitra::common
+
+#endif  // MITRA_COMMON_SUBPROCESS_H_

@@ -311,6 +311,30 @@ Result<hdt::Table> Migrator::BuildTable(
   return out;
 }
 
+Status Migrator::InstallLearnedProgram(const std::string& table,
+                                       dsl::Program program) {
+  const TableDef* def = nullptr;
+  for (const TableDef& t : schema_.tables) {
+    if (t.name == table) {
+      def = &t;
+      break;
+    }
+  }
+  if (def == nullptr) {
+    return Status::InvalidArgument("InstallLearnedProgram: table '" + table +
+                                   "' not in schema");
+  }
+  for (const ColumnDef& c : def->columns) {
+    if (c.kind == ColumnKind::kForeignKey) {
+      return Status::InvalidArgument(
+          "InstallLearnedProgram: table '" + table +
+          "' has foreign-key columns; FK plans cannot be installed");
+    }
+  }
+  programs_[table] = std::move(program);
+  return Status::OK();
+}
+
 Result<Database> Migrator::Execute(hdt::Hdt& doc, int doc_index,
                                    const MigratorOptions& opts) const {
   doc.FreezeIndex(/*compact=*/false);

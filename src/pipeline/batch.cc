@@ -1,5 +1,7 @@
 #include "pipeline/batch.h"
 
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -13,11 +15,12 @@
 #include "common/fs.h"
 #include "common/retry.h"
 #include "common/strings.h"
+#include "common/subprocess.h"
 #include "db/sql_codegen.h"
 #include "dsl/ast.h"
 #include "json/json_parser.h"
 #include "obs/obs.h"
-#include "xml/xml_parser.h"
+#include "pipeline/worker.h"
 
 namespace mitra::pipeline {
 
@@ -29,17 +32,6 @@ namespace {
 /// are validated by re-parse only — and the next write upgrades to v2.
 constexpr std::string_view kJournalMagicV1 = "mitra-batch-journal v1";
 constexpr std::string_view kJournalMagicV2 = "mitra-batch-journal v2";
-
-bool HasSuffix(const std::string& s, std::string_view suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-Result<hdt::Hdt> ParseDocText(const std::string& path,
-                              std::string_view text) {
-  if (HasSuffix(path, ".json")) return json::ParseJson(text);
-  return xml::ParseXml(text);
-}
 
 /// Joins a base directory and a path, keeping absolute paths as-is.
 std::string Resolve(const std::string& base_dir, const std::string& path) {
@@ -91,11 +83,6 @@ Result<std::vector<std::string>> ExpandGlob(const std::string& pattern) {
     return Status::InvalidArgument("glob matched no documents: " + pattern);
   }
   return out;
-}
-
-std::string ShardPath(const std::string& outdir, const std::string& table,
-                      size_t index) {
-  return outdir + "/shards/" + table + "." + std::to_string(index) + ".csv";
 }
 
 /// Two independently-seeded FNV states over length-framed fields, as in
@@ -233,8 +220,31 @@ std::string QuarantineReportPath(const std::string& qdir, size_t index) {
   return qdir + "/doc." + std::to_string(index) + ".json";
 }
 
+/// One worker death as JSON — the `hard_fault` block of the quarantine
+/// report (schema documented in README).
+std::string HardFaultJson(const HardFaultInfo& f, size_t worker_deaths) {
+  std::string out = "{\"kind\":\"" + JsonEscape(f.kind) + "\"";
+  out += ",\"signal\":" + std::to_string(f.signal);
+  if (f.signal != 0) {
+    out += ",\"signal_name\":\"" + common::SignalName(f.signal) + "\"";
+  }
+  out += ",\"exit_code\":" + std::to_string(f.exit_code);
+  out += ",\"last_phase\":\"" + JsonEscape(f.last_phase) + "\"";
+  out += ",\"seconds_since_heartbeat\":" +
+         JsonDouble(f.seconds_since_heartbeat);
+  out += ",\"max_rss_kb\":" + std::to_string(f.max_rss_kb);
+  out += ",\"user_seconds\":" + JsonDouble(f.user_seconds);
+  out += ",\"system_seconds\":" + JsonDouble(f.system_seconds);
+  out += ",\"retried\":";
+  out += f.retried ? "true" : "false";
+  out += ",\"worker_deaths\":" + std::to_string(worker_deaths);
+  out += "}";
+  return out;
+}
+
 /// The per-document quarantine report: the failing Status plus the full
-/// retry trail, so an operator can tell a poison document from a flaky
+/// retry trail — and, for hard faults, the final worker death's
+/// diagnostics — so an operator can tell a poison document from a flaky
 /// environment without re-running the fleet.
 std::string QuarantineReportJson(const DocReport& dr) {
   std::string out = "{\"path\":\"" + JsonEscape(dr.path) + "\"";
@@ -246,7 +256,12 @@ std::string QuarantineReportJson(const DocReport& dr) {
     if (i > 0) out += ',';
     out += "\"" + JsonEscape(dr.retry_trail[i]) + "\"";
   }
-  out += "]}";
+  out += "]";
+  if (!dr.hard_faults.empty()) {
+    out += ",\"hard_fault\":" +
+           HardFaultJson(dr.hard_faults.back(), dr.hard_faults.size());
+  }
+  out += "}";
   return out;
 }
 
@@ -398,6 +413,11 @@ std::string BatchReport::ToJson() const {
     out += ",\"seconds\":" + JsonDouble(d.seconds);
     out += ",\"rows_emitted\":" + std::to_string(d.rows_emitted);
     out += ",\"attempts\":" + std::to_string(d.attempts);
+    out += ",\"peak_rss_kb\":" + std::to_string(d.peak_rss_kb);
+    if (!d.hard_faults.empty()) {
+      out += ",\"hard_fault\":" +
+             HardFaultJson(d.hard_faults.back(), d.hard_faults.size());
+    }
     if (!d.retry_trail.empty()) {
       out += ",\"retry_trail\":[";
       for (size_t t = 0; t < d.retry_trail.size(); ++t) {
@@ -464,7 +484,7 @@ Result<BatchReport> RunBatch(const BatchManifest& manifest,
   MITRA_ASSIGN_OR_RETURN(std::string example_text,
                          read_with_retry(manifest.example_doc));
   MITRA_ASSIGN_OR_RETURN(hdt::Hdt example_tree,
-                         ParseDocText(manifest.example_doc, example_text));
+                         ParseFleetDoc(manifest.example_doc, example_text));
 
   db::DatabaseSchema schema;
   std::map<std::string, hdt::Table> examples;
@@ -600,14 +620,17 @@ Result<BatchReport> RunBatch(const BatchManifest& manifest,
     write_journal_locked();
   }
 
-  common::ParallelFor(opts.pool, n, [&](size_t d) {
+  // Pre-pass: settle documents that will not execute this run, collect
+  // the rest in fleet order for whichever isolation mode runs them.
+  std::vector<size_t> to_execute;
+  for (size_t d = 0; d < n; ++d) {
     DocReport& dr = report.docs[d];
     dr.path = manifest.documents[d];
     dr.index = static_cast<int>(d);
     if (resumed.count(d) != 0) {
       dr.outcome = DocOutcome::kResumed;
       dr.rows_emitted = resumed_rows[d];
-      return;
+      continue;
     }
     if (journal_quarantined.count(d) != 0) {
       // A previous run exhausted this document's retries or hit a
@@ -617,60 +640,26 @@ Result<BatchReport> RunBatch(const BatchManifest& manifest,
       dr.status = Status::InvalidArgument(
           "quarantined by journal (pass retry_quarantined to re-run)");
       MITRA_COUNT("pipeline/quarantine/resumed", 1);
-      return;
+      continue;
     }
-    auto start = std::chrono::steady_clock::now();
-    std::uint64_t rows = 0;
-    std::uint32_t crc = 0;
-    common::RetryResult res = run_with_retry(d, [&]() -> Status {
-      rows = 0;
-      crc = 0;
-      MITRA_ASSIGN_OR_RETURN(std::string text, fs->ReadFile(dr.path));
-      MITRA_ASSIGN_OR_RETURN(hdt::Hdt doc, ParseDocText(dr.path, text));
-      db::MigratorOptions dopts = mopts;
-      // Fleet position, so generated keys match a single sequential
-      // ExecuteAll over the whole fleet.
-      dopts.doc_index_base = static_cast<int>(d);
-      db::MigrationReport exec = report.learn;
-      db::Database out = migrator.ExecuteTolerant({&doc}, &exec, dopts);
-      // All-or-nothing per document: a document whose execution failed
-      // for *any* live table contributes no shards at all — a partial
-      // document would make the final tables mutually inconsistent.
-      for (const std::string& name : live) {
-        const db::TableReport* tr = exec.Find(name);
-        if (!TableIsLive(tr)) {
-          return tr != nullptr && !tr->status.ok()
-                     ? tr->status
-                     : Status::Internal("table " + name +
-                                        " lost during execution");
-        }
-      }
-      for (const std::string& name : live) {
-        auto it = out.tables.find(name);
-        std::string csv;
-        if (it != out.tables.end()) {
-          rows += it->second.NumRows();
-          csv = WriteCsv(it->second.rows());
-        }
-        crc = Crc32(csv.data(), csv.size(), crc);
-        MITRA_RETURN_IF_ERROR(
-            fs->WriteFileAtomic(ShardPath(opts.outdir, name, d), csv));
-      }
-      dr.rows_emitted = rows;
-      return Status::OK();
-    });
-    dr.seconds = std::chrono::duration<double>(
-                     std::chrono::steady_clock::now() - start)
-                     .count();
-    dr.attempts = res.attempts;
-    dr.retry_trail = res.trail;
-    if (!res.status.ok()) {
-      // Permanent fault or retries exhausted: quarantine the document so
-      // this one input never wedges the fleet. The report write and the
-      // journal entry are both best-effort (and atomic) — if the process
-      // dies right here, the next run simply re-executes the document.
+    to_execute.push_back(d);
+  }
+
+  // Shared completion handler for both isolation modes: fills the
+  // DocReport, quarantines failures (report file + journal line), and
+  // checkpoints successes. The quarantine report and journal entry are
+  // both best-effort (and atomic) — if the process dies right here, the
+  // next run simply re-executes the document.
+  auto finish_doc = [&](size_t d, FleetDocOutcome out) {
+    DocReport& dr = report.docs[d];
+    dr.seconds = out.seconds;
+    dr.attempts = out.attempts;
+    dr.retry_trail = std::move(out.trail);
+    dr.peak_rss_kb = out.peak_rss_kb;
+    dr.hard_faults = std::move(out.hard_faults);
+    if (!out.status.ok()) {
       dr.outcome = DocOutcome::kQuarantined;
-      dr.status = res.status;
+      dr.status = out.status;
       MITRA_COUNT("pipeline/quarantine/docs", 1);
       (void)fs->WriteFileAtomic(QuarantineReportPath(quarantine_dir, d),
                                 QuarantineReportJson(dr));
@@ -680,12 +669,70 @@ Result<BatchReport> RunBatch(const BatchManifest& manifest,
       return;
     }
     dr.outcome = DocOutcome::kDone;
+    dr.rows_emitted = out.rows;
     MITRA_COUNT("pipeline/batch/docs_done", 1);
     std::lock_guard<std::mutex> lock(journal_mu);
     done_set.insert(d);
-    shard_crcs[d] = crc;
+    shard_crcs[d] = out.shard_crc;
     write_journal_locked();
-  });
+  };
+
+  if (opts.isolation == IsolationMode::kProcess) {
+    // Ship the learned programs to sandboxed workers (λ-syntax via
+    // dsl::ToString — the printer/parser round-trip is the wire format);
+    // workers never re-learn, so output is deterministic at any worker
+    // count. The supervisor stays the sole journal writer: workers only
+    // write their own shards.
+    WorkerInit init;
+    init.outdir = opts.outdir;
+    init.table_limits = mopts.table_limits;
+    init.retry = opts.retry;
+    for (const std::string& name : live) {
+      const db::TableReport* tr = report.learn.Find(name);
+      WorkerInitTable t;
+      t.name = name;
+      for (const db::TableDef& td : schema.tables) {
+        if (td.name == name) t.num_cols = td.columns.size();
+      }
+      t.outcome = static_cast<int>(tr->outcome);
+      t.rung = tr->rung;
+      for (const db::TableSynthesisInfo& si : migrator.info()) {
+        if (si.table == name) t.program = dsl::ToString(si.program);
+      }
+      if (t.program.empty()) {
+        return Status::Internal("no learned program to ship for table " +
+                                name);
+      }
+      init.tables.push_back(std::move(t));
+    }
+    MITRA_RETURN_IF_ERROR(RunWorkerFleet(manifest.documents, to_execute,
+                                         init, opts.worker_pool, finish_doc));
+  } else {
+    FleetExecContext ctx;
+    ctx.migrator = &migrator;
+    ctx.learn = &report.learn;
+    ctx.live = &live;
+    ctx.migrator_options = mopts;
+    ctx.outdir = opts.outdir;
+    ctx.retry = opts.retry;
+    common::ParallelFor(opts.pool, to_execute.size(), [&](size_t i) {
+      const size_t d = to_execute[i];
+      FleetDocResult res =
+          ExecuteFleetDocument(ctx, d, manifest.documents[d]);
+      FleetDocOutcome out;
+      out.status = res.retry.status;
+      out.rows = res.rows;
+      out.shard_crc = res.shard_crc;
+      out.attempts = res.retry.attempts;
+      out.trail = std::move(res.retry.trail);
+      out.seconds = res.seconds;
+      struct rusage ru;
+      std::memset(&ru, 0, sizeof(ru));
+      ::getrusage(RUSAGE_SELF, &ru);
+      out.peak_rss_kb = static_cast<std::uint64_t>(ru.ru_maxrss);
+      finish_doc(d, std::move(out));
+    });
+  }
 
   // ---- Deterministic merge: shard bytes in fleet order. ----
   // WriteCsv is row-local with a trailing '\n' per row, so this is

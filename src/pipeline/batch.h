@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "db/migrator.h"
+#include "pipeline/worker_pool.h"
 
 /// \file batch.h
 /// Multi-document migration pipeline (ISSUE 8): learn the table programs
@@ -49,6 +50,18 @@
 /// trail, and excluded from the merged output without failing the batch.
 
 namespace mitra::pipeline {
+
+/// How fleet documents are executed (ISSUE 10).
+enum class IsolationMode {
+  /// In this process, fanned out over BatchOptions::pool (the default).
+  kNone,
+  /// In a supervised pool of sandboxed `mitra batch-worker` subprocesses
+  /// (see worker_pool.h): rlimits at spawn, heartbeat watchdog, SIGKILL
+  /// for violators, fresh-worker retry, hard-fault quarantine. Byte-
+  /// identical output to kNone — both modes run ExecuteFleetDocument
+  /// with the same shipped programs and per-document retry seeds.
+  kProcess,
+};
 
 /// A parsed batch manifest: one shared example, the target tables, and
 /// the document fleet in migration order.
@@ -100,6 +113,11 @@ struct BatchOptions {
   /// skipping them (a fleet operator's "the environment is fixed, try
   /// the poison docs again").
   bool retry_quarantined = false;
+  /// Where fleet documents execute; kProcess supersedes `pool` (workers
+  /// are the parallelism).
+  IsolationMode isolation = IsolationMode::kNone;
+  /// Sandbox/watchdog configuration when isolation == kProcess.
+  WorkerPoolOptions worker_pool;
 };
 
 enum class DocOutcome {
@@ -124,6 +142,14 @@ struct DocReport {
   /// One line per failed attempt, from common::RetryResult::trail; also
   /// written into the quarantine report.
   std::vector<std::string> retry_trail;
+  /// Peak RSS attributed to this document in kB: the executing worker's
+  /// rusage under kProcess, the whole process's under kNone. 0 when the
+  /// document did not execute this run.
+  std::uint64_t peak_rss_kb = 0;
+  /// Worker deaths attributed to this document (kProcess only), oldest
+  /// first; the last entry is the quarantining fault when outcome is
+  /// kQuarantined via hard fault.
+  std::vector<HardFaultInfo> hard_faults;
 };
 
 /// Structured result of one batch run (mitra batch --report=json).

@@ -1,0 +1,66 @@
+#include "testing/hard_fault.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+namespace mitra::testing {
+
+namespace {
+
+[[noreturn]] void Abort() { std::abort(); }
+
+[[noreturn]] void Segv() {
+  // A wild store the optimizer cannot elide or reason away.
+  volatile char* p = reinterpret_cast<volatile char*>(0x40);
+  *p = 1;
+  std::abort();  // unreachable; keeps [[noreturn]] honest
+}
+
+[[noreturn]] void Spin() {
+  // Ungoverned: no Check() sites, so no heartbeats and no Status unwind —
+  // only the supervisor's watchdog (or RLIMIT_CPU) ends this.
+  volatile std::uint64_t x = 0;
+  for (;;) x = x + 1;
+}
+
+[[noreturn]] void Leak() {
+  // Touch every page so RSS (and committed address space) really grows;
+  // under RLIMIT_AS operator new throws bad_alloc, which nothing
+  // catches: std::terminate -> SIGABRT.
+  std::vector<char*> hoard;
+  for (;;) {
+    char* block = new char[1 << 20];
+    std::memset(block, 0x5a, 1 << 20);
+    hoard.push_back(block);
+  }
+}
+
+}  // namespace
+
+void MaybeTriggerHardFault(const std::string& doc_path) {
+  const char* spec = std::getenv("MITRA_HARD_FAULT");
+  if (spec == nullptr || *spec == '\0') return;
+  std::string_view rest(spec);
+  while (!rest.empty()) {
+    size_t semi = rest.find(';');
+    std::string_view directive = rest.substr(0, semi);
+    rest = semi == std::string_view::npos ? std::string_view()
+                                          : rest.substr(semi + 1);
+    size_t eq = directive.find('=');
+    if (eq == std::string_view::npos) continue;
+    std::string_view kind = directive.substr(0, eq);
+    std::string_view substr = directive.substr(eq + 1);
+    if (substr.empty() || doc_path.find(substr) == std::string::npos) {
+      continue;
+    }
+    if (kind == "abort") Abort();
+    if (kind == "segv") Segv();
+    if (kind == "spin") Spin();
+    if (kind == "leak") Leak();
+  }
+}
+
+}  // namespace mitra::testing

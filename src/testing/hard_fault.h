@@ -1,0 +1,36 @@
+#ifndef MITRA_TESTING_HARD_FAULT_H_
+#define MITRA_TESTING_HARD_FAULT_H_
+
+#include <string>
+
+/// \file hard_fault.h
+/// Env-triggered hard-fault injection for the process-isolation torture
+/// tests (ISSUE 10). Unlike testing::FaultInjector — which makes governed
+/// code return Status errors — these faults do NOT unwind: they abort,
+/// spin, or exhaust memory exactly like the real-world worker deaths the
+/// supervisor must contain. They are compiled into mitra_testing and
+/// wired into the `mitra batch-worker` pre-document hook only, so
+/// production in-process runs never consult them.
+///
+/// MITRA_HARD_FAULT holds ';'-separated directives `kind=substr`; a
+/// directive fires when `substr` occurs in the document path about to be
+/// executed:
+///   abort=<substr>   SIGABRT via std::abort() (a crashed worker)
+///   segv=<substr>    SIGSEGV via a wild store (a memory-corrupt worker)
+///   spin=<substr>    ungoverned busy loop, never returns (a hung worker;
+///                    killed by the wall-clock or heartbeat watchdog, or
+///                    by SIGXCPU under an rlimit)
+///   leak=<substr>    allocate-and-touch until the allocator fails (an
+///                    OOM worker; under RLIMIT_AS this dies as bad_alloc
+///                    -> std::terminate -> SIGABRT)
+
+namespace mitra::testing {
+
+/// Applies the first MITRA_HARD_FAULT directive matching `doc_path`, if
+/// any. May not return. No-op when the variable is unset or nothing
+/// matches.
+void MaybeTriggerHardFault(const std::string& doc_path);
+
+}  // namespace mitra::testing
+
+#endif  // MITRA_TESTING_HARD_FAULT_H_

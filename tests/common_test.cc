@@ -10,6 +10,7 @@
 #include "common/retry.h"
 #include "common/status.h"
 #include "common/strings.h"
+#include "common/subprocess.h"
 
 namespace mitra {
 namespace {
@@ -299,6 +300,183 @@ TEST(DiskFs, AtomicWriteListDirAndLifecycle) {
   EXPECT_FALSE(fs->WriteFile(dir + "/a.csv/impossible", "x").ok());
 
   stdfs::remove_all(root);
+}
+
+TEST(DiskFs, ReadFileErrorsAndBinaryContent) {
+  namespace stdfs = std::filesystem;
+  common::FileSystem* fs = common::RealFileSystem();
+  stdfs::path root =
+      stdfs::temp_directory_path() /
+      ("mitra_read_test_" + std::to_string(::getpid()));
+  stdfs::remove_all(root);
+  const std::string dir = root.string();
+
+  // Missing file keeps the MemoryFileSystem message shape (callers match
+  // on "cannot open").
+  auto missing = fs->ReadFile(dir + "/absent.csv");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(missing.status().message().find("cannot open"),
+            std::string::npos);
+
+  // A path through a regular file (ENOTDIR) reads as the same class.
+  ASSERT_TRUE(fs->WriteFileAtomic(dir + "/plain", "x").ok());
+  EXPECT_FALSE(fs->ReadFile(dir + "/plain/below").ok());
+
+  // Binary content with embedded NULs round-trips exactly (the fd-based
+  // read path is size-faithful, not line-oriented).
+  std::string blob;
+  for (int i = 0; i < 4096; ++i) blob += static_cast<char>(i % 256);
+  ASSERT_TRUE(fs->WriteFileAtomic(dir + "/blob.bin", blob).ok());
+  auto back = fs->ReadFile(dir + "/blob.bin");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, blob);
+
+  // Empty file reads as empty string, not an error.
+  ASSERT_TRUE(fs->WriteFileAtomic(dir + "/empty", "").ok());
+  EXPECT_EQ(*fs->ReadFile(dir + "/empty"), "");
+
+  stdfs::remove_all(root);
+}
+
+TEST(Subprocess, EchoFramesThroughCat) {
+  common::SubprocessOptions opts;
+  opts.argv = {"/bin/cat"};
+  auto proc = common::Subprocess::Spawn(opts);
+  ASSERT_TRUE(proc.ok()) << proc.status().ToString();
+
+  // cat copies stdin to stdout byte-for-byte: whatever frames go in must
+  // come out intact, including binary payloads.
+  std::string payload = "hello";
+  payload.push_back('\0');
+  payload += "\xff\x01world";
+  ASSERT_TRUE(common::WriteFrame((*proc)->in_fd(), 'X', payload).ok());
+  ASSERT_TRUE(common::WriteFrame((*proc)->in_fd(), 'Y', "").ok());
+  (*proc)->CloseIn();
+
+  auto first = common::ReadFrame((*proc)->out_fd());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(first->has_value());
+  EXPECT_EQ((*first)->first, 'X');
+  EXPECT_EQ((*first)->second, payload);
+  auto second = common::ReadFrame((*proc)->out_fd());
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(second->has_value());
+  EXPECT_EQ((*second)->first, 'Y');
+  EXPECT_EQ((*second)->second, "");
+  auto eof = common::ReadFrame((*proc)->out_fd());
+  ASSERT_TRUE(eof.ok());
+  EXPECT_FALSE(eof->has_value());  // clean EOF, not an error
+
+  common::ExitInfo info = (*proc)->Wait();
+  EXPECT_FALSE(info.signaled);
+  EXPECT_EQ(info.exit_code, 0);
+}
+
+TEST(Subprocess, ExitCodeSignalKillAndEnv) {
+  // Exit code propagates.
+  common::SubprocessOptions false_opts;
+  false_opts.argv = {"/bin/false"};
+  auto failing = common::Subprocess::Spawn(false_opts);
+  ASSERT_TRUE(failing.ok());
+  common::ExitInfo info = (*failing)->Wait();
+  EXPECT_FALSE(info.signaled);
+  EXPECT_EQ(info.exit_code, 1);
+
+  // Kill is reported as a signal death with the right number.
+  common::SubprocessOptions cat_opts;
+  cat_opts.argv = {"/bin/cat"};
+  auto victim = common::Subprocess::Spawn(cat_opts);
+  ASSERT_TRUE(victim.ok());
+  EXPECT_FALSE((*victim)->TryWait().has_value());  // still running
+  (*victim)->Kill(SIGKILL);
+  info = (*victim)->Wait();
+  EXPECT_TRUE(info.signaled);
+  EXPECT_EQ(info.signal, SIGKILL);
+  EXPECT_EQ(common::SignalName(info.signal), "SIGKILL");
+
+  // opts.env merges over the parent environment.
+  common::SubprocessOptions env_opts;
+  env_opts.argv = {"/bin/sh", "-c", "printf '%s' \"$MITRA_SUBPROC_TEST\""};
+  env_opts.env = {"MITRA_SUBPROC_TEST=marker42"};
+  auto sh = common::Subprocess::Spawn(env_opts);
+  ASSERT_TRUE(sh.ok());
+  std::string out;
+  char buf[64];
+  ssize_t n;
+  while ((n = ::read((*sh)->out_fd(), buf, sizeof(buf))) > 0) {
+    out.append(buf, static_cast<size_t>(n));
+  }
+  EXPECT_EQ(out, "marker42");
+  EXPECT_EQ((*sh)->Wait().exit_code, 0);
+
+  // A missing executable fails the exec path: exit 127, never a hang.
+  common::SubprocessOptions bad_opts;
+  bad_opts.argv = {"/no/such/binary"};
+  auto bad = common::Subprocess::Spawn(bad_opts);
+  ASSERT_TRUE(bad.ok());  // fork succeeded; exec failure is the child's
+  EXPECT_EQ((*bad)->Wait().exit_code, 127);
+}
+
+TEST(Subprocess, CpuRlimitDeliversSigxcpu) {
+  common::SubprocessOptions opts;
+  // A pure-CPU spin; the 1-second soft RLIMIT_CPU ends it with SIGXCPU.
+  opts.argv = {"/bin/sh", "-c", "while :; do :; done"};
+  opts.rlimit_cpu_seconds = 1;
+  auto proc = common::Subprocess::Spawn(opts);
+  ASSERT_TRUE(proc.ok());
+  common::ExitInfo info = (*proc)->Wait();
+  EXPECT_TRUE(info.signaled);
+  EXPECT_EQ(info.signal, SIGXCPU);
+  EXPECT_GE(info.user_seconds + info.system_seconds, 0.5);
+}
+
+TEST(FrameBuffer, ReassemblesSplitFramesAndRejectsOversize) {
+  // One frame fed a byte at a time must come out exactly once.
+  std::string payload = "abc";
+  std::string wire;
+  wire.push_back(3);  // u32 LE payload length
+  wire.push_back(0);
+  wire.push_back(0);
+  wire.push_back(0);
+  wire.push_back('T');
+  wire += payload;
+  common::FrameBuffer buf;
+  for (size_t i = 0; i < wire.size(); ++i) {
+    buf.Append(wire.data() + i, 1);
+    auto frame = buf.Next();
+    ASSERT_TRUE(frame.ok());
+    if (i + 1 < wire.size()) {
+      EXPECT_FALSE(frame->has_value()) << "frame complete too early at " << i;
+      EXPECT_TRUE(buf.MidFrame());  // partial bytes are buffered
+    } else {
+      ASSERT_TRUE(frame->has_value());
+      EXPECT_EQ((*frame)->first, 'T');
+      EXPECT_EQ((*frame)->second, payload);
+      EXPECT_FALSE(buf.MidFrame());
+    }
+  }
+
+  // Two frames in one append drain in order.
+  buf.Append(wire.data(), wire.size());
+  buf.Append(wire.data(), wire.size());
+  for (int i = 0; i < 2; ++i) {
+    auto frame = buf.Next();
+    ASSERT_TRUE(frame.ok());
+    ASSERT_TRUE(frame->has_value());
+    EXPECT_EQ((*frame)->second, payload);
+  }
+  EXPECT_FALSE(buf.Next()->has_value());
+
+  // An oversize length header poisons the stream permanently (a
+  // corrupted or malicious worker, not a recoverable state).
+  std::string huge(5, '\xff');  // 0xffffffff length + a type byte
+  buf.Append(huge.data(), huge.size());
+  EXPECT_FALSE(buf.Next().ok());
+  EXPECT_FALSE(buf.Next().ok());  // still poisoned
+  buf.Reset();
+  buf.Append(wire.data(), wire.size());
+  EXPECT_TRUE(buf.Next().ok());  // Reset un-poisons for a fresh stream
 }
 
 }  // namespace

@@ -11,7 +11,18 @@
 ///   mitra batch   --manifest batch.json [--outdir DIR] [--cache DIR]
 ///                 [--journal FILE] [--fresh] [--sql] [--retries N]
 ///                 [--quarantine-dir DIR] [--retry-quarantined]
+///                 [--isolation none|process] [--workers N]
+///                 [--worker-memory-mb N] [--worker-timeout SECONDS]
 ///                 [--report=json] [--threads N] [budget flags]
+///
+/// `batch --isolation=process` executes fleet documents in a supervised
+/// pool of sandboxed `mitra batch-worker` subprocesses (ISSUE 10):
+/// per-worker RLIMIT_AS (--worker-memory-mb), a per-document wall-clock
+/// deadline (--worker-timeout) and heartbeat watchdog, SIGKILL for
+/// violators, one fresh-worker retry per hard-faulted document, then
+/// quarantine with full death diagnostics. Output is byte-identical to
+/// the default in-process mode. `batch-worker` is the hidden worker
+/// entry point, spawned by the supervisor — not for direct use.
 ///
 /// Budget flags (all optional): --time-limit SECONDS, --max-states N,
 /// --max-rows N, --max-memory-mb N. Overruns surface as clean
@@ -37,6 +48,7 @@
 /// exhaustion, 5 parse error.
 
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -59,6 +71,8 @@
 #include "obs/obs.h"
 #include "pipeline/batch.h"
 #include "pipeline/program_cache.h"
+#include "pipeline/worker.h"
+#include "testing/hard_fault.h"
 #include "xml/xml_parser.h"
 #include "xml/xslt_codegen.h"
 
@@ -135,6 +149,8 @@ int Usage() {
       "  mitra batch --manifest batch.json [--outdir DIR] [--cache DIR]\n"
       "              [--journal FILE] [--fresh] [--sql] [--retries N]\n"
       "              [--quarantine-dir DIR] [--retry-quarantined]\n"
+      "              [--isolation none|process] [--workers N]\n"
+      "              [--worker-memory-mb N] [--worker-timeout SECONDS]\n"
       "              [--report=json] [--threads N] [budget flags]\n"
       "budget flags: --time-limit SECONDS --max-states N --max-rows N\n"
       "              --max-memory-mb N\n"
@@ -441,6 +457,33 @@ int Batch(const std::map<std::string, std::string>& flags) {
   }
   bopts.retry_quarantined = flags.count("retry-quarantined") != 0;
 
+  // Process isolation (see worker_pool.h): workers are the parallelism
+  // in this mode; --threads still sizes learning.
+  auto isolation_it = flags.find("isolation");
+  if (isolation_it != flags.end() && !isolation_it->second.empty() &&
+      isolation_it->second != "none") {
+    if (isolation_it->second != "process") {
+      std::fprintf(stderr, "error: bad --isolation '%s' (none or process)\n",
+                   isolation_it->second.c_str());
+      return kExitUsage;
+    }
+    bopts.isolation = pipeline::IsolationMode::kProcess;
+  }
+  auto workers_it = flags.find("workers");
+  if (workers_it != flags.end() && !workers_it->second.empty()) {
+    bopts.worker_pool.workers =
+        std::max(1, std::atoi(workers_it->second.c_str()));
+  }
+  auto wmem_it = flags.find("worker-memory-mb");
+  if (wmem_it != flags.end() && !wmem_it->second.empty()) {
+    bopts.worker_pool.memory_limit_mb =
+        std::strtoull(wmem_it->second.c_str(), nullptr, 10);
+  }
+  auto wtime_it = flags.find("worker-timeout");
+  if (wtime_it != flags.end() && !wtime_it->second.empty()) {
+    bopts.worker_pool.doc_timeout_seconds = std::atof(wtime_it->second.c_str());
+  }
+
   std::optional<pipeline::FsProgramCache> cache;
   auto cache_it = flags.find("cache");
   if (cache_it != flags.end() && !cache_it->second.empty()) {
@@ -559,7 +602,21 @@ int Run(const char* command,
 }  // namespace mitra
 
 int main(int argc, char** argv) {
+  // A closed pipe — a dead worker's stdin, a `mitra ... | head` consumer —
+  // must surface as an EPIPE write Status, not kill the process mid-batch.
+  // (Subprocess resets the disposition in the child's exec path; this
+  // re-ignores it for worker processes too, which want the same
+  // EPIPE-as-Status behavior for their supervisor pipe.)
+  std::signal(SIGPIPE, SIG_IGN);
   if (argc < 2) return mitra::Usage();
+  if (std::strcmp(argv[1], "batch-worker") == 0) {
+    // Hidden entry point: the sandboxed half of `batch --isolation=process`.
+    mitra::pipeline::WorkerMainOptions wopts;
+    wopts.pre_doc_hook = [](const std::string& path) {
+      mitra::testing::MaybeTriggerHardFault(path);
+    };
+    return mitra::pipeline::WorkerMain(wopts);
+  }
   auto flags = mitra::ParseFlags(argc, argv, 2);
   return mitra::Run(argv[1], flags);
 }

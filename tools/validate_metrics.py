@@ -5,12 +5,16 @@ Usage:
     validate_metrics.py --metrics METRICS.json [METRICS.json ...]
                         [--trace TRACE.json ...]
                         [--min-counters N] [--min-layers N]
+                        [--require NAME ...]
 
 Checks, per metrics file:
   - parses as a JSON object of name -> non-negative integer;
   - at least --min-counters distinct counters (default 12);
   - counter names span at least --min-layers distinct layers, where the
-    layer is the first '/'-separated segment (default 5).
+    layer is the first '/'-separated segment (default 5);
+  - every --require NAME is present (value may be zero: pre-registered
+    counters export even when their event never fired, and "zero kills"
+    is a meaningful reading).
 
 Checks, per trace file:
   - parses as JSON with a `traceEvents` list;
@@ -32,7 +36,7 @@ def fail(msg):
     return False
 
 
-def validate_metrics(path, min_counters, min_layers):
+def validate_metrics(path, min_counters, min_layers, require=()):
     try:
         with open(path, encoding="utf-8") as f:
             data = json.load(f)
@@ -55,6 +59,9 @@ def validate_metrics(path, min_counters, min_layers):
             f"{path}: counters span {len(layers)} layers ({sorted(layers)}), "
             f"need >= {min_layers}"
         )
+    for name in require:
+        if name not in data:
+            ok = fail(f"{path}: required counter {name!r} is missing")
     if ok:
         print(f"{path}: OK ({len(data)} counters across {len(layers)} layers)")
     return ok
@@ -100,13 +107,15 @@ def main():
     parser.add_argument("--trace", nargs="*", default=[])
     parser.add_argument("--min-counters", type=int, default=12)
     parser.add_argument("--min-layers", type=int, default=5)
+    parser.add_argument("--require", nargs="*", default=[])
     args = parser.parse_args()
     if not args.metrics and not args.trace:
         parser.error("nothing to validate: pass --metrics and/or --trace")
 
     ok = True
     for path in args.metrics:
-        ok &= validate_metrics(path, args.min_counters, args.min_layers)
+        ok &= validate_metrics(path, args.min_counters, args.min_layers,
+                               args.require)
     for path in args.trace:
         ok &= validate_trace(path)
     return 0 if ok else 1
